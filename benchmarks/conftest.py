@@ -1,0 +1,18 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure through its
+``repro.evaluation`` driver, prints the regenerated series (the deterministic
+virtual-time numbers the reproduction reports), and lets pytest-benchmark
+measure the wall-clock cost of the simulation itself.
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, driver, **kwargs):
+    """Benchmark a figure driver and print its regenerated table."""
+    result = benchmark.pedantic(lambda: driver(**kwargs), rounds=1,
+                                iterations=1)
+    print()
+    print(result.format_table())
+    return result

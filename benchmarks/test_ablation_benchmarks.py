@@ -1,0 +1,21 @@
+"""Ablation benchmarks for the DESIGN.md §4 design decisions."""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_aggregation(benchmark):
+    run_and_report(benchmark, ev.ablation_aggregation,
+                   n_per_loc=400, levels=(1, 4, 16, 64))
+
+
+def test_ablation_view_alignment(benchmark):
+    run_and_report(benchmark, ev.ablation_view_alignment, n_per_loc=1500)
+
+
+def test_ablation_consistency_mode(benchmark):
+    run_and_report(benchmark, ev.ablation_consistency_mode, n_per_loc=300)
+
+
+def test_ablation_lazy_size(benchmark):
+    run_and_report(benchmark, ev.ablation_lazy_size, reps=150)

@@ -1,0 +1,23 @@
+"""Benchmarks regenerating the associative / composition / MCM evaluation
+(Ch. XII-XIII: Figs. 59, 60, 62; Ch. VII behaviours)."""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_fig59_mapreduce_wordcount(benchmark):
+    run_and_report(benchmark, ev.fig59_mapreduce_wordcount,
+                   nlocs_list=(1, 2, 4, 8), tokens_per_loc=4000)
+
+
+def test_fig60_assoc_algorithms(benchmark):
+    run_and_report(benchmark, ev.fig60_assoc_algorithms,
+                   nlocs_list=(1, 2, 4, 8), n_per_loc=2000)
+
+
+def test_fig62_composition_row_min(benchmark):
+    run_and_report(benchmark, ev.fig62_row_min, P=4, rows=64, cols=32)
+
+
+def test_mcm_behaviours(benchmark):
+    run_and_report(benchmark, ev.mcm_demonstrations)

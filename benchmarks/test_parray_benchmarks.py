@@ -1,0 +1,43 @@
+"""Benchmarks regenerating the pArray evaluation (Ch. IX: Figs. 27-34)."""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_fig27_parray_constructor(benchmark):
+    run_and_report(benchmark, ev.fig27_constructor,
+                   nlocs_list=(1, 2, 4, 8), sizes=(4096, 16384, 65536))
+
+
+def test_fig28_parray_local_methods(benchmark):
+    run_and_report(benchmark, ev.fig28_local_methods,
+                   sizes=(1024, 4096, 16384, 65536), n_per_loc=400)
+
+
+def test_fig29_parray_methods_weak(benchmark):
+    run_and_report(benchmark, ev.fig29_methods_weak,
+                   nlocs_list=(1, 2, 4, 8), n_per_loc=400)
+
+
+def test_fig30_parray_sync_async_split(benchmark):
+    run_and_report(benchmark, ev.fig30_method_flavours, n_per_loc=400)
+
+
+def test_fig31_parray_remote_fraction(benchmark):
+    run_and_report(benchmark, ev.fig31_remote_fraction, n_per_loc=300,
+                   fractions=(0.0, 0.25, 0.5, 0.75, 1.0))
+
+
+def test_fig32_parray_local_remote(benchmark):
+    run_and_report(benchmark, ev.fig32_local_remote_sizes,
+                   sizes=(1024, 4096, 16384), n_per_loc=300)
+
+
+def test_fig33_parray_algorithms(benchmark):
+    run_and_report(benchmark, ev.fig33_generic_algorithms,
+                   nlocs_list=(1, 2, 4, 8), n_per_loc=10000)
+
+
+def test_fig34_memory_study(benchmark):
+    run_and_report(benchmark, ev.fig34_memory_study,
+                   sizes=(1024, 8192, 65536))

@@ -1,0 +1,27 @@
+"""Benchmarks regenerating the pGraph evaluation (Ch. XI: Figs. 49-56)."""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_fig49_50_pgraph_methods(benchmark):
+    run_and_report(benchmark, ev.fig49_50_pgraph_methods,
+                   machines=("cray4", "p5cluster"), P=4, n=256)
+
+
+def test_fig51_find_sources_forwarding(benchmark):
+    run_and_report(benchmark, ev.fig51_find_sources, P=4, n=192)
+
+
+def test_fig52_pgraph_partitions(benchmark):
+    run_and_report(benchmark, ev.fig52_partition_comparison, P=4, n=192)
+
+
+def test_fig53_55_pgraph_algorithms(benchmark):
+    run_and_report(benchmark, ev.fig53_55_graph_algorithms,
+                   machines=("cray4", "p5cluster"), P=4, n=192)
+
+
+def test_fig56_page_rank_meshes(benchmark):
+    run_and_report(benchmark, ev.fig56_pagerank_meshes,
+                   P=4, cells=900, iterations=5)

@@ -1,0 +1,33 @@
+"""Benchmarks regenerating the pList/pVector/Euler evaluation
+(Ch. X: Figs. 39-44)."""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_fig39_plist_methods(benchmark):
+    run_and_report(benchmark, ev.fig39_plist_methods, n_per_loc=400)
+
+
+def test_fig40_parray_vs_plist_algos(benchmark):
+    run_and_report(benchmark, ev.fig40_parray_vs_plist,
+                   nlocs_list=(1, 2, 4, 8), n_per_loc=4000)
+
+
+def test_fig41_placement(benchmark):
+    run_and_report(benchmark, ev.fig41_placement,
+                   nlocs_list=(2, 4, 8, 16), n_per_loc=4000)
+
+
+def test_fig42_plist_vs_pvector(benchmark):
+    run_and_report(benchmark, ev.fig42_plist_vs_pvector, num_ops=1500)
+
+
+def test_fig43_euler_tour_scaling(benchmark):
+    run_and_report(benchmark, ev.fig43_euler_tour_weak,
+                   nlocs_list=(2, 4, 8), verts_per_loc=48)
+
+
+def test_fig44_euler_applications(benchmark):
+    run_and_report(benchmark, ev.fig44_euler_applications,
+                   P=4, sizes=(63, 127))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Choosing between pList and pVector (Ch. X, Fig. 42).
+
+Replays read/write/insert/delete operation mixes against both dynamic
+sequence containers and reports the virtual time per mix — reproducing the
+paper's trade-off: pVector wins access-heavy mixes (contiguous storage,
+O(1) indexing), pList wins mutation-heavy mixes (O(1) splicing, no shifts).
+
+Run:  python examples/dynamic_structures.py
+"""
+
+from repro import PList, PVector, spmd_run_detailed
+from repro.workloads import STANDARD_MIXES, generate_ops
+
+NUM_OPS = 1000
+INITIAL = 512
+
+
+def run_pvector(ctx, mix_name):
+    pv = PVector(ctx, INITIAL * ctx.nlocs, value=0)
+    me = ctx.id
+    ops = generate_ops(NUM_OPS, STANDARD_MIXES[mix_name], seed=17 + ctx.id)
+    ctx.rmi_fence()
+    t0 = ctx.start_timer()
+    for kind, r in ops:
+        sub = pv.partition.get_sub_domain(me)
+        lo, hi = sub.lo, sub.hi
+        if hi <= lo:
+            pv.push_anywhere(1)
+            continue
+        idx = min(lo + int(r * (hi - lo)), hi - 1)
+        if kind == "read":
+            pv.get_element(idx)
+        elif kind == "write":
+            pv.set_element(idx, 1)
+        elif kind == "insert":
+            pv.insert_element(idx, 1)
+        else:
+            pv.erase_element(idx)
+    ctx.rmi_fence()
+    return ctx.stop_timer(t0)
+
+
+def run_plist(ctx, mix_name):
+    pl = PList(ctx, INITIAL * ctx.nlocs, value=0)
+    gids = pl.local_gids()
+    ops = generate_ops(NUM_OPS, STANDARD_MIXES[mix_name], seed=17 + ctx.id)
+    ctx.rmi_fence()
+    t0 = ctx.start_timer()
+    for kind, r in ops:
+        if not gids:
+            gids.append(pl.push_anywhere(1))
+            continue
+        gid = gids[min(int(r * len(gids)), len(gids) - 1)]
+        if kind == "read":
+            pl.get_element(gid)
+        elif kind == "write":
+            pl.set_element(gid, 1)
+        elif kind == "insert":
+            gids.append(pl.insert_element(gid, 1))
+        else:
+            pl.erase_element(gid)
+            gids.remove(gid)
+    ctx.rmi_fence()
+    return ctx.stop_timer(t0)
+
+
+def mix_main(ctx):
+    out = {}
+    for mix in ("read_heavy", "balanced_rw", "mixed", "insert_delete_heavy"):
+        out[mix] = (run_pvector(ctx, mix), run_plist(ctx, mix))
+    return out
+
+
+if __name__ == "__main__":
+    report = spmd_run_detailed(mix_main, nlocs=4, machine="cray4")
+    r = report.results[0]
+    print(f"{NUM_OPS} ops per location, 4 locations (virtual us)\n")
+    print(f"{'mix':>22s}  {'pVector':>10s}  {'pList':>10s}  winner")
+    for mix, (tv, tl) in r.items():
+        winner = "pVector" if tv < tl else "pList"
+        print(f"{mix:>22s}  {tv:10.1f}  {tl:10.1f}  {winner}")
+    print("\npList wins as the mix shifts toward insert/delete — Fig. 42.")

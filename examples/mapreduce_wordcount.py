@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""MapReduce word count over associative pContainers (Ch. XII, Fig. 59).
+
+The paper counts word occurrences in the 1.5 GB Simple English Wikipedia
+dump; we use a synthetic Zipf-distributed corpus that preserves the
+frequency skew.  Each location maps its documents to (word, 1) pairs,
+pre-combines them locally, and streams them into a hash-partitioned pHashMap
+with asynchronous combining inserts.
+
+Run:  python examples/mapreduce_wordcount.py
+"""
+
+from repro import spmd_run_detailed
+from repro.algorithms import word_count
+from repro.workloads import local_documents
+
+TOKENS_PER_LOCATION = 5000
+
+
+def wordcount_main(ctx):
+    docs = local_documents(ctx.id, ctx.nlocs, TOKENS_PER_LOCATION,
+                           vocab_size=800)
+    t0 = ctx.start_timer()
+    counts = word_count(ctx, docs)
+    elapsed = ctx.stop_timer(t0)
+
+    # gather the global top-10 on every location
+    local_items = counts.local_items()
+    gathered = ctx.allgather_rmi(local_items)
+    merged = {}
+    for items in gathered:
+        for w, c in items:
+            merged[w] = merged.get(w, 0) + c
+    top = sorted(merged.items(), key=lambda kv: -kv[1])[:10]
+    return {"elapsed_us": elapsed, "distinct": counts.size(),
+            "total": sum(merged.values()), "top": top}
+
+
+if __name__ == "__main__":
+    report = spmd_run_detailed(wordcount_main, nlocs=8, machine="cray4")
+    r = report.results[0]
+    print(f"corpus: {r['total']} tokens across 8 locations "
+          f"({r['distinct']} distinct words)")
+    print(f"virtual MapReduce time: {r['elapsed_us']:.1f} us")
+    print("top words (Zipf skew visible):")
+    for w, c in r["top"]:
+        print(f"  {w:>6s}: {c}")

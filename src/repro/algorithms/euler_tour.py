@@ -1,0 +1,282 @@
+"""Euler-tour technique and its tree applications (Ch. X.H, Figs. 43/44).
+
+Pipeline, following the classic PRAM technique the paper implements on
+stapl containers:
+
+1. each undirected tree edge {u, v} becomes two arcs ``2i`` (u→v) and
+   ``2i+1`` (v→u); the successor of arc (u, v) is the arc leaving v after
+   (v, u) in v's cyclic adjacency order — this linked structure *is* the
+   Euler tour;
+2. **list ranking** converts the linked tour into tour positions using
+   Wyllie pointer jumping over pArrays: O(log n) fenced rounds of
+   split-phase remote reads (the communication pattern Fig. 43 scales);
+3. the applications — rooting, vertex levels, pre/post-order numbering,
+   subtree sizes — are prefix sums over the ranked tour (Fig. 44).
+"""
+
+from __future__ import annotations
+
+from ..containers.parray import PArray
+from ..views.array_views import Array1DView
+
+
+class EulerTour:
+    """The arc structure of a tree's Euler tour.
+
+    Arrays are distributed pArrays of size ``2 * (n - 1)``; ``arc_src`` /
+    ``arc_tgt`` give each arc's endpoints, ``succ`` the tour successor
+    (NIL = -1 for the tour's final arc) and, after :meth:`rank`, ``pos``
+    the arc's position in tour order.
+    """
+
+    NIL = -1
+
+    def __init__(self, ctx, edges: list, num_vertices: int, root: int = 0,
+                 group=None):
+        self.ctx = ctx
+        self.num_vertices = num_vertices
+        self.root = root
+        self.edges = list(edges)
+        self.num_arcs = 2 * len(self.edges)
+        # replicated adjacency: arcs leaving each vertex in insertion order
+        out = [[] for _ in range(num_vertices)]
+        for i, (u, v) in enumerate(self.edges):
+            out[u].append(2 * i)      # arc u -> v
+            out[v].append(2 * i + 1)  # arc v -> u
+        self._out = out
+        na = max(1, self.num_arcs)
+        self.arc_src = PArray(ctx, na, dtype=int, group=group)
+        self.arc_tgt = PArray(ctx, na, dtype=int, group=group)
+        self.succ = PArray(ctx, na, dtype=int, group=group)
+        self.pos = PArray(ctx, na, dtype=int, group=group)
+        self._build()
+
+    # -- arc helpers -------------------------------------------------------
+    def arc_ends(self, a: int) -> tuple:
+        i, back = divmod(a, 2)
+        u, v = self.edges[i]
+        return (v, u) if back else (u, v)
+
+    @staticmethod
+    def twin(a: int) -> int:
+        return a ^ 1
+
+    def _first_arc(self) -> int:
+        return self._out[self.root][0]
+
+    def _build(self) -> None:
+        """Fill src/tgt/succ for this location's native slice."""
+        ctx = self.ctx
+        last = self.twin(self._first_arc())
+        # position of each arc within its source vertex's out list
+        index_at = {}
+        for v in range(self.num_vertices):
+            for k, a in enumerate(self._out[v]):
+                index_at[a] = (v, k)
+        for bc in self.arc_src.local_bcontainers():
+            for a in bc.domain:
+                if a >= self.num_arcs:
+                    continue
+                u, v = self.arc_ends(a)
+                self.arc_src.set_element(a, u)
+                self.arc_tgt.set_element(a, v)
+                # successor: arc after twin(a) in v's cyclic out order
+                if a == last:
+                    s = self.NIL
+                else:
+                    tv, k = index_at[self.twin(a)]
+                    nxt = self._out[tv][(k + 1) % len(self._out[tv])]
+                    s = nxt
+                self.succ.set_element(a, s)
+        ctx.rmi_fence(self.arc_src.group)
+
+    # -- list ranking --------------------------------------------------------
+    def rank(self) -> PArray:
+        """Wyllie pointer jumping: fills ``pos`` with tour positions
+        (first arc = 0) and returns it."""
+        ctx = self.ctx
+        group = self.arc_src.group
+        na = self.num_arcs
+        # dist[a] = number of arcs after a in the tour (distance to tail)
+        dist = PArray(ctx, max(1, na), dtype=int, group=group)
+        nxt = PArray(ctx, max(1, na), dtype=int, group=group)
+        for bc in dist.local_bcontainers():
+            for a in bc.domain:
+                if a >= na:
+                    continue
+                s = self.succ.get_element(a)
+                dist.set_element(a, 0 if s == self.NIL else 1)
+                nxt.set_element(a, s)
+        ctx.rmi_fence(group)
+        rounds = 0
+        while True:
+            # split-phase reads of (dist[next], next[next]) for all arcs
+            updates = []
+            for bc in dist.local_bcontainers():
+                for a in bc.domain:
+                    if a >= na:
+                        continue
+                    s = nxt.get_element(a)
+                    if s == self.NIL:
+                        continue
+                    fd = dist.split_phase_get_element(s)
+                    fs = nxt.split_phase_get_element(s)
+                    updates.append((a, fd, fs))
+            hops = 0
+            staged = []
+            for a, fd, fs in updates:
+                d = fd.get()
+                s2 = fs.get()
+                staged.append((a, d, s2))
+                hops += 1
+            ctx.rmi_fence(group)  # all reads done before any write
+            for a, d, s2 in staged:
+                if d:
+                    dist.apply_set(a, lambda old, inc=d: old + inc)
+                nxt.set_element(a, s2)
+            ctx.rmi_fence(group)
+            rounds += 1
+            total_hops = ctx.allreduce_rmi(hops, group=group)
+            if total_hops == 0:
+                break
+        # pos = (num_arcs - 1) - dist
+        for bc in self.pos.local_bcontainers():
+            for a in bc.domain:
+                if a >= na:
+                    continue
+                self.pos.set_element(a, (na - 1) - dist.get_element(a))
+        ctx.rmi_fence(group)
+        dist.destroy()
+        nxt.destroy()
+        self._rounds = rounds
+        return self.pos
+
+
+# ---------------------------------------------------------------------------
+# applications (Fig. 44)
+# ---------------------------------------------------------------------------
+
+def tree_rooting(tour: EulerTour) -> PArray:
+    """Parent of every vertex w.r.t. the tour root: for arc a = (u, v),
+    u is v's parent iff pos(a) < pos(twin(a))."""
+    ctx = tour.ctx
+    group = tour.arc_src.group
+    parent = PArray(ctx, tour.num_vertices, dtype=int, group=group)
+    if ctx.id == group.members[0]:
+        parent.set_element(tour.root, tour.root)
+    for bc in tour.pos.local_bcontainers():
+        for a in bc.domain:
+            if a >= tour.num_arcs:
+                continue
+            p = tour.pos.get_element(a)
+            pt = tour.pos.get_element(tour.twin(a))
+            if p < pt:
+                u, v = tour.arc_ends(a)
+                parent.set_element(v, u)
+    ctx.rmi_fence(group)
+    return parent
+
+
+def _advance_flags(tour: EulerTour, parent: PArray) -> PArray:
+    """In tour order: +1 where the arc descends (parent→child), -1 where it
+    retreats.  Returned pArray is indexed by tour *position*."""
+    ctx = tour.ctx
+    group = tour.arc_src.group
+    w = PArray(ctx, max(1, tour.num_arcs), dtype=int, group=group)
+    for bc in tour.pos.local_bcontainers():
+        for a in bc.domain:
+            if a >= tour.num_arcs:
+                continue
+            u, v = tour.arc_ends(a)
+            advance = parent.get_element(v) == u
+            w.set_element(tour.pos.get_element(a), 1 if advance else -1)
+    ctx.rmi_fence(group)
+    return w
+
+
+def vertex_levels(tour: EulerTour, parent: PArray) -> PArray:
+    """Depth of every vertex (root = 0) via a prefix sum of ±1 arc weights
+    in tour order."""
+    from .generic import p_partial_sum
+
+    ctx = tour.ctx
+    group = tour.arc_src.group
+    w = _advance_flags(tour, parent)
+    pref = PArray(ctx, max(1, tour.num_arcs), dtype=int, group=group)
+    p_partial_sum(Array1DView(w), Array1DView(pref))
+    level = PArray(ctx, tour.num_vertices, dtype=int, group=group)
+    if ctx.id == group.members[0]:
+        level.set_element(tour.root, 0)
+    for bc in tour.pos.local_bcontainers():
+        for a in bc.domain:
+            if a >= tour.num_arcs:
+                continue
+            u, v = tour.arc_ends(a)
+            if parent.get_element(v) == u:  # arc entering v from its parent
+                level.set_element(v, pref.get_element(tour.pos.get_element(a)))
+    ctx.rmi_fence(group)
+    w.destroy()
+    pref.destroy()
+    return level
+
+
+def preorder_numbering(tour: EulerTour, parent: PArray) -> PArray:
+    """Preorder number of every vertex: count of advance arcs up to (and
+    including) the arc that first enters the vertex; root gets 0."""
+    from .generic import p_partial_sum
+
+    ctx = tour.ctx
+    group = tour.arc_src.group
+    w = _advance_flags(tour, parent)
+    ones = PArray(ctx, max(1, tour.num_arcs), dtype=int, group=group)
+    for bc in w.local_bcontainers():
+        for p in bc.domain:
+            ones.set_element(p, 1 if bc.get(p) == 1 else 0)
+    ctx.rmi_fence(group)
+    pref = PArray(ctx, max(1, tour.num_arcs), dtype=int, group=group)
+    p_partial_sum(Array1DView(ones), Array1DView(pref))
+    order = PArray(ctx, tour.num_vertices, dtype=int, group=group)
+    if ctx.id == group.members[0]:
+        order.set_element(tour.root, 0)
+    for bc in tour.pos.local_bcontainers():
+        for a in bc.domain:
+            if a >= tour.num_arcs:
+                continue
+            u, v = tour.arc_ends(a)
+            if parent.get_element(v) == u:
+                order.set_element(v, pref.get_element(tour.pos.get_element(a)))
+    ctx.rmi_fence(group)
+    w.destroy(); ones.destroy(); pref.destroy()
+    return order
+
+
+def subtree_sizes(tour: EulerTour, parent: PArray) -> PArray:
+    """Number of vertices in each subtree, from the advance-arc counts
+    between a vertex's entering and leaving arcs."""
+    from .generic import p_partial_sum
+
+    ctx = tour.ctx
+    group = tour.arc_src.group
+    w = _advance_flags(tour, parent)
+    ones = PArray(ctx, max(1, tour.num_arcs), dtype=int, group=group)
+    for bc in w.local_bcontainers():
+        for p in bc.domain:
+            ones.set_element(p, 1 if bc.get(p) == 1 else 0)
+    ctx.rmi_fence(group)
+    pref = PArray(ctx, max(1, tour.num_arcs), dtype=int, group=group)
+    p_partial_sum(Array1DView(ones), Array1DView(pref))
+    size = PArray(ctx, tour.num_vertices, dtype=int, group=group)
+    if ctx.id == group.members[0]:
+        size.set_element(tour.root, tour.num_vertices)
+    for bc in tour.pos.local_bcontainers():
+        for a in bc.domain:
+            if a >= tour.num_arcs:
+                continue
+            u, v = tour.arc_ends(a)
+            if parent.get_element(v) == u:
+                enter = pref.get_element(tour.pos.get_element(a))
+                leave = pref.get_element(tour.pos.get_element(tour.twin(a)))
+                size.set_element(v, leave - enter + 1)
+    ctx.rmi_fence(group)
+    w.destroy(); ones.destroy(); pref.destroy()
+    return size

@@ -1,0 +1,292 @@
+"""Generic pAlgorithms (Ch. VIII.C): parallel counterparts of STL algorithms.
+
+All algorithms are SPMD-collective over the view's group: every member calls
+them, each processes its local chunks, and global results come from runtime
+collectives.  They end on the automatic synchronisation point of Ch. VII.H.
+
+``p_generate``, ``p_for_each`` and ``p_accumulate`` are the paper's
+representative map / map-reduce kernels (Figs. 33, 40, 60); the rest round
+out the STL surface (count/find/min/max/copy/fill/equal/inner product/
+adjacent difference/partial sum).
+"""
+
+from __future__ import annotations
+
+import operator
+
+from ..core.domains import RangeDomain
+from ..views.base import GenericChunk, Workfunction, as_wf
+from .prange import Executor, PRange
+
+
+def _finish(view) -> None:
+    view.post_execute()
+
+
+# ---------------------------------------------------------------------------
+# map-style algorithms
+# ---------------------------------------------------------------------------
+
+def p_generate(view, gen, vector=None, cost=None) -> None:
+    """Assign ``gen(index)`` to every element (Fig. 33's ``p_generate``)."""
+    wf = Workfunction(gen, vector=vector, cost=cost)
+    pr = PRange.map_over(view, lambda ch: ch.generate(wf))
+    Executor().run(pr)
+
+
+def p_for_each(view, fn, vector=None, cost=None) -> None:
+    """Apply a mutating function: ``x <- fn(x)`` for every element."""
+    wf = Workfunction(fn, vector=vector, cost=cost)
+    pr = PRange.map_over(view, lambda ch: ch.map_values(wf))
+    Executor().run(pr)
+
+
+def p_visit(view, fn, cost=None) -> None:
+    """Apply ``fn(x)`` for side effects only (read-only traversal)."""
+    wf = Workfunction(fn, cost=cost)
+    pr = PRange.map_over(view, lambda ch: ch.visit(wf))
+    Executor().run(pr)
+
+
+def p_fill(view, value) -> None:
+    """Set every element to ``value``."""
+    wf = Workfunction(lambda _v: value, vector=None)
+    for chunk in view.local_chunks():
+        bc = getattr(chunk, "bc", None)
+        if bc is not None and hasattr(bc, "bulk_fill"):
+            chunk._charge(wf, per_elem_accesses=1)
+            bc.bulk_fill(value)
+        else:
+            chunk.map_values(wf)
+    _finish(view)
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def p_accumulate(view, init=0, op=operator.add):
+    """Global reduction of all elements (map-reduce pattern, Fig. 33)."""
+    acc = None
+    for chunk in view.local_chunks():
+        part = chunk.reduce_values(op, init if acc is None else acc)
+        acc = part
+    local = init if acc is None else acc
+    ctx = view.ctx
+    total = ctx.allreduce_rmi(local, op, group=view.group)
+    _finish(view)
+    return total
+
+
+p_reduce = p_accumulate
+
+
+def p_count_if(view, pred):
+    """Number of elements satisfying ``pred``."""
+    local = 0
+    for chunk in view.local_chunks():
+        local = chunk.reduce_values(
+            lambda acc, v: acc + (1 if pred(v) else 0), local)
+    total = view.ctx.allreduce_rmi(local, group=view.group)
+    _finish(view)
+    return total
+
+
+def p_count(view, value):
+    return p_count_if(view, lambda v: v == value)
+
+
+def p_find_if(view, pred):
+    """Index of the first element (in domain order) satisfying ``pred``,
+    or None."""
+    best = None
+    for chunk in view.local_chunks():
+        for gid in chunk.gids():
+            if pred(chunk.read(gid)):
+                if best is None or gid < best:
+                    best = gid
+                break
+    found = view.ctx.allreduce_rmi(
+        best, lambda a, b: b if a is None else (a if b is None else min(a, b)),
+        group=view.group)
+    _finish(view)
+    return found
+
+
+def p_find(view, value):
+    return p_find_if(view, lambda v: v == value)
+
+
+def _extreme(view, better):
+    best = None  # (gid, value)
+    for chunk in view.local_chunks():
+        for gid, val in chunk.items():
+            if best is None or better(val, best[1]) or (
+                    val == best[1] and gid < best[0]):
+                best = (gid, val)
+    def combine(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if better(b[1], a[1]) or (b[1] == a[1] and b[0] < a[0]):
+            return b
+        return a
+    out = view.ctx.allreduce_rmi(best, combine, group=view.group)
+    _finish(view)
+    return out
+
+
+def p_min_element(view):
+    """(index, value) of the minimum element."""
+    return _extreme(view, operator.lt)
+
+
+def p_max_element(view):
+    """(index, value) of the maximum element."""
+    return _extreme(view, operator.gt)
+
+
+def p_equal(view_a, view_b) -> bool:
+    """True iff both views have equal size and element-wise equal values."""
+    if view_a.size() != view_b.size():
+        view_a.ctx.rmi_fence(view_a.group)
+        return False
+    ok = True
+    for i in view_a.balanced_slices():
+        if view_a.read(i) != view_b.read(i):
+            ok = False
+            break
+    out = view_a.ctx.allreduce_rmi(ok, lambda a, b: a and b,
+                                   group=view_a.group)
+    _finish(view_a)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# two-view algorithms
+# ---------------------------------------------------------------------------
+
+def _aligned_native_pairs(src, dst):
+    """If src and dst are identity views over identically-partitioned
+    containers, return the paired local bContainers for bulk processing."""
+    from ..views.array_views import Array1DView
+
+    for v in (src, dst):
+        if not isinstance(v, Array1DView) or v.mapping is not None:
+            return None
+    a, b = src.container, dst.container
+    if a.domain.size() != b.domain.size():
+        return None
+    abcs = a.local_bcontainers()
+    bbcs = b.local_bcontainers()
+    if len(abcs) != len(bbcs):
+        return None
+    for x, y in zip(abcs, bbcs):
+        if list(x.domain) != list(y.domain):
+            return None
+    return list(zip(abcs, bbcs))
+
+
+def p_transform(src, dst, fn, vector=None, cost=None) -> None:
+    """``dst[i] <- fn(src[i])``."""
+    pairs = _aligned_native_pairs(src, dst)
+    ctx = src.ctx
+    m = ctx.machine
+    if pairs is not None:
+        for sbc, dbc in pairs:
+            ctx.charge((m.t_access * 2 + (cost or m.t_access)) * sbc.size())
+            if vector is not None and hasattr(sbc, "values") and hasattr(
+                    dbc, "values"):
+                dbc.data[:] = vector(sbc.values())
+            else:
+                for gid in sbc.domain:
+                    dbc.set(gid, fn(sbc.get(gid)))
+    else:
+        for i in src.balanced_slices():
+            dst.write(i, fn(src.read(i)))
+    _finish(dst)
+
+
+def p_copy(src, dst) -> None:
+    """``dst[i] <- src[i]``."""
+    p_transform(src, dst, lambda v: v, vector=lambda a: a)
+
+
+def p_inner_product(view_a, view_b, init=0):
+    """Sum of ``a[i] * b[i]`` plus ``init``."""
+    pairs = _aligned_native_pairs(view_a, view_b)
+    ctx = view_a.ctx
+    m = ctx.machine
+    local = 0
+    if pairs is not None:
+        for abc, bbc in pairs:
+            ctx.charge(m.t_access * 3 * abc.size())
+            if hasattr(abc, "values") and hasattr(bbc, "values"):
+                local += float((abc.values() * bbc.values()).sum())
+            else:
+                for gid in abc.domain:
+                    local += abc.get(gid) * bbc.get(gid)
+    else:
+        for i in view_a.balanced_slices():
+            local += view_a.read(i) * view_b.read(i)
+    total = ctx.allreduce_rmi(local, group=view_a.group)
+    _finish(view_a)
+    return init + total
+
+
+def p_adjacent_difference(src, dst) -> None:
+    """STL semantics: ``dst[0] = src[0]``; ``dst[i] = src[i] - src[i-1]``.
+
+    Uses one remote boundary read per location — the overlap-view pattern
+    (Fig. 2) specialised to window (c=1, l=1, r=0)."""
+    ctx = src.ctx
+    sl = src.balanced_slices()
+    if sl.size():
+        prev = src.read(sl.lo - 1) if sl.lo > 0 else None
+        vals = [src.read(i) for i in sl]
+        for k, i in enumerate(sl):
+            if i == 0:
+                dst.write(0, vals[0])
+            else:
+                left = vals[k - 1] if k > 0 else prev
+                dst.write(i, vals[k] - left)
+    _finish(dst)
+
+
+def p_partial_sum(src, dst, op=operator.add, inclusive: bool = True) -> None:
+    """Parallel prefix (Ch. III: "important parallel algorithmic
+    techniques"): local prefix + exclusive scan of local totals."""
+    ctx = src.ctx
+    m = ctx.machine
+    sl = src.balanced_slices()
+    vals = [src.read(i) for i in sl]
+    ctx.charge(m.t_access * len(vals))
+    prefix = []
+    acc = None
+    for v in vals:
+        acc = v if acc is None else op(acc, v)
+        prefix.append(acc)
+    local_total = acc if acc is not None else None
+
+    def scan_op(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return op(a, b)
+
+    carry, _total = ctx.scan_rmi(local_total, scan_op, exclusive=True,
+                                 group=src.group)
+    for k, i in enumerate(sl):
+        if inclusive:
+            out = prefix[k] if carry is None else op(carry, prefix[k])
+        else:
+            if k == 0:
+                out = carry
+            else:
+                out = prefix[k - 1] if carry is None else op(carry, prefix[k - 1])
+        if not inclusive and out is None:
+            continue  # exclusive scan leaves dst[0] untouched
+        dst.write(i, out)
+    _finish(dst)

@@ -1,0 +1,274 @@
+"""pGraph algorithms (Ch. XI.F.3): BFS, find-sources, connected components,
+PageRank and graph coloring.
+
+All algorithms follow the paper's execution style: per-edge updates are
+*asynchronous vertex visitors* shipped through the graph's address
+translation (``apply_vertex``), so the choice of partition — static,
+dynamic-with-forwarding, dynamic-without — changes the measured traffic
+exactly as in Figs. 51/52.  Rounds are separated by fences (level-synchronous
+execution).
+
+Algorithms store their per-vertex state in the vertex *property* field and
+return summaries; callers who need the original properties should use a
+fresh graph or save them first.
+"""
+
+from __future__ import annotations
+
+from ..core.partitions import stable_hash
+from ..runtime.p_object import PObject
+
+
+class _AlgoState(PObject):
+    """Per-location scratch state for level-synchronous algorithms:
+    a next-frontier buffer and a change flag, addressable from visitors."""
+
+    def __init__(self, ctx, group=None):
+        super().__init__(ctx, group)
+        self.next: list = []
+        self.flag = False
+
+    def local(self):
+        """The representative on the location currently executing."""
+        return self.runtime.lookup(self.handle, self.runtime.current_location.id)
+
+
+def _init_properties(graph, value_fn) -> None:
+    """Set every local vertex property (cheap local sweep)."""
+    loc = graph.ctx
+    n = 0
+    for bc in graph.local_bcontainers():
+        for rec in bc.vertex_records():
+            rec.property = value_fn(rec.vd)
+            n += 1
+    loc.charge_access(n)
+
+
+def _local_bc_of(graph, vd):
+    """bContainer holding a vertex known to be local (frontier vertices).
+    Bypasses the directory: the owner can always find its own vertices."""
+    graph.ctx.charge_lookup()
+    for bc in graph.local_bcontainers():
+        if bc.has_vertex(vd):
+            return bc
+    raise KeyError(f"vertex {vd} is not local to location {graph.ctx.id}")
+
+
+def bfs(graph, source: int):
+    """Level-synchronous breadth-first traversal from ``source``.
+
+    Leaves each reached vertex's property set to its BFS level and returns
+    ``(num_reached, num_levels)`` on every location.
+    """
+    ctx = graph.ctx
+    rt = graph.runtime
+    group = graph.group
+    state = _AlgoState(ctx, group)
+    shandle = state.handle
+
+    def make_visitor(level: int):
+        def visit(vrec):
+            if vrec.property is None:
+                vrec.property = level
+                rt.lookup(shandle, rt.current_location.id).next.append(vrec.vd)
+        return visit
+
+    _init_properties(graph, lambda _vd: None)
+    ctx.barrier(group)
+    if ctx.id == group.members[0]:
+        graph.apply_vertex(source, make_visitor(0))
+    level = 0
+    reached = 0
+    while True:
+        ctx.rmi_fence(group)  # deliver this level's visits
+        frontier, state.next = state.next, []
+        counted = ctx.allreduce_rmi(len(frontier), group=group)
+        if counted == 0:
+            break
+        reached += counted
+        level += 1
+        visitor = make_visitor(level)
+        for vd in frontier:
+            bc = _local_bc_of(graph, vd)
+            for tgt in bc.adjacents(vd):
+                graph.apply_vertex(tgt, visitor)
+    state.destroy()
+    return reached, level
+
+
+def find_sources(graph) -> list:
+    """Vertices with in-degree zero in a directed graph (Fig. 51).
+
+    Property field is used as an in-degree counter; the per-edge counter
+    increments travel through the graph's address translation, which is
+    precisely what distinguishes the three partition regimes.
+    """
+    ctx = graph.ctx
+    group = graph.group
+
+    def incr(vrec):
+        vrec.property += 1
+
+    _init_properties(graph, lambda _vd: 0)
+    ctx.barrier(group)
+    for bc in graph.local_bcontainers():
+        for vd in bc.vertices():
+            for tgt in bc.adjacents(vd):
+                graph.apply_vertex(tgt, incr)
+    ctx.rmi_fence(group)
+    local_sources = [vd for bc in graph.local_bcontainers()
+                     for vd in bc.vertices() if bc.vertex_property(vd) == 0]
+    gathered = ctx.allgather_rmi(local_sources, group=group)
+    return sorted(v for chunk in gathered for v in chunk)
+
+
+def connected_components(graph, symmetric: bool | None = None):
+    """Label propagation: property becomes the component label (min vertex
+    id in the component).  Returns the number of components.
+
+    ``symmetric=False`` propagates along directed edges only (weakly
+    connected components require an undirected graph or symmetric edges).
+    """
+    ctx = graph.ctx
+    rt = graph.runtime
+    group = graph.group
+    state = _AlgoState(ctx, group)
+    shandle = state.handle
+
+    def make_min_visitor(label):
+        def visit(vrec):
+            if label < vrec.property:
+                vrec.property = label
+                rt.lookup(shandle, rt.current_location.id).flag = True
+        return visit
+
+    _init_properties(graph, lambda vd: vd)
+    ctx.barrier(group)
+    while True:
+        for bc in graph.local_bcontainers():
+            for vd in bc.vertices():
+                label = bc.vertex_property(vd)
+                visitor = make_min_visitor(label)
+                for tgt in bc.adjacents(vd):
+                    graph.apply_vertex(tgt, visitor)
+        ctx.rmi_fence(group)
+        changed = ctx.allreduce_rmi(state.flag, lambda a, b: a or b,
+                                    group=group)
+        state.flag = False
+        if not changed:
+            break
+    local_labels = {bc.vertex_property(vd)
+                    for bc in graph.local_bcontainers()
+                    for vd in bc.vertices()}
+    gathered = ctx.allgather_rmi(sorted(local_labels), group=group)
+    state.destroy()
+    return len({l for chunk in gathered for l in chunk})
+
+
+def page_rank(graph, iterations: int = 10, damping: float = 0.85):
+    """Classic iterative PageRank (Fig. 56).  Vertex property becomes
+    ``[rank, accumulator]``; returns the global rank sum (≈1) on every
+    location so callers can sanity-check convergence mass."""
+    ctx = graph.ctx
+    group = graph.group
+    n = graph.num_vertices_sync()
+    if n == 0:
+        return 0.0
+    _init_properties(graph, lambda _vd: [1.0 / n, 0.0])
+    ctx.barrier(group)
+    for _ in range(iterations):
+        dangling_local = 0.0
+        for bc in graph.local_bcontainers():
+            for vd in bc.vertices():
+                rank = bc.vertex_property(vd)[0]
+                deg = bc.out_degree(vd)
+                if deg == 0:
+                    dangling_local += rank
+                    continue
+                contrib = rank / deg
+
+                def add(vrec, c=contrib):
+                    vrec.property[1] += c
+
+                for tgt in bc.adjacents(vd):
+                    graph.apply_vertex(tgt, add)
+        ctx.rmi_fence(group)
+        dangling = ctx.allreduce_rmi(dangling_local, group=group)
+        base = (1.0 - damping) / n + damping * dangling / n
+        for bc in graph.local_bcontainers():
+            for rec in bc.vertex_records():
+                rec.property = [base + damping * rec.property[1], 0.0]
+        ctx.barrier(group)
+    local_sum = sum(rec.property[0] for bc in graph.local_bcontainers()
+                    for rec in bc.vertex_records())
+    return ctx.allreduce_rmi(local_sum, group=group)
+
+
+def graph_coloring(graph) -> int:
+    """Distributed Jones–Plassmann greedy coloring: each vertex colors
+    itself once all higher-priority neighbours (hash priority, vertex-id
+    tie-break) have announced their colors.  Returns the number of colors
+    used.  Requires a symmetric (undirected) edge set."""
+    ctx = graph.ctx
+    group = graph.group
+
+    def prio(vd):
+        return (stable_hash(vd), vd)
+
+    def init(vd):
+        return {"color": None, "got": {}}
+
+    _init_properties(graph, init)
+    ctx.barrier(group)
+
+    def make_recv(sender, color):
+        def visit(vrec):
+            vrec.property["got"][sender] = color
+        return visit
+
+    remaining = 1
+    while remaining:
+        # color every vertex whose higher-priority neighbours all reported
+        newly = []
+        for bc in graph.local_bcontainers():
+            for vd in bc.vertices():
+                prop = bc.vertex_property(vd)
+                if prop["color"] is not None:
+                    continue
+                higher = [t for t in bc.adjacents(vd) if prio(t) > prio(vd)]
+                if all(t in prop["got"] for t in higher):
+                    used = set(prop["got"].values())
+                    color = 0
+                    while color in used:
+                        color += 1
+                    prop["color"] = color
+                    newly.append((vd, color))
+        # announce to lower-priority neighbours
+        for vd, color in newly:
+            bc = _local_bc_of(graph, vd)
+            for tgt in bc.adjacents(vd):
+                if prio(tgt) < prio(vd):
+                    graph.apply_vertex(tgt, make_recv(vd, color))
+        ctx.rmi_fence(group)
+        local_remaining = sum(
+            1 for bc in graph.local_bcontainers()
+            for vd in bc.vertices() if bc.vertex_property(vd)["color"] is None)
+        remaining = ctx.allreduce_rmi(local_remaining, group=group)
+    local_max = max((bc.vertex_property(vd)["color"]
+                     for bc in graph.local_bcontainers()
+                     for vd in bc.vertices()), default=-1)
+    return ctx.allreduce_rmi(local_max, max, group=group) + 1
+
+
+def out_degree_histogram(graph, buckets: int = 8) -> list:
+    """Degree distribution summary (a cheap 'graph statistics' kernel)."""
+    ctx = graph.ctx
+    local = [0] * buckets
+    for bc in graph.local_bcontainers():
+        for vd in bc.vertices():
+            d = bc.out_degree(vd)
+            local[min(buckets - 1, d)] += 1
+            ctx.charge_access()
+    return ctx.allreduce_rmi(local,
+                             lambda a, b: [x + y for x, y in zip(a, b)],
+                             group=graph.group)

@@ -1,0 +1,51 @@
+"""Generic MapReduce over associative pContainers (Ch. XII.C.1, Fig. 59).
+
+Each location maps its local input items to (key, value) pairs and streams
+them into a pHashMap with asynchronous *combining* inserts
+(``accumulate``); the hash partition routes every key to its owner, and the
+closing fence completes the reduction.  Word count is the paper's workload.
+"""
+
+from __future__ import annotations
+
+from ..containers.associative import PHashMap
+
+
+def map_reduce(ctx, local_items, map_fn, output: PHashMap | None = None,
+               group=None, combine_locally: bool = True) -> PHashMap:
+    """Run MapReduce; returns the output pHashMap (collective).
+
+    ``map_fn(item)`` yields (key, value) pairs.  With ``combine_locally``
+    (the paper's aggregation-friendly configuration) pairs are pre-combined
+    in a local dictionary before being shipped, exactly like a combiner.
+    """
+    out = output or PHashMap(ctx, group=group)
+    m = ctx.machine
+    if combine_locally:
+        combined: dict = {}
+        for item in local_items:
+            for k, v in map_fn(item):
+                combined[k] = combined.get(k, 0) + v
+                ctx.charge(m.t_access)
+        for k, v in combined.items():
+            out.accumulate(k, v)
+    else:
+        for item in local_items:
+            for k, v in map_fn(item):
+                ctx.charge(m.t_access)
+                out.accumulate(k, v)
+    ctx.rmi_fence(out.group)
+    out.update_size()
+    return out
+
+
+def word_count(ctx, documents, output: PHashMap | None = None,
+               group=None, combine_locally: bool = True) -> PHashMap:
+    """The Fig. 59 kernel: count word occurrences across all documents."""
+
+    def split_words(doc):
+        for w in doc.split():
+            yield w, 1
+
+    return map_reduce(ctx, documents, split_words, output=output,
+                      group=group, combine_locally=combine_locally)

@@ -1,0 +1,101 @@
+"""Matrix pAlgorithms over pMatrix views.
+
+The scientific-computing kernels the pMatrix exists for ([15], the POOMA
+comparison of Ch. II): distributed matrix-vector product, row/column
+reductions, Frobenius norm.  With a row partition (pr = P, pc = 1) every
+kernel is a vectorised local NumPy sweep plus one collective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def p_matvec(pmatrix, x: list, y_parray=None):
+    """y = A @ x (collective).
+
+    ``x`` is a replicated dense vector of length ``A.cols`` (the paper's
+    pAlgorithms replicate small operands; distributing x would add an
+    allgather).  Returns the result as a list on every location, and also
+    writes into ``y_parray`` (a pArray of size ``A.rows``) if given.
+    """
+    ctx = pmatrix.ctx
+    if len(x) != pmatrix.cols:
+        raise ValueError(f"x has {len(x)} entries, matrix has "
+                         f"{pmatrix.cols} columns")
+    xv = np.asarray(x, dtype=float)
+    m = ctx.machine
+    local = []
+    for bc in pmatrix.local_bcontainers():
+        d = bc.domain
+        ctx.charge(m.t_access * bc.size())
+        part = bc.data @ xv[d.c0:d.c1]
+        local.append((d.r0, part.tolist()))
+    gathered = ctx.allgather_rmi(local, group=pmatrix.group)
+    y = [0.0] * pmatrix.rows
+    for per_loc in gathered:
+        for r0, part in per_loc:
+            for k, v in enumerate(part):
+                y[r0 + k] += v
+    if y_parray is not None:
+        for bc in y_parray.local_bcontainers():
+            for gid in bc.domain:
+                bc.set(gid, y[gid])
+        ctx.charge_access(y_parray.local_size())
+        ctx.rmi_fence(y_parray.group)
+    return y
+
+
+def p_row_sums(pmatrix) -> list:
+    """Sum of each row, gathered on every location."""
+    return _axis_reduce(pmatrix, np.sum, axis=1)
+
+
+def p_col_sums(pmatrix) -> list:
+    """Sum of each column, gathered on every location."""
+    return _axis_reduce(pmatrix, np.sum, axis=0)
+
+
+def _axis_reduce(pmatrix, reducer, axis: int) -> list:
+    ctx = pmatrix.ctx
+    m = ctx.machine
+    n_out = pmatrix.rows if axis == 1 else pmatrix.cols
+    partials = []
+    for bc in pmatrix.local_bcontainers():
+        d = bc.domain
+        ctx.charge(m.t_access * bc.size())
+        vals = reducer(bc.data, axis=axis)
+        base = d.r0 if axis == 1 else d.c0
+        partials.append((base, np.asarray(vals).tolist()))
+    gathered = ctx.allgather_rmi(partials, group=pmatrix.group)
+    out = [0.0] * n_out
+    for per_loc in gathered:
+        for base, vals in per_loc:
+            for k, v in enumerate(vals):
+                out[base + k] += v
+    return out
+
+
+def p_frobenius_norm(pmatrix) -> float:
+    """sqrt(sum of squared entries) — one local sweep + one allreduce."""
+    ctx = pmatrix.ctx
+    m = ctx.machine
+    local = 0.0
+    for bc in pmatrix.local_bcontainers():
+        ctx.charge(m.t_access * bc.size())
+        local += float((bc.data * bc.data).sum())
+    total = ctx.allreduce_rmi(local, group=pmatrix.group)
+    return float(np.sqrt(total))
+
+
+def p_matrix_fill(pmatrix, fn) -> None:
+    """A[r, c] = fn(r, c) via local vectorisable sweeps (collective)."""
+    ctx = pmatrix.ctx
+    m = ctx.machine
+    for bc in pmatrix.local_bcontainers():
+        d = bc.domain
+        ctx.charge(m.t_access * bc.size())
+        for r in range(d.r0, d.r1):
+            row = bc.row_slice(r)
+            row[:] = [fn(r, c) for c in range(d.c0, d.c1)]
+    ctx.barrier(pmatrix.group)

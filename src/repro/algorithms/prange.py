@@ -1,0 +1,86 @@
+"""pRange and executor (Ch. III): computation = task graph over view chunks.
+
+A :class:`PRange` holds this location's tasks — (workfunction, chunk) pairs
+plus optional intra-location dependencies.  The :class:`Executor` runs local
+tasks in dependency order and closes the computation with the automatic
+synchronisation point of Ch. VII.H (fence + ``post_execute`` on the views).
+
+The data-parallel pAlgorithms of :mod:`repro.algorithms.generic` all compile
+to single-phase pRanges; the Euler-tour and sorting algorithms chain several.
+"""
+
+from __future__ import annotations
+
+from ..views.base import as_wf
+
+
+class Task:
+    """One unit of work: run ``action(chunk)``."""
+
+    __slots__ = ("action", "chunk", "deps", "done", "result")
+
+    def __init__(self, action, chunk, deps=()):
+        self.action = action
+        self.chunk = chunk
+        self.deps = tuple(deps)
+        self.done = False
+        self.result = None
+
+    def ready(self) -> bool:
+        return all(d.done for d in self.deps)
+
+    def run(self):
+        self.result = self.action(self.chunk)
+        self.done = True
+        return self.result
+
+
+class PRange:
+    """This location's portion of a computation's task graph."""
+
+    def __init__(self, views):
+        self.views = views if isinstance(views, (list, tuple)) else [views]
+        self.tasks: list[Task] = []
+
+    def add_task(self, action, chunk=None, deps=()) -> Task:
+        t = Task(action, chunk, deps)
+        self.tasks.append(t)
+        return t
+
+    @classmethod
+    def map_over(cls, view, action) -> "PRange":
+        """One task per local chunk of ``view``."""
+        pr = cls(view)
+        for chunk in view.local_chunks():
+            pr.add_task(action, chunk)
+        return pr
+
+
+class Executor:
+    """Executes a pRange's local tasks respecting dependencies, then
+    synchronises (the executor + scheduler of Fig. 1)."""
+
+    def __init__(self, fence: bool = True):
+        self.fence = fence
+
+    def run(self, prange: PRange) -> list:
+        pending = list(prange.tasks)
+        results = []
+        while pending:
+            ready = [t for t in pending if t.ready()]
+            if not ready:
+                raise RuntimeError("pRange dependency cycle")
+            for t in ready:
+                results.append(t.run())
+                pending.remove(t)
+        if self.fence and prange.views:
+            prange.views[0].post_execute()
+        return results
+
+
+def run_map(view, action, fence: bool = True) -> list:
+    """Convenience: map ``action`` over local chunks and synchronise."""
+    return Executor(fence=fence).run(PRange.map_over(view, action))
+
+
+__all__ = ["Executor", "PRange", "Task", "as_wf", "run_map"]

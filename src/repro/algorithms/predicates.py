@@ -1,0 +1,137 @@
+"""Predicate and mutating pAlgorithms rounding out the STL surface
+(Ch. III: "parallel counterparts of STL algorithms").
+
+All are SPMD-collective over the view's group, like
+:mod:`repro.algorithms.generic`.
+"""
+
+from __future__ import annotations
+
+from ..views.base import Workfunction
+from .generic import _finish
+from .prange import Executor, PRange
+
+
+def p_all_of(view, pred) -> bool:
+    """True iff ``pred`` holds for every element."""
+    local = True
+    for chunk in view.local_chunks():
+        local = chunk.reduce_values(lambda acc, v: acc and bool(pred(v)), local)
+        if not local:
+            break
+    out = view.ctx.allreduce_rmi(local, lambda a, b: a and b, group=view.group)
+    _finish(view)
+    return out
+
+
+def p_any_of(view, pred) -> bool:
+    """True iff ``pred`` holds for at least one element."""
+    local = False
+    for chunk in view.local_chunks():
+        local = chunk.reduce_values(lambda acc, v: acc or bool(pred(v)), local)
+        if local:
+            break
+    out = view.ctx.allreduce_rmi(local, lambda a, b: a or b, group=view.group)
+    _finish(view)
+    return out
+
+
+def p_none_of(view, pred) -> bool:
+    """True iff ``pred`` holds for no element."""
+    return not p_any_of(view, pred)
+
+
+def p_replace(view, old, new) -> int:
+    """Replace every occurrence of ``old`` with ``new``; returns the count."""
+    return p_replace_if(view, lambda v: v == old, new)
+
+
+def p_replace_if(view, pred, new) -> int:
+    """Replace elements satisfying ``pred`` with ``new``; returns the count."""
+    hits = [0]
+
+    def repl(v):
+        if pred(v):
+            hits[0] += 1
+            return new
+        return v
+
+    wf = Workfunction(repl)
+    pr = PRange.map_over(view, lambda ch: ch.map_values(wf))
+    Executor(fence=False).run(pr)
+    total = view.ctx.allreduce_rmi(hits[0], group=view.group)
+    _finish(view)
+    return total
+
+
+def p_mismatch(view_a, view_b):
+    """First index (domain order) where the two views differ, or None."""
+    best = None
+    for i in view_a.balanced_slices():
+        if view_a.read(i) != view_b.read(i):
+            best = i
+            break
+    out = view_a.ctx.allreduce_rmi(
+        best, lambda a, b: b if a is None else (a if b is None else min(a, b)),
+        group=view_a.group)
+    _finish(view_a)
+    return out
+
+
+def p_swap_ranges(view_a, view_b) -> None:
+    """Element-wise swap of two equal-sized views."""
+    if view_a.size() != view_b.size():
+        raise ValueError("p_swap_ranges requires equal sizes")
+    for i in view_a.balanced_slices():
+        a, b = view_a.read(i), view_b.read(i)
+        view_a.write(i, b)
+        view_b.write(i, a)
+    view_a.ctx.rmi_fence(view_a.group)
+    _finish(view_b)
+
+
+def p_iota(view, start=0, step=1) -> None:
+    """``view[i] = start + i * step`` (STL iota)."""
+    from .generic import p_generate
+
+    p_generate(view, lambda i: start + i * step,
+               vector=lambda g: start + g * step)
+
+
+def p_histogram(view, buckets: int, lo, hi) -> list:
+    """Global histogram of values over ``buckets`` equal-width bins."""
+    width = (hi - lo) / buckets
+    local = [0] * buckets
+    for chunk in view.local_chunks():
+        def tally(acc, v):
+            idx = int((v - lo) / width) if width else 0
+            acc[min(max(idx, 0), buckets - 1)] += 1
+            return acc
+        local = chunk.reduce_values(tally, local)
+    out = view.ctx.allreduce_rmi(
+        local, lambda a, b: [x + y for x, y in zip(a, b)], group=view.group)
+    _finish(view)
+    return out
+
+
+def p_unique_count(view) -> int:
+    """Number of distinct values (hash-exchange pattern: each location
+    counts the distinct values whose hash it owns)."""
+    from ..core.partitions import stable_hash
+
+    ctx = view.ctx
+    members = view.group.members
+    P = len(members)
+    buckets = [set() for _ in range(P)]
+    for chunk in view.local_chunks():
+        for _gid, v in chunk.items():
+            buckets[stable_hash(v) % P].add(v)
+            ctx.charge(ctx.machine.t_access)
+    received = ctx.alltoall_rmi([sorted(b) for b in buckets],
+                                group=view.group)
+    mine = set()
+    for vals in received:
+        mine.update(vals)
+    total = ctx.allreduce_rmi(len(mine), group=view.group)
+    _finish(view)
+    return total

@@ -1,0 +1,76 @@
+"""Parallel sample sort (Ch. VI's motivating example: commutative bucket
+inserts with per-bucket atomicity).
+
+Phases: local sort → sample → allgather samples → select P-1 splitters →
+bucket by splitter → all-to-all exchange → local merge → write back into
+the array in globally sorted order (positions from an exclusive scan of
+bucket sizes).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+
+def p_sample_sort(view, oversample: int = 4) -> None:
+    """Sort the elements of a 1D view in place (collective)."""
+    ctx = view.ctx
+    group = view.group
+    members = group.members
+    P = len(members)
+    m = ctx.machine
+
+    # 1. read + sort local portion
+    sl = view.balanced_slices()
+    local = [view.read(i) for i in sl]
+    local.sort()
+    import math
+
+    n = len(local)
+    ctx.charge(m.t_access * max(1, n) * max(1, int(math.log2(n + 1))) * 0.2)
+
+    # 2. sample and select global splitters
+    step = max(1, n // oversample) if n else 1
+    samples = local[::step][:oversample]
+    all_samples = ctx.allgather_rmi(samples, group=group)
+    flat = sorted(s for chunk in all_samples for s in chunk)
+    splitters = []
+    if flat and P > 1:
+        for k in range(1, P):
+            splitters.append(flat[min(len(flat) - 1,
+                                      k * len(flat) // P)])
+
+    # 3. bucket + exchange
+    buckets = [[] for _ in range(P)]
+    for v in local:
+        buckets[bisect_right(splitters, v)].append(v)
+        ctx.charge(m.t_access)
+    received = ctx.alltoall_rmi(buckets, group=group)
+
+    # 4. local merge (received buckets are sorted runs)
+    import heapq
+
+    merged = list(heapq.merge(*received))
+    ctx.charge(m.t_access * len(merged))
+
+    # 5. exclusive scan of final sizes -> global offsets; write back
+    offset, _total = ctx.scan_rmi(len(merged), exclusive=True, group=group)
+    offset = offset or 0
+    for k, v in enumerate(merged):
+        view.write(offset + k, v)
+    view.post_execute()
+
+
+def p_is_sorted(view) -> bool:
+    """Collective check that a 1D view is globally non-decreasing."""
+    ctx = view.ctx
+    sl = view.balanced_slices()
+    ok = True
+    prev = view.read(sl.lo - 1) if sl.size() and sl.lo > 0 else None
+    for i in sl:
+        v = view.read(i)
+        if prev is not None and v < prev:
+            ok = False
+            break
+        prev = v
+    return ctx.allreduce_rmi(ok, lambda a, b: a and b, group=view.group)

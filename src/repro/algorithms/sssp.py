@@ -1,0 +1,62 @@
+"""Single-source shortest paths on pGraph (Bellman–Ford, level-synchronous).
+
+A natural companion to the Ch. XI algorithm suite: per-edge relaxations are
+asynchronous vertex visitors routed through the graph's address
+translation; rounds are fenced; termination is a global no-change
+reduction.  Edge weights come from the edge property (default weight 1).
+"""
+
+from __future__ import annotations
+
+from .graph_algorithms import _AlgoState, _init_properties
+
+INF = float("inf")
+
+
+def sssp(graph, source: int, default_weight: float = 1.0):
+    """Bellman–Ford; leaves each vertex property set to its distance (or
+    ``inf`` if unreachable) and returns the number of relaxation rounds."""
+    ctx = graph.ctx
+    rt = graph.runtime
+    group = graph.group
+    state = _AlgoState(ctx, group)
+    shandle = state.handle
+
+    def make_relax(dist):
+        def visit(vrec):
+            if dist < vrec.property:
+                vrec.property = dist
+                rt.lookup(shandle, rt.current_location.id).flag = True
+        return visit
+
+    _init_properties(graph, lambda _vd: INF)
+    ctx.barrier(group)
+    if ctx.id == group.members[0]:
+        graph.apply_vertex(source, make_relax(0.0))
+    ctx.rmi_fence(group)
+    state.flag = False
+
+    rounds = 0
+    while True:
+        for bc in graph.local_bcontainers():
+            for vd in bc.vertices():
+                d = bc.vertex_property(vd)
+                if d == INF:
+                    continue
+                for (_, tgt, prop) in bc.edges_of(vd):
+                    w = prop if isinstance(prop, (int, float)) else default_weight
+                    graph.apply_vertex(tgt, make_relax(d + w))
+        ctx.rmi_fence(group)
+        changed = ctx.allreduce_rmi(state.flag, lambda a, b: a or b,
+                                    group=group)
+        state.flag = False
+        rounds += 1
+        if not changed:
+            break
+    state.destroy()
+    return rounds
+
+
+def distances_of(graph, vertices) -> list:
+    """Convenience: read back distances for a list of vertices (sync)."""
+    return [graph.vertex_property(v) for v in vertices]

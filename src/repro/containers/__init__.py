@@ -1,0 +1,19 @@
+"""STAPL pContainers built on the PCF (Ch. V.F, Fig. 12)."""
+
+from .associative import PHashMap, PHashSet, PMap, PMultiMap, PMultiSet, PSet
+from .composition import (
+    NestedRef,
+    compose_parray_of_parrays,
+    compose_plist_of_parrays,
+    composed_domain,
+    composition_height,
+    make_nested,
+    nested_apply,
+    nested_get,
+    nested_set,
+)
+from .parray import PArray
+from .pgraph import DIRECTED, UNDIRECTED, EdgeRef, PGraph, VertexRef
+from .plist import PList
+from .pmatrix import PMatrix, default_grid
+from .pvector import PVector

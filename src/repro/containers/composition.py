@@ -1,0 +1,154 @@
+"""pContainer composition (Ch. IV.C, Ch. XIII): containers of containers.
+
+pContainers are closed under composition: the elements of an outer
+container can themselves be pContainers.  Nested containers here live on a
+*singleton location group* (the owner of the outer element), which is the
+locality-preserving deployment Ch. IV.C recommends — "each level of the
+nested parallel constructs can work on a corresponding level of the
+pContainer hierarchy ... this can preserve existing locality".
+
+Elements of the outer container store :class:`NestedRef` handles.  Nested
+pAlgorithm invocations (Fig. 61) run inline on the owner through the
+singleton-group fast path of the scheduler.
+"""
+
+from __future__ import annotations
+
+from ..core.domains import EnumeratedDomain
+from ..runtime.scheduler import LocationGroup
+from .parray import PArray
+from .plist import PList
+
+
+class NestedRef:
+    """Reference to a nested pContainer: (handle, owner location)."""
+
+    __slots__ = ("handle", "owner")
+
+    def __init__(self, handle: int, owner: int):
+        self.handle = handle
+        self.owner = owner
+
+    def __repr__(self):
+        return f"NestedRef(h{self.handle}@L{self.owner})"
+
+    def resolve(self, runtime):
+        """The nested container representative (valid on its owner)."""
+        return runtime.lookup(self.handle, self.owner)
+
+
+def make_nested(ctx, factory) -> NestedRef:
+    """Construct a nested container on this location's singleton group.
+    ``factory(ctx, group)`` must build and return the container."""
+    group = LocationGroup([ctx.id])
+    inner = factory(ctx, group)
+    return NestedRef(inner.handle, ctx.id)
+
+
+def compose_parray_of_parrays(ctx, inner_sizes: list, value=0, dtype=float,
+                              group=None) -> PArray:
+    """``p_array<p_array<T>>`` (Fig. 3): outer balanced pArray whose element
+    *i* is a nested pArray of ``inner_sizes[i]`` elements, constructed on
+    element *i*'s owner location."""
+    outer = PArray(ctx, len(inner_sizes), value=0, dtype=object, group=group)
+    for bc in outer.local_bcontainers():
+        for i in bc.domain:
+            ref = make_nested(
+                ctx, lambda c, g: PArray(c, inner_sizes[i], value=value,
+                                         dtype=dtype, group=g))
+            bc.set(i, ref)
+    ctx.rmi_fence(outer.group)
+    return outer
+
+
+def compose_plist_of_parrays(ctx, inner_sizes: list, value=0, dtype=float,
+                             group=None) -> PList:
+    """``p_list<p_array<T>>`` (Fig. 4 flavour): each location's list segment
+    holds its balanced share of nested pArrays, in global order."""
+    from ..core.partitions import balanced_sizes
+
+    outer = PList(ctx, 0, group=group)
+    members = outer.group.members
+    me = outer.group.index_of(ctx.id)
+    sizes = balanced_sizes(len(inner_sizes), len(members))
+    lo = sum(sizes[:me])
+    for i in range(lo, lo + sizes[me]):
+        ref = make_nested(
+            ctx, lambda c, g: PArray(c, inner_sizes[i], value=value,
+                                     dtype=dtype, group=g))
+        outer.push_anywhere(ref)
+    ctx.rmi_fence(outer.group)
+    outer.update_size()
+    return outer
+
+
+def nested_apply(outer_container, gid, fn):
+    """Apply ``fn(inner_container)`` at the owner of the nested container
+    stored at ``gid`` of the outer container (synchronous).  This is the
+    composed-method dispatch of Ch. IV.C —
+    ``pApA.get_element(i).get_element(j)`` style chains."""
+    ref = outer_container.get_element(gid)
+    loc = outer_container.here
+    if ref.owner == loc.id:
+        return fn(ref.resolve(outer_container.runtime))
+    return loc.sync_rmi(ref.owner, outer_container.handle,
+                        "_nested_apply_handler", ref.handle, fn)
+
+
+def nested_get(outer_container, gid, inner_gid):
+    """Composed element access: outer[gid][inner_gid]."""
+    return nested_apply(outer_container, gid,
+                        lambda inner: inner.get_element(inner_gid))
+
+
+def nested_set(outer_container, gid, inner_gid, value) -> None:
+    nested_apply(outer_container, gid,
+                 lambda inner: inner.set_element(inner_gid, value))
+
+
+def composed_domain(outer_domain, inner_domains: dict) -> EnumeratedDomain:
+    """The composed domain of Eq. 4.2: union of cross products
+    ``{i} x D_inner(i)`` in outer order."""
+    gids = []
+    for i in outer_domain:
+        for j in inner_domains[i]:
+            gids.append((i, j))
+    return EnumeratedDomain(gids)
+
+
+def _local_height(container_or_ref, runtime) -> int:
+    from ..core.pcontainer import PContainerBase
+
+    if isinstance(container_or_ref, NestedRef):
+        return _local_height(container_or_ref.resolve(runtime), runtime)
+    if not isinstance(container_or_ref, PContainerBase):
+        return 0
+    container = container_or_ref
+    for bc in container.local_bcontainers():
+        if hasattr(bc, "values"):
+            vals = bc.values()
+            vals = vals.tolist() if hasattr(vals, "tolist") else vals
+            for v in vals:
+                if isinstance(v, NestedRef):
+                    return 1 + _local_height(v, runtime)
+                break
+        break
+    return 1
+
+
+def composition_height(container) -> int:
+    """Height of a composed pContainer (Ch. IV.C): 1 for flat containers,
+    1 + height(element type) for nested ones.  Collective: locations without
+    local elements learn the height from the reduction."""
+    local = _local_height(container, container.runtime)
+    return container.ctx.allreduce_rmi(local, max, group=container.group)
+
+
+# RMI handler attached to the container classes used as outer containers
+def _nested_apply_handler(self, inner_handle, fn):
+    inner = self.runtime.lookup(inner_handle, self.here.id)
+    return fn(inner)
+
+
+PArray._nested_apply_handler = _nested_apply_handler
+PList._nested_apply_handler = _nested_apply_handler

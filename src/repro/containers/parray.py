@@ -1,0 +1,62 @@
+"""pArray (Ch. IX): the parallel equivalent of ``std::valarray``.
+
+Static, indexed, one-dimensional.  Derivation chain (Fig. 25):
+p_container_base → p_container_static → p_container_indexed → pArray.
+Default modules: ``RangeDomain[0, n)`` domain, balanced partition (one
+sub-domain per location), cyclic mapper, NumPy-backed ``ArrayBC`` storage.
+
+Interface per Table XIX, including the three method flavours
+(``set_element`` async / ``get_element`` sync / ``split_phase_get_element``)
+whose relative costs are the subject of Figs. 28–32.
+"""
+
+from __future__ import annotations
+
+from ..core.base_containers import ArrayBC
+from ..core.domains import RangeDomain
+from ..core.partitions import BalancedPartition
+from ..core.pcontainer import PContainerIndexed
+from ..core.redistribution import RedistributableMixin
+from ..core.traits import Traits
+
+
+class PArray(RedistributableMixin, PContainerIndexed):
+    """Distributed fixed-size one-dimensional array."""
+
+    def __init__(self, ctx, size_or_domain, value=0, partition=None,
+                 traits: Traits | None = None, group=None, dtype=float):
+        super().__init__(ctx, traits, group)
+        if isinstance(size_or_domain, RangeDomain):
+            domain = size_or_domain
+        else:
+            domain = RangeDomain(0, int(size_or_domain))
+        self._fill_value = value
+        self._dtype = dtype
+        if partition is None:
+            partition = BalancedPartition(len(self.group))
+        self.init(domain, partition)
+        self._cached_size = domain.size()
+        self._ctor_done()
+
+    # -- storage -----------------------------------------------------------
+    def _default_bcontainer(self, subdomain, bcid):
+        return ArrayBC(subdomain, bcid, fill=self._fill_value,
+                       dtype=self._dtype)
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def domain(self) -> RangeDomain:
+        return self._dist.partition.get_domain()
+
+    def to_list(self) -> list:
+        """Gather the full array on every location (collective; test aid)."""
+        dom = self.domain
+        local = [(gid, bc.get(gid))
+                 for bc in self.local_bcontainers()
+                 for gid in bc.domain]
+        gathered = self.ctx.allgather_rmi(local, group=self.group)
+        out = [None] * self.size()
+        for per_loc in gathered:
+            for gid, val in per_loc:
+                out[dom.offset(gid)] = val
+        return out

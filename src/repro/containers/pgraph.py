@@ -1,0 +1,364 @@
+"""pGraph (Ch. XI): distributed adjacency-list graph.
+
+Relational pContainer: elements are vertices, relations are edges (Table
+XVII interface).  Vertex descriptors are integers; edges live with their
+source vertex.  Three address-translation regimes reproduce Fig. 51/52:
+
+* **static** — vertex ids are pre-assigned in blocked ranges; resolution is
+  closed-form (``add_vertex`` asserts, as in Fig. 16's ``pg_static``);
+* **dynamic + forwarding** — a distributed directory owns GID → BCID
+  entries; requests issued away from an entry's home are forwarded as
+  one-way traffic;
+* **dynamic, no forwarding** — the directory is interrogated with a
+  synchronous round trip before the request is sent to the owner.
+
+``DIRECTED``/``UNDIRECTED`` and ``MULTI``/``NO-MULTI`` follow Fig. 15's
+template parameters.
+"""
+
+from __future__ import annotations
+
+from ..core.base_containers import GraphBC
+from ..core.domains import RangeDomain, UniverseDomain
+from ..core.partitions import BalancedPartition, DirectoryPartition
+from ..core.pcontainer import PContainerDynamic
+from ..core.thread_safety import BCONTAINER, ELEMENT, MDREAD, READ, WRITE
+from ..core.traits import Traits
+
+DIRECTED = "directed"
+UNDIRECTED = "undirected"
+
+
+class VertexRef:
+    """Vertex reference (Table XXV): descriptor + property access + edge
+    enumeration, routed through the owning pGraph's shared-object view."""
+
+    __slots__ = ("_graph", "vd")
+
+    def __init__(self, graph, vd):
+        self._graph = graph
+        self.vd = vd
+
+    def descriptor(self):
+        return self.vd
+
+    @property
+    def property(self):
+        return self._graph.vertex_property(self.vd)
+
+    @property.setter
+    def property(self, vp) -> None:
+        self._graph.set_vertex_property(self.vd, vp)
+
+    def out_degree(self) -> int:
+        return self._graph.out_degree(self.vd)
+
+    def adjacents(self) -> list:
+        return self._graph.adjacents(self.vd)
+
+    def edges(self) -> list:
+        """Outgoing edge references."""
+        return [EdgeRef(self._graph, s, t, p)
+                for (s, t, p) in self._graph.edges_of(self.vd)]
+
+    def __repr__(self):
+        return f"VertexRef({self.vd})"
+
+
+class EdgeRef:
+    """Edge reference (Table XXVI): (source, target) descriptor pair plus
+    property access."""
+
+    __slots__ = ("_graph", "source", "target", "_property")
+
+    def __init__(self, graph, source, target, prop=None):
+        self._graph = graph
+        self.source = source
+        self.target = target
+        self._property = prop
+
+    def descriptor(self) -> tuple:
+        return (self.source, self.target)
+
+    @property
+    def property(self):
+        return self._property
+
+    def opposite(self, vd):
+        """The endpoint other than ``vd``."""
+        return self.target if vd == self.source else self.source
+
+    def __repr__(self):
+        return f"EdgeRef({self.source}->{self.target})"
+
+
+class PGraph(PContainerDynamic):
+    """Distributed graph container."""
+
+    DEFAULT_LOCKING = {
+        "add_vertex": (BCONTAINER, WRITE, MDREAD),
+        "delete_vertex": (BCONTAINER, WRITE, MDREAD),
+        "add_edge": (ELEMENT, WRITE, MDREAD),
+        "delete_edge": (ELEMENT, WRITE, MDREAD),
+        "vertex_property": (ELEMENT, READ, MDREAD),
+        "set_vertex_property": (ELEMENT, WRITE, MDREAD),
+        "apply_vertex": (ELEMENT, WRITE, MDREAD),
+        "out_degree": (ELEMENT, READ, MDREAD),
+        "adjacents": (ELEMENT, READ, MDREAD),
+        "edges_of": (ELEMENT, READ, MDREAD),
+        "has_vertex": (ELEMENT, READ, MDREAD),
+        "has_edge": (ELEMENT, READ, MDREAD),
+    }
+
+    def __init__(self, ctx, num_vertices: int = 0, directed: str = DIRECTED,
+                 multi_edges: bool = True, dynamic: bool = False,
+                 forwarding: bool = True, default_property=None,
+                 traits: Traits | None = None, group=None):
+        super().__init__(ctx, traits, group)
+        self.directed = directed == DIRECTED or directed is True
+        self.multi_edges = multi_edges
+        self.dynamic = dynamic
+        self._default_property = default_property
+        P = len(self.group)
+        me = self.group.index_of(ctx.id)
+        if dynamic:
+            partition = DirectoryPartition(P, forwarding=forwarding)
+            self.init(UniverseDomain(), partition, allocate=False)
+            bc = GraphBC(UniverseDomain(), me, multi_edges=multi_edges)
+            self.location_manager.add_bcontainer(me, bc)
+            self._next_local_vd = me
+            # pre-populate `num_vertices` vertices, blocked ids, registering
+            # each with its directory home
+            lo = _block_lo(num_vertices, P, me)
+            hi = _block_lo(num_vertices, P, me + 1)
+            for vd in range(lo, hi):
+                bc.add_vertex(vd, default_property)
+                self._register_vd(vd, me)
+            self._next_local_vd = num_vertices + me
+            ctx.charge(ctx.machine.t_access * (hi - lo))
+        else:
+            partition = BalancedPartition(P)
+            self.init(RangeDomain(0, num_vertices), partition,
+                      allocate=False)
+            for bcid in self._dist.mapper.get_local_cids(ctx.id):
+                sub = self._dist.partition.get_sub_domain(bcid)
+                bc = GraphBC(sub, bcid, multi_edges=multi_edges)
+                for vd in sub:
+                    bc.add_vertex(vd, default_property)
+                self.location_manager.add_bcontainer(bcid, bc)
+                ctx.charge(ctx.machine.t_access * sub.size())
+        self._cached_size = num_vertices
+        if dynamic:
+            # directory registrations travel as async RMIs: complete them
+            # before any location leaves the (collective) constructor
+            ctx.rmi_fence(self.group)
+        else:
+            self._ctor_done()
+
+    # -- directory helpers ----------------------------------------------------
+    def _register_vd(self, vd, bcid) -> None:
+        part = self._dist.partition
+        home_bcid = part.home_bcid(vd)
+        home_loc = self._dist.mapper.map(home_bcid)
+        if home_loc == self.here.id:
+            part.register_gid(vd, bcid)
+        else:
+            self._async(home_loc, "_dir_register", vd, bcid)
+
+    def _unregister_vd(self, vd) -> None:
+        part = self._dist.partition
+        home_loc = self._dist.mapper.map(part.home_bcid(vd))
+        if home_loc == self.here.id:
+            part.unregister_gid(vd)
+        else:
+            self._async(home_loc, "_dir_unregister", vd)
+
+    # -- vertex methods (Table XVII) --------------------------------------------
+    def add_vertex(self, vp=None):
+        """Add a vertex with a locally-allocated descriptor; returns the
+        descriptor.  Only valid on dynamic graphs (static asserts)."""
+        if not self.dynamic:
+            raise AssertionError(
+                "add_vertex on a static pGraph (fixed vertex set)")
+        loc = self.here
+        me = self.group.index_of(loc.id)
+        vd = self._next_local_vd
+        self._next_local_vd += len(self.group)
+        bc = self.location_manager.get_bcontainer(me)
+        loc.charge_access()
+        bc.add_vertex(vd, vp if vp is not None else self._default_property)
+        self._register_vd(vd, me)
+        return vd
+
+    def add_vertex_with(self, vd, vp=None) -> None:
+        """Add a vertex with an explicit descriptor (dynamic graphs)."""
+        if not self.dynamic:
+            raise AssertionError("add_vertex on a static pGraph")
+        loc = self.here
+        me = self.group.index_of(loc.id)
+        bc = self.location_manager.get_bcontainer(me)
+        loc.charge_access()
+        bc.add_vertex(vd, vp if vp is not None else self._default_property)
+        self._register_vd(vd, me)
+
+    def delete_vertex(self, vd) -> None:
+        """Delete a vertex and its out-edges.  Per the paper this is *not* a
+        transaction: vertex removal and directory update are individually
+        atomic but the composite is not."""
+        self._dist.invoke("delete_vertex", vd)
+        if self.dynamic:
+            self._unregister_vd(vd)
+
+    def has_vertex(self, vd) -> bool:
+        if self.dynamic:
+            part = self._dist.partition
+            home_loc = self._dist.mapper.map(part.home_bcid(vd))
+            if home_loc == self.here.id:
+                return part.lookup(vd) is not None
+            return self._sync(home_loc, "_dir_lookup", vd) is not None
+        return self._dist.partition.get_domain().contains_gid(vd)
+
+    def find_vertex(self, vd):
+        """Synchronous vertex fetch: (property, adjacency list) or None."""
+        try:
+            return self._dist.invoke_ret("find_vertex_record", vd)
+        except KeyError:
+            return None
+
+    def vertex_ref(self, vd) -> "VertexRef":
+        """Vertex reference handle (Table XXV); raises for unknown vertices."""
+        if not self.has_vertex(vd):
+            raise KeyError(f"no vertex {vd}")
+        return VertexRef(self, vd)
+
+    def vertex_property(self, vd):
+        return self._dist.invoke_ret("vertex_property", vd)
+
+    def set_vertex_property(self, vd, vp) -> None:
+        self._dist.invoke("set_vertex_property", vd, vp)
+
+    def apply_vertex(self, vd, fn) -> None:
+        """Asynchronous vertex visitor: ``fn(vertex_record)`` runs at the
+        owner — the workhorse of level-synchronous graph algorithms."""
+        self._dist.invoke("apply_vertex", vd, fn)
+
+    def apply_vertex_get(self, vd, fn):
+        """Synchronous visitor returning ``fn(vertex_record)``."""
+        return self._dist.invoke_ret("apply_vertex", vd, fn)
+
+    # -- edge methods ------------------------------------------------------------
+    def add_edge_async(self, src, tgt, ep=None) -> None:
+        """Add edge src→tgt asynchronously (and tgt→src if undirected)."""
+        self._dist.invoke("add_edge", src, tgt, ep)
+        if not self.directed and src != tgt:
+            self._dist.invoke("add_edge", tgt, src, ep)
+
+    def add_edge(self, src, tgt, ep=None) -> bool:
+        """Synchronous edge insertion; returns False for duplicate edges on
+        no-multi graphs."""
+        ok = self._dist.invoke_ret("add_edge", src, tgt, ep)
+        if not self.directed and src != tgt:
+            self._dist.invoke_ret("add_edge", tgt, src, ep)
+        return ok
+
+    def delete_edge(self, src, tgt) -> bool:
+        ok = self._dist.invoke_ret("delete_edge", src, tgt)
+        if not self.directed and src != tgt:
+            self._dist.invoke_ret("delete_edge", tgt, src)
+        return ok
+
+    def has_edge(self, src, tgt) -> bool:
+        return self._dist.invoke_ret("has_edge", src, tgt)
+
+    def find_edge(self, src, tgt):
+        """(property list) of edges src→tgt, or None."""
+        return self._dist.invoke_ret("find_edge", src, tgt)
+
+    def out_degree(self, vd) -> int:
+        return self._dist.invoke_ret("out_degree", vd)
+
+    def adjacents(self, vd) -> list:
+        return self._dist.invoke_ret("adjacents", vd)
+
+    def edges_of(self, vd) -> list:
+        return self._dist.invoke_ret("edges_of", vd)
+
+    # -- local handlers -------------------------------------------------------------
+    def _local_add_edge(self, bc, src, tgt, ep=None):
+        return bc.add_edge(src, tgt, ep)
+
+    def _local_delete_edge(self, bc, src, tgt=None):
+        return bc.delete_edge(src, tgt)
+
+    def _local_has_edge(self, bc, src, tgt=None):
+        return bc.has_edge(src, tgt)
+
+    def _local_find_edge(self, bc, src, tgt=None):
+        if not bc.has_edge(src, tgt):
+            return None
+        return bc._vertices[src].adj[tgt]
+
+    def _local_delete_vertex(self, bc, vd):
+        return bc.delete_vertex(vd)
+
+    def _local_find_vertex_record(self, bc, vd):
+        if not bc.has_vertex(vd):
+            return None
+        return (bc.vertex_property(vd), bc.adjacents(vd))
+
+    def _local_vertex_property(self, bc, vd):
+        return bc.vertex_property(vd)
+
+    def _local_set_vertex_property(self, bc, vd, vp) -> None:
+        bc.set_vertex_property(vd, vp)
+
+    def _local_apply_vertex(self, bc, vd, fn):
+        return bc.apply_vertex(vd, fn)
+
+    def _local_out_degree(self, bc, vd):
+        return bc.out_degree(vd)
+
+    def _local_adjacents(self, bc, vd):
+        return bc.adjacents(vd)
+
+    def _local_edges_of(self, bc, vd):
+        return bc.edges_of(vd)
+
+    # -- global properties (lazy, Ch. VII.G) ------------------------------------
+    def get_num_vertices(self) -> int:
+        return self._cached_size
+
+    def num_vertices_sync(self) -> int:
+        self._cached_size = self.ctx.allreduce_rmi(
+            self.local_size(), group=self.group)
+        return self._cached_size
+
+    def get_local_num_edges(self) -> int:
+        return sum(bc.num_edges() for bc in self.local_bcontainers())
+
+    def get_num_edges(self) -> int:
+        return self.ctx.allreduce_rmi(self.get_local_num_edges(),
+                                      group=self.group)
+
+    # -- traversal helpers ------------------------------------------------------
+    def local_vertices(self) -> list:
+        out = []
+        for bc in self.local_bcontainers():
+            out.extend(bc.vertices())
+        return out
+
+    def local_vertex_records(self):
+        for bc in self.local_bcontainers():
+            yield from bc.vertex_records()
+
+    def local_edges(self) -> list:
+        out = []
+        for bc in self.local_bcontainers():
+            for vd in bc.vertices():
+                out.extend(bc.edges_of(vd))
+        return out
+
+
+def _block_lo(n: int, p: int, i: int) -> int:
+    base, rem = divmod(n, p)
+    return i * base + min(i, rem)

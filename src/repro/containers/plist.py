@@ -1,0 +1,240 @@
+"""pList (Ch. X): distributed doubly-linked list.
+
+Design per Ch. X.C: the global list is an ordered sequence of *segments*
+(one ListBC per location by default); element GIDs are stable
+``(bcid, seq)`` handles, so address resolution is O(1) arithmetic on the GID
+— no directory.  All sequence methods (Table XXIV / XVIII) run in O(1):
+``push_back``/``push_front`` target the last/first segment,
+``insert``/``erase`` run at the owning segment, and ``push_anywhere``
+appends locally (the paper's "new methods facilitating parallel use").
+"""
+
+from __future__ import annotations
+
+from ..core.base_containers import ListBC
+from ..core.domains import UniverseDomain
+from ..core.partitions import ListPartition
+from ..core.pcontainer import PContainerDynamic
+from ..core.thread_safety import ELEMENT, LOCAL, MDREAD, MDWRITE, READ, WRITE
+from ..core.traits import Traits
+
+
+class PList(PContainerDynamic):
+    """Distributed list with stable element handles."""
+
+    DEFAULT_LOCKING = {
+        "set_element": (ELEMENT, WRITE, MDREAD),
+        "get_element": (ELEMENT, READ, MDREAD),
+        "apply_get": (ELEMENT, READ, MDREAD),
+        "apply_set": (ELEMENT, WRITE, MDREAD),
+        "insert": (LOCAL, WRITE, MDREAD),
+        "erase": (LOCAL, WRITE, MDREAD),
+    }
+
+    def __init__(self, ctx, size: int = 0, value=0,
+                 traits: Traits | None = None, group=None):
+        super().__init__(ctx, traits, group)
+        partition = ListPartition(len(self.group))
+        self.init(UniverseDomain(), partition, allocate=False)
+        me = self.group.index_of(ctx.id)
+        self._my_bcid = me
+        bc = ListBC(UniverseDomain(), me)
+        self.location_manager.add_bcontainer(me, bc)
+        # collective construction with `size` initial elements, balanced
+        from ..core.partitions import balanced_sizes
+
+        mine = balanced_sizes(size, len(self.group))[me]
+        for _ in range(mine):
+            bc.push_back(value)
+        ctx.charge(ctx.machine.t_access * 0.25 * mine)
+        self._cached_size = size
+        self._ctor_done()
+
+    def _make_mapper(self):
+        from ..core.mappers import CyclicMapper
+
+        return CyclicMapper()  # bcid i -> i-th group member
+
+    # -- element access (GID = (bcid, seq)) ---------------------------------
+    def set_element(self, gid, value) -> None:
+        self._dist.invoke("set_element", gid, value)
+
+    def get_element(self, gid):
+        return self._dist.invoke_ret("get_element", gid)
+
+    def split_phase_get_element(self, gid):
+        return self._dist.invoke_opaque_ret("get_element", gid)
+
+    def apply_get(self, gid, fn):
+        return self._dist.invoke_ret("apply_get", gid, fn)
+
+    def apply_set(self, gid, fn) -> None:
+        self._dist.invoke("apply_set", gid, fn)
+
+    def _chase(self) -> None:
+        # node dereference: lists pay a pointer chase arrays do not
+        self.here.charge(self.here.machine.t_access * 0.5)
+
+    def _local_set_element(self, bc, gid, value) -> None:
+        self._chase()
+        bc.set(gid[1], value)
+
+    def _local_get_element(self, bc, gid):
+        self._chase()
+        return bc.get(gid[1])
+
+    def _local_apply_get(self, bc, gid, fn):
+        self._chase()
+        return bc.apply(gid[1], fn)
+
+    def _local_apply_set(self, bc, gid, fn) -> None:
+        self._chase()
+        bc.apply_set(gid[1], fn)
+
+    # -- sequence interface (Table XVIII / XXIV) -----------------------------
+    def push_back(self, value) -> None:
+        """Append at the end of the global sequence (last segment)."""
+        last = self._dist.partition.size() - 1
+        dest = self._dist.mapper.map(last)
+        if dest == self.here.id:
+            self.here.charge_access()
+            self.location_manager.get_bcontainer(last).push_back(value)
+            self.here.stats.local_invocations += 1
+        else:
+            self.here.stats.remote_invocations += 1
+            self.here.async_rmi(dest, self.handle, "_remote_push", True, value)
+
+    def push_front(self, value) -> None:
+        """Prepend at the beginning of the global sequence (first segment)."""
+        dest = self._dist.mapper.map(0)
+        if dest == self.here.id:
+            self.here.charge_access()
+            self.location_manager.get_bcontainer(0).push_front(value)
+            self.here.stats.local_invocations += 1
+        else:
+            self.here.stats.remote_invocations += 1
+            self.here.async_rmi(dest, self.handle, "_remote_push", False, value)
+
+    def _remote_push(self, back: bool, value) -> None:
+        me = self.group.index_of(self.here.id)
+        bc = self.location_manager.get_bcontainer(me)
+        self.here.charge_access()
+        if back:
+            bc.push_back(value)
+        else:
+            bc.push_front(value)
+
+    def pop_back(self):
+        last = self._dist.partition.size() - 1
+        dest = self._dist.mapper.map(last)
+        return self.here.sync_rmi(dest, self.handle, "_remote_pop", True)
+
+    def pop_front(self):
+        dest = self._dist.mapper.map(0)
+        return self.here.sync_rmi(dest, self.handle, "_remote_pop", False)
+
+    def _remote_pop(self, back: bool):
+        me = self.group.index_of(self.here.id)
+        bc = self.location_manager.get_bcontainer(me)
+        if bc.size():
+            self.here.charge_access()
+            return bc.pop_back() if back else bc.pop_front()
+        # this end segment is empty: chase the sequence inwards
+        nxt = me - 1 if back else me + 1
+        if 0 <= nxt < len(self.group):
+            return self._sync(self.group.members[nxt], "_remote_pop", back)
+        raise IndexError("pop from empty pList")
+
+    def insert_element(self, gid, value):
+        """Synchronous insert before ``gid``; returns the new element's GID."""
+        return self._dist.invoke_ret("insert", gid, value)
+
+    def insert_element_async(self, gid, value) -> None:
+        """Asynchronous insert before ``gid``."""
+        self._dist.invoke("insert", gid, value)
+
+    def erase_element(self, gid):
+        return self._dist.invoke_ret("erase", gid)
+
+    def erase_element_async(self, gid) -> None:
+        self._dist.invoke("erase", gid)
+
+    def _local_insert(self, bc, gid, value):
+        seq = bc.insert_before(gid[1], value)
+        return (gid[0], seq)
+
+    def _local_erase(self, bc, gid, *_):
+        return bc.erase(gid[1])
+
+    # -- parallel-use extensions (Ch. V.B) -----------------------------------
+    def push_anywhere(self, value):
+        """Insert at an unspecified position: the local segment (O(1),
+        no communication — the fast path of Fig. 39).  Returns the GID."""
+        bc = self.location_manager.get_bcontainer(self._my_bcid)
+        self.here.charge_access()
+        seq = bc.push_back(value)
+        return (self._my_bcid, seq)
+
+    push_anywhere_async = push_anywhere
+
+    def get_anywhere(self):
+        """A reference value from the local segment if non-empty, else from
+        the first non-empty segment."""
+        bc = self.location_manager.get_bcontainer(self._my_bcid)
+        if bc.size():
+            self.here.charge_access()
+            return bc.get(bc.first_seq())
+        for lid in self.group.members:
+            if lid == self.ctx.id:
+                continue
+            val = self.here.sync_rmi(lid, self.handle, "_any_local")
+            if val is not None:
+                return val[0]
+        raise IndexError("get_anywhere on empty pList")
+
+    def _any_local(self):
+        me = self.group.index_of(self.here.id)
+        bc = self.location_manager.get_bcontainer(me)
+        if bc.size():
+            return (bc.get(bc.first_seq()),)
+        return None
+
+    def remove_element(self):
+        """Remove an arbitrary (local if possible) element."""
+        bc = self.location_manager.get_bcontainer(self._my_bcid)
+        if bc.size():
+            self.here.charge_access()
+            return bc.pop_back()
+        raise IndexError("remove_element on empty local segment")
+
+    # -- traversal helpers ----------------------------------------------------
+    def local_segment(self) -> ListBC:
+        return self.location_manager.get_bcontainer(self._my_bcid)
+
+    def local_gids(self) -> list:
+        bc = self.local_segment()
+        return [(self._my_bcid, s) for s in bc.seqs()]
+
+    def to_list(self) -> list:
+        """Gather all values in global sequence order (collective)."""
+        me = self._my_bcid
+        local = (me, self.local_segment().values())
+        gathered = self.ctx.allgather_rmi(local, group=self.group)
+        out = []
+        for _me, vals in sorted(gathered):
+            out.extend(vals)
+        return out
+
+    def splice_from(self, other: "PList") -> None:
+        """Collective splice: move every local segment of ``other`` onto the
+        back of this list's local segment (O(local size), no communication
+        for aligned groups)."""
+        if other.group.members != self.group.members:
+            raise ValueError("splice requires identical groups")
+        src = other.local_segment()
+        dst = self.local_segment()
+        n = src.size()
+        self.here.charge_access(n)
+        while src.size():
+            dst.push_back(src.pop_front())
+        self.ctx.barrier(self.group)

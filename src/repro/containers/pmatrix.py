@@ -1,0 +1,110 @@
+"""pMatrix: two-dimensional indexed pContainer (Ch. V.F, [15]).
+
+GIDs are (row, col) pairs over a :class:`Range2DDomain`; the default
+partition is a near-square processor grid of dense 2D blocks; row-, column-
+and linearised views are provided in :mod:`repro.views.matrix_views`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.base_containers import Matrix2DBC
+from ..core.domains import Range2DDomain
+from ..core.partitions import Matrix2DPartition
+from ..core.pcontainer import PContainerIndexed
+from ..core.redistribution import RedistributableMixin
+from ..core.traits import Traits
+
+
+def default_grid(p: int) -> tuple:
+    """Near-square (pr, pc) grid with pr*pc == p."""
+    pr = int(math.sqrt(p))
+    while pr > 1 and p % pr:
+        pr -= 1
+    return pr, p // pr
+
+
+class PMatrix(RedistributableMixin, PContainerIndexed):
+    """Distributed dense matrix."""
+
+    def __init__(self, ctx, rows: int, cols: int, value=0.0, partition=None,
+                 traits: Traits | None = None, group=None, dtype=float,
+                 order: str = "row"):
+        super().__init__(ctx, traits, group)
+        domain = Range2DDomain((0, 0), (rows, cols), order=order)
+        self._fill_value = value
+        self._dtype = dtype
+        if partition is None:
+            pr, pc = default_grid(len(self.group))
+            partition = Matrix2DPartition(pr, pc)
+        self.init(domain, partition)
+        self._cached_size = domain.size()
+        self._ctor_done()
+
+    def _default_bcontainer(self, subdomain, bcid):
+        return Matrix2DBC(subdomain, bcid, fill=self._fill_value,
+                          dtype=self._dtype)
+
+    # -- shape ------------------------------------------------------------
+    @property
+    def domain(self) -> Range2DDomain:
+        return self._dist.partition.get_domain()
+
+    @property
+    def rows(self) -> int:
+        return self.domain.rows
+
+    @property
+    def cols(self) -> int:
+        return self.domain.cols
+
+    # -- row/column bulk access (used by matrix views) ----------------------
+    def _local_get_row_segment(self, bc, gid):
+        r, _ = gid
+        return list(bc.row_slice(r))
+
+    def _local_get_col_segment(self, bc, gid):
+        _, c = gid
+        return list(bc.col_slice(c))
+
+    def get_row(self, r) -> list:
+        """Gather row ``r`` (sync per owning block)."""
+        out = []
+        dom = self.domain
+        c = dom.c0
+        while c < dom.c1:
+            info = self._dist.get_info((r, c))
+            sub = self._dist.partition.get_sub_domain(info.bcid)
+            seg = self._dist.invoke_ret("get_row_segment", (r, c))
+            out.extend(seg)
+            c = sub.c1
+        return out
+
+    def get_col(self, c) -> list:
+        """Gather column ``c`` (sync per owning block)."""
+        out = []
+        dom = self.domain
+        r = dom.r0
+        while r < dom.r1:
+            info = self._dist.get_info((r, c))
+            sub = self._dist.partition.get_sub_domain(info.bcid)
+            seg = self._dist.invoke_ret("get_col_segment", (r, c))
+            out.extend(seg)
+            r = sub.r1
+        return out
+
+    def to_nested(self) -> list:
+        """Gather the full matrix as a list of rows (collective; test aid)."""
+        local = []
+        for bc in self.local_bcontainers():
+            d = bc.domain
+            local.append(((d.r0, d.c0), bc.values().tolist()))
+        gathered = self.ctx.allgather_rmi(local, group=self.group)
+        out = [[None] * self.cols for _ in range(self.rows)]
+        for per_loc in gathered:
+            for (r0, c0), block in per_loc:
+                for i, rowvals in enumerate(block):
+                    for j, v in enumerate(rowvals):
+                        out[r0 + i][c0 + j] = v
+        return out

@@ -1,0 +1,200 @@
+"""pVector (Ch. V.F, Fig. 12d): dynamic sequence + indexed container.
+
+STL ``vector`` semantics: O(1) access by index, linear-time ``insert`` /
+``erase`` (elements shift), amortised O(1) ``push_back``.  The partition is
+the shared-metadata :class:`UnbalancedBlockedPartition`: it starts balanced
+and inserts/erases shift per-block counts (MDWRITE operations).  The
+pList-vs-pVector trade-off of Fig. 42 falls directly out of these costs.
+"""
+
+from __future__ import annotations
+
+from ..core.base_containers import VectorBC
+from ..core.domains import RangeDomain
+from ..core.partitions import UnbalancedBlockedPartition
+from ..core.pcontainer import PContainerDynamic
+from ..core.thread_safety import ELEMENT, LOCAL, MDREAD, MDWRITE, READ, WRITE
+from ..core.traits import Traits
+
+#: relative cost of shifting one element during insert/erase
+_SHIFT_FACTOR = 0.05
+
+
+class PVector(PContainerDynamic):
+    """Distributed dynamic array (sequence + indexed interfaces)."""
+
+    DEFAULT_LOCKING = {
+        "set_element": (ELEMENT, WRITE, MDREAD),
+        "get_element": (ELEMENT, READ, MDREAD),
+        "apply_get": (ELEMENT, READ, MDREAD),
+        "apply_set": (ELEMENT, WRITE, MDREAD),
+        "insert": (LOCAL, WRITE, MDWRITE),
+        "erase": (LOCAL, WRITE, MDWRITE),
+        "push_back": (LOCAL, WRITE, MDWRITE),
+        "pop_back": (LOCAL, WRITE, MDWRITE),
+    }
+
+    def __init__(self, ctx, size: int = 0, value=0,
+                 traits: Traits | None = None, group=None):
+        super().__init__(ctx, traits, group)
+        self._fill_value = value
+        domain = RangeDomain(0, int(size))
+        partition = UnbalancedBlockedPartition(len(self.group))
+        self.init(domain, partition, shared_partition=True, allocate=False)
+        # allocate one bContainer per location from the shared block table
+        me = self.group.index_of(ctx.id)
+        bsize = self._dist.partition.get_sub_domain_sizes()[me]
+        bc = VectorBC(RangeDomain(0, bsize), me, fill=value)
+        self.location_manager.add_bcontainer(me, bc)
+        ctx.charge(ctx.machine.t_access * 0.25 * bsize)
+        self._cached_size = size
+        self._ctor_done()
+
+    # the mapper is identity over group member order (bcid i -> member i)
+    def _make_mapper(self):
+        from ..core.mappers import CyclicMapper
+
+        return CyclicMapper()
+
+    # -- indexed interface (Table XIV flavours) ----------------------------
+    def set_element(self, idx, value) -> None:
+        self._dist.invoke("set_element", idx, value)
+
+    def get_element(self, idx):
+        return self._dist.invoke_ret("get_element", idx)
+
+    def split_phase_get_element(self, idx):
+        return self._dist.invoke_opaque_ret("get_element", idx)
+
+    def __getitem__(self, idx):
+        return self.get_element(idx)
+
+    def __setitem__(self, idx, value) -> None:
+        self.set_element(idx, value)
+
+    def apply_get(self, idx, fn):
+        return self._dist.invoke_ret("apply_get", idx, fn)
+
+    def apply_set(self, idx, fn) -> None:
+        self._dist.invoke("apply_set", idx, fn)
+
+    # -- sequence interface (Table XVIII) ------------------------------------
+    def insert_element(self, idx, value):
+        """Synchronous insert before index ``idx`` (linear local cost)."""
+        return self._dist.invoke_ret("insert", idx, value)
+
+    def insert_element_async(self, idx, value) -> None:
+        self._dist.invoke("insert", idx, value)
+
+    def erase_element(self, idx):
+        """Synchronous erase of the element at ``idx``."""
+        return self._dist.invoke_ret("erase", idx)
+
+    def erase_element_async(self, idx) -> None:
+        self._dist.invoke("erase", idx)
+
+    def push_back(self, value) -> None:
+        """Append at the global end (asynchronous, amortised O(1))."""
+        part = self._dist.partition
+        last = part.size() - 1
+        dest = self._dist.mapper.map(last)
+        if dest == self.here.id:
+            self._local_push_back(
+                self.location_manager.get_bcontainer(last), None, value)
+            self.here.charge_access()
+            self.here.stats.local_invocations += 1
+        else:
+            self.here.stats.remote_invocations += 1
+            self.here.async_rmi(dest, self.handle, "_remote_push_back", value)
+
+    def pop_back(self):
+        part = self._dist.partition
+        last = part.size() - 1
+        dest = self._dist.mapper.map(last)
+        return self.here.sync_rmi(dest, self.handle, "_remote_pop_back")
+
+    def push_anywhere(self, value) -> None:
+        """Append into the local bContainer (load-balance friendly)."""
+        me = self.group.index_of(self.ctx.id)
+        bc = self.location_manager.get_bcontainer(me)
+        self._local_push_into(bc, value)
+        self.here.charge_access()
+
+    # -- local handlers ----------------------------------------------------
+    def _offset(self, bc, idx):
+        return self._dist.partition.local_offset(idx, bc.get_bcid())
+
+    def _local_set_element(self, bc, idx, value) -> None:
+        bc.set(self._offset(bc, idx), value)
+
+    def _local_get_element(self, bc, idx):
+        return bc.get(self._offset(bc, idx))
+
+    def _local_apply_get(self, bc, idx, fn):
+        return bc.apply(self._offset(bc, idx), fn)
+
+    def _local_apply_set(self, bc, idx, fn) -> None:
+        bc.apply_set(self._offset(bc, idx), fn)
+
+    def _local_insert(self, bc, idx, value):
+        off = self._offset(bc, idx)
+        shifted = bc.size() - off
+        self.here.charge(self.here.machine.t_access * _SHIFT_FACTOR * shifted)
+        bc.insert(off, value)
+        self._dist.partition.grow(bc.get_bcid())
+        return idx
+
+    def _local_erase(self, bc, idx, *_):
+        off = self._offset(bc, idx)
+        shifted = bc.size() - off
+        self.here.charge(self.here.machine.t_access * _SHIFT_FACTOR * shifted)
+        value = bc.erase(off)
+        self._dist.partition.shrink(bc.get_bcid())
+        return value
+
+    def _local_push_into(self, bc, value) -> None:
+        bc.push_back(value)
+        self._dist.partition.grow(bc.get_bcid())
+
+    def _local_push_back(self, bc, _gid, value) -> None:
+        self._local_push_into(bc, value)
+
+    def _remote_push_back(self, value) -> None:
+        me = self.group.index_of(self.here.id)
+        self._local_push_into(self.location_manager.get_bcontainer(me), value)
+        self.here.charge_access()
+
+    def _remote_pop_back(self):
+        me = self.group.index_of(self.here.id)
+        bc = self.location_manager.get_bcontainer(me)
+        value = bc.pop_back()
+        self._dist.partition.shrink(bc.get_bcid())
+        self.here.charge_access()
+        return value
+
+    # -- inspection ---------------------------------------------------------
+    #: 1D views must use the element interface (offset-addressed storage,
+    #: domain shifts under insert/erase) rather than native bContainer chunks
+    supports_native_1d = False
+
+    @property
+    def domain(self):
+        """Current index domain [0, size) — recomputed because inserts and
+        erases shift it."""
+        from ..core.domains import RangeDomain
+
+        return RangeDomain(0, self.size())
+
+    def size(self) -> int:
+        """pVector keeps exact size in the shared partition metadata."""
+        return self._dist.partition.total_size()
+
+    def to_list(self) -> list:
+        """Gather all elements in index order (collective; test aid)."""
+        me = self.group.index_of(self.ctx.id)
+        local = (me, list(self.location_manager.get_bcontainer(me).values()))
+        gathered = self.ctx.allgather_rmi(local, group=self.group)
+        out = []
+        for _me, vals in sorted(gathered):
+            out.extend(vals)
+        return out

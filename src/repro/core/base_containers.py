@@ -1,0 +1,646 @@
+"""Base containers (bContainers): the per-sub-domain storage units
+(Ch. V.C.1, Table III).
+
+A bContainer wraps any existing sequential container behind the minimal
+Table III interface so it can serve as storage for a pContainer.  We provide
+NumPy-backed array storage (the ``std::valarray`` analogue, with vectorised
+bulk paths), dynamic vector/list storage, associative map/set storage and
+graph adjacency storage.  Each reports data vs. metadata ``memory_size`` for
+the Ch. IX.F memory study and supports ``pack``/``unpack`` marshaling
+(the ``define_type`` mechanism, Ch. V.G.1) for redistribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .domains import EnumeratedDomain, Range2DDomain, RangeDomain
+
+#: modelled per-element payload size in bytes (memory accounting)
+ELEM_BYTES = 8
+
+
+class BaseContainer:
+    """Minimal Table III interface."""
+
+    def __init__(self, domain, bcid):
+        self._domain = domain
+        self._bcid = bcid
+
+    # -- Table III -------------------------------------------------------
+    def get_bcid(self):
+        return self._bcid
+
+    @property
+    def domain(self):
+        return self._domain
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def empty(self) -> bool:
+        return self.size() == 0
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def memory_size(self) -> tuple:
+        """(metadata bytes, data bytes)."""
+        raise NotImplementedError
+
+    def pack(self):
+        """Marshal contents (``define_type``): a picklable payload."""
+        raise NotImplementedError
+
+    @classmethod
+    def unpack(cls, domain, bcid, payload) -> "BaseContainer":
+        raise NotImplementedError
+
+
+class ArrayBC(BaseContainer):
+    """Static, index-addressed storage (STL ``valarray`` analogue) backed by
+    a NumPy array; offers vectorised bulk operations for native-view
+    pAlgorithms."""
+
+    def __init__(self, domain, bcid, fill=0, dtype=float, data=None):
+        super().__init__(domain, bcid)
+        n = domain.size()
+        if data is not None:
+            self.data = np.asarray(data)
+            if len(self.data) != n:
+                raise ValueError("data length does not match domain")
+        else:
+            self.data = np.full(n, fill, dtype=dtype)
+
+    def size(self) -> int:
+        return len(self.data)
+
+    def clear(self) -> None:
+        self.data[:] = 0
+
+    # -- element access (GID-addressed) ----------------------------------
+    @staticmethod
+    def _to_py(v):
+        return v.item() if isinstance(v, np.generic) else v
+
+    def get(self, gid):
+        return self._to_py(self.data[self._domain.offset(gid)])
+
+    def set(self, gid, value) -> None:
+        self.data[self._domain.offset(gid)] = value
+
+    def apply(self, gid, fn):
+        return fn(self._to_py(self.data[self._domain.offset(gid)]))
+
+    def apply_set(self, gid, fn) -> None:
+        off = self._domain.offset(gid)
+        self.data[off] = fn(self._to_py(self.data[off]))
+
+    # -- bulk (vectorised) paths -----------------------------------------
+    def bulk_fill(self, value) -> None:
+        self.data[:] = value
+
+    def bulk_map(self, ufunc) -> None:
+        self.data = ufunc(self.data)
+
+    def bulk_reduce(self, reducer, initial=None):
+        return reducer(self.data) if initial is None else reducer(self.data, initial)
+
+    def values(self) -> np.ndarray:
+        return self.data
+
+    def memory_size(self) -> tuple:
+        meta = 48 + self._domain.memory_size()
+        return meta, int(self.data.nbytes)
+
+    def pack(self):
+        return self.data.copy()
+
+    @classmethod
+    def unpack(cls, domain, bcid, payload) -> "ArrayBC":
+        return cls(domain, bcid, data=payload)
+
+
+class Matrix2DBC(BaseContainer):
+    """2D block storage for pMatrix (MTL-style dense block)."""
+
+    def __init__(self, domain: Range2DDomain, bcid, fill=0.0, dtype=float,
+                 data=None):
+        super().__init__(domain, bcid)
+        shape = (domain.rows, domain.cols)
+        if data is not None:
+            self.data = np.asarray(data).reshape(shape)
+        else:
+            self.data = np.full(shape, fill, dtype=dtype)
+
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def clear(self) -> None:
+        self.data[:] = 0
+
+    def _idx(self, gid):
+        r, c = gid
+        return (r - self._domain.r0, c - self._domain.c0)
+
+    def get(self, gid):
+        return self.data[self._idx(gid)].item()
+
+    def set(self, gid, value) -> None:
+        self.data[self._idx(gid)] = value
+
+    def apply(self, gid, fn):
+        return fn(self.data[self._idx(gid)].item())
+
+    def apply_set(self, gid, fn) -> None:
+        i = self._idx(gid)
+        self.data[i] = fn(self.data[i].item())
+
+    def row_slice(self, r) -> np.ndarray:
+        return self.data[r - self._domain.r0, :]
+
+    def col_slice(self, c) -> np.ndarray:
+        return self.data[:, c - self._domain.c0]
+
+    def values(self) -> np.ndarray:
+        return self.data
+
+    def memory_size(self) -> tuple:
+        return 64 + self._domain.memory_size(), int(self.data.nbytes)
+
+    def pack(self):
+        return self.data.copy()
+
+    @classmethod
+    def unpack(cls, domain, bcid, payload) -> "Matrix2DBC":
+        return cls(domain, bcid, data=payload)
+
+
+class VectorBC(BaseContainer):
+    """Dynamic contiguous storage (STL ``vector``): O(size) insert/erase,
+    O(1) indexed access.  Addressed by *local offset*."""
+
+    def __init__(self, domain, bcid, fill=0, data=None):
+        super().__init__(domain, bcid)
+        if data is not None:
+            self.data = list(data)
+        else:
+            self.data = [fill] * domain.size()
+
+    def size(self) -> int:
+        return len(self.data)
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    def get(self, off):
+        return self.data[off]
+
+    def set(self, off, value) -> None:
+        self.data[off] = value
+
+    def apply(self, off, fn):
+        return fn(self.data[off])
+
+    def apply_set(self, off, fn) -> None:
+        self.data[off] = fn(self.data[off])
+
+    def insert(self, off, value) -> None:
+        self.data.insert(off, value)
+
+    def erase(self, off):
+        return self.data.pop(off)
+
+    def push_back(self, value) -> None:
+        self.data.append(value)
+
+    def pop_back(self):
+        return self.data.pop()
+
+    def values(self):
+        return self.data
+
+    def memory_size(self) -> tuple:
+        return 56, ELEM_BYTES * len(self.data)
+
+    def pack(self):
+        return list(self.data)
+
+    @classmethod
+    def unpack(cls, domain, bcid, payload) -> "VectorBC":
+        return cls(domain, bcid, data=payload)
+
+
+class _ListNode:
+    __slots__ = ("seq", "value", "prev", "next")
+
+    def __init__(self, seq, value):
+        self.seq = seq
+        self.value = value
+        self.prev = None
+        self.next = None
+
+
+class ListBC(BaseContainer):
+    """Doubly-linked segment for pList: O(1) insert/erase/splice at a known
+    handle; elements addressed by a stable local sequence number."""
+
+    def __init__(self, domain, bcid):
+        super().__init__(domain, bcid)
+        self._nodes: dict[int, _ListNode] = {}
+        self._head: _ListNode | None = None
+        self._tail: _ListNode | None = None
+        self._next_seq = 0
+
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def clear(self) -> None:
+        self._nodes.clear()
+        self._head = self._tail = None
+
+    def _fresh(self, value) -> _ListNode:
+        node = _ListNode(self._next_seq, value)
+        self._next_seq += 1
+        self._nodes[node.seq] = node
+        return node
+
+    def push_back(self, value) -> int:
+        node = self._fresh(value)
+        node.prev = self._tail
+        if self._tail is not None:
+            self._tail.next = node
+        self._tail = node
+        if self._head is None:
+            self._head = node
+        return node.seq
+
+    def push_front(self, value) -> int:
+        node = self._fresh(value)
+        node.next = self._head
+        if self._head is not None:
+            self._head.prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+        return node.seq
+
+    def insert_before(self, seq, value) -> int:
+        anchor = self._nodes[seq]
+        node = self._fresh(value)
+        node.prev = anchor.prev
+        node.next = anchor
+        if anchor.prev is not None:
+            anchor.prev.next = node
+        else:
+            self._head = node
+        anchor.prev = node
+        return node.seq
+
+    def erase(self, seq):
+        node = self._nodes.pop(seq)
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        return node.value
+
+    def pop_back(self):
+        if self._tail is None:
+            raise IndexError("pop from empty list segment")
+        return self.erase(self._tail.seq)
+
+    def pop_front(self):
+        if self._head is None:
+            raise IndexError("pop from empty list segment")
+        return self.erase(self._head.seq)
+
+    def get(self, seq):
+        return self._nodes[seq].value
+
+    def set(self, seq, value) -> None:
+        self._nodes[seq].value = value
+
+    def apply(self, seq, fn):
+        return fn(self._nodes[seq].value)
+
+    def apply_set(self, seq, fn) -> None:
+        node = self._nodes[seq]
+        node.value = fn(node.value)
+
+    def contains(self, seq) -> bool:
+        return seq in self._nodes
+
+    def first_seq(self):
+        return None if self._head is None else self._head.seq
+
+    def last_seq(self):
+        return None if self._tail is None else self._tail.seq
+
+    def next_seq(self, seq):
+        node = self._nodes[seq].next
+        return None if node is None else node.seq
+
+    def prev_seq(self, seq):
+        node = self._nodes[seq].prev
+        return None if node is None else node.seq
+
+    def values(self) -> list:
+        out, node = [], self._head
+        while node is not None:
+            out.append(node.value)
+            node = node.next
+        return out
+
+    def seqs(self) -> list:
+        out, node = [], self._head
+        while node is not None:
+            out.append(node.seq)
+            node = node.next
+        return out
+
+    def memory_size(self) -> tuple:
+        # three pointers + seq per node is metadata; payload is data
+        return 56 + 32 * len(self._nodes), ELEM_BYTES * len(self._nodes)
+
+    def pack(self):
+        return [(n, self._nodes[n].value) for n in self.seqs()]
+
+    @classmethod
+    def unpack(cls, domain, bcid, payload) -> "ListBC":
+        out = cls(domain, bcid)
+        for _seq, value in payload:
+            out.push_back(value)
+        return out
+
+
+class MapBC(BaseContainer):
+    """Associative storage: dict-backed (hash) with on-demand sorted order
+    (sorted associative containers iterate in key order, Ch. XII)."""
+
+    def __init__(self, domain, bcid, sorted_order: bool = False, data=None):
+        super().__init__(domain, bcid)
+        self.data: dict = dict(data) if data else {}
+        self.sorted_order = sorted_order
+
+    def size(self) -> int:
+        return len(self.data)
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    def insert(self, key, value) -> bool:
+        """STL map semantics: insert does not overwrite; returns created?"""
+        if key in self.data:
+            return False
+        self.data[key] = value
+        return True
+
+    def set(self, key, value) -> None:
+        self.data[key] = value
+
+    def get(self, key):
+        return self.data[key]
+
+    def find(self, key):
+        if key in self.data:
+            return (self.data[key], True)
+        return (None, False)
+
+    def erase(self, key) -> int:
+        return 1 if self.data.pop(key, _MISSING) is not _MISSING else 0
+
+    def contains(self, key) -> bool:
+        return key in self.data
+
+    def apply(self, key, fn):
+        return fn(self.data[key])
+
+    def apply_set(self, key, fn) -> None:
+        self.data[key] = fn(self.data[key])
+
+    def accumulate(self, key, value) -> None:
+        """Combining insert (MapReduce reduction support)."""
+        self.data[key] = self.data.get(key, 0) + value
+
+    def keys(self) -> list:
+        ks = list(self.data.keys())
+        return sorted(ks) if self.sorted_order else ks
+
+    def items(self) -> list:
+        if self.sorted_order:
+            return sorted(self.data.items())
+        return list(self.data.items())
+
+    def values(self) -> list:
+        return [v for _, v in self.items()]
+
+    def memory_size(self) -> tuple:
+        return 64 + 48 * len(self.data), ELEM_BYTES * len(self.data)
+
+    def pack(self):
+        return dict(self.data)
+
+    @classmethod
+    def unpack(cls, domain, bcid, payload) -> "MapBC":
+        return cls(domain, bcid, data=payload)
+
+
+class MultiMapBC(MapBC):
+    """Pair-associative storage allowing duplicate keys (pMultiMap)."""
+
+    def insert(self, key, value) -> bool:
+        self.data.setdefault(key, []).append(value)
+        return True
+
+    def count(self, key) -> int:
+        return len(self.data.get(key, ()))
+
+    def erase(self, key) -> int:
+        vals = self.data.pop(key, None)
+        return 0 if vals is None else len(vals)
+
+
+class SetBC(BaseContainer):
+    """Simple associative storage (key == value): pSet/pHashSet/pMultiSet."""
+
+    def __init__(self, domain, bcid, sorted_order: bool = False, multi=False,
+                 data=None):
+        super().__init__(domain, bcid)
+        self.sorted_order = sorted_order
+        self.multi = multi
+        self.data: dict = {}
+        if data:
+            for k, c in data.items():
+                self.data[k] = c
+
+    def size(self) -> int:
+        return sum(self.data.values())
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    def insert(self, key, _value=None) -> bool:
+        if key in self.data and not self.multi:
+            return False
+        self.data[key] = self.data.get(key, 0) + 1
+        return True
+
+    def erase(self, key) -> int:
+        return self.data.pop(key, 0)
+
+    def contains(self, key) -> bool:
+        return key in self.data
+
+    def find(self, key):
+        return (key, True) if key in self.data else (None, False)
+
+    def count(self, key) -> int:
+        return self.data.get(key, 0)
+
+    def keys(self) -> list:
+        ks = list(self.data.keys())
+        return sorted(ks) if self.sorted_order else ks
+
+    def items(self) -> list:
+        out = []
+        for k in self.keys():
+            out.extend([(k, k)] * self.data[k])
+        return out
+
+    def values(self) -> list:
+        out = []
+        for k in self.keys():
+            out.extend([k] * self.data[k])
+        return out
+
+    def memory_size(self) -> tuple:
+        return 64 + 32 * len(self.data), ELEM_BYTES * self.size()
+
+    def pack(self):
+        return dict(self.data)
+
+    @classmethod
+    def unpack(cls, domain, bcid, payload) -> "SetBC":
+        return cls(domain, bcid, data=payload)
+
+
+class _Vertex:
+    __slots__ = ("vd", "property", "adj")
+
+    def __init__(self, vd, prop=None):
+        self.vd = vd
+        self.property = prop
+        self.adj: dict = {}  # target vd -> list of edge properties
+
+
+class GraphBC(BaseContainer):
+    """Adjacency storage for pGraph: vertices with property + edge lists."""
+
+    def __init__(self, domain, bcid, multi_edges: bool = True):
+        super().__init__(domain, bcid)
+        self._vertices: dict[object, _Vertex] = {}
+        self.multi_edges = multi_edges
+        self._num_edges = 0
+
+    def size(self) -> int:
+        return len(self._vertices)
+
+    def clear(self) -> None:
+        self._vertices.clear()
+        self._num_edges = 0
+
+    def add_vertex(self, vd, prop=None) -> bool:
+        if vd in self._vertices:
+            return False
+        self._vertices[vd] = _Vertex(vd, prop)
+        return True
+
+    def delete_vertex(self, vd) -> bool:
+        v = self._vertices.pop(vd, None)
+        if v is None:
+            return False
+        self._num_edges -= sum(len(ps) for ps in v.adj.values())
+        return True
+
+    def has_vertex(self, vd) -> bool:
+        return vd in self._vertices
+
+    def vertex_property(self, vd):
+        return self._vertices[vd].property
+
+    def set_vertex_property(self, vd, prop) -> None:
+        self._vertices[vd].property = prop
+
+    def apply_vertex(self, vd, fn):
+        v = self._vertices[vd]
+        return fn(v)
+
+    def add_edge(self, src, tgt, prop=None) -> bool:
+        v = self._vertices[src]
+        if tgt in v.adj and not self.multi_edges:
+            return False
+        v.adj.setdefault(tgt, []).append(prop)
+        self._num_edges += 1
+        return True
+
+    def delete_edge(self, src, tgt) -> bool:
+        v = self._vertices.get(src)
+        if v is None or tgt not in v.adj:
+            return False
+        props = v.adj[tgt]
+        props.pop()
+        self._num_edges -= 1
+        if not props:
+            del v.adj[tgt]
+        return True
+
+    def has_edge(self, src, tgt) -> bool:
+        v = self._vertices.get(src)
+        return v is not None and tgt in v.adj
+
+    def out_degree(self, vd) -> int:
+        v = self._vertices[vd]
+        return sum(len(ps) for ps in v.adj.values())
+
+    def adjacents(self, vd) -> list:
+        return list(self._vertices[vd].adj.keys())
+
+    def edges_of(self, vd) -> list:
+        v = self._vertices[vd]
+        return [(vd, t, p) for t, ps in v.adj.items() for p in ps]
+
+    def vertices(self) -> list:
+        return list(self._vertices.keys())
+
+    def vertex_records(self):
+        return self._vertices.values()
+
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def memory_size(self) -> tuple:
+        meta = 64 + 56 * len(self._vertices) + 24 * self._num_edges
+        data = ELEM_BYTES * (len(self._vertices) + self._num_edges)
+        return meta, data
+
+    def pack(self):
+        return [(vd, v.property, [(t, ps) for t, ps in v.adj.items()])
+                for vd, v in self._vertices.items()]
+
+    @classmethod
+    def unpack(cls, domain, bcid, payload) -> "GraphBC":
+        out = cls(domain, bcid)
+        for vd, prop, adj in payload:
+            out.add_vertex(vd, prop)
+            for t, ps in adj:
+                for p in ps:
+                    out.add_edge(vd, t, p)
+        return out
+
+
+_MISSING = object()

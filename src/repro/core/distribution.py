@@ -1,0 +1,195 @@
+"""Data-distribution manager (Ch. V.C.6, Table X; locking skeleton Fig. 17).
+
+Every element-wise pContainer method is an instantiation of the generic
+``invoke`` skeleton:
+
+1. ask the partition *where* the GID lives (metadata access, guarded by the
+   thread-safety manager);
+2. if only partial information is available (dynamic directory), forward the
+   whole request to the location that may know more (method forwarding), or
+   — with forwarding disabled — resolve it with a synchronous directory
+   round trip;
+3. map the sub-domain to a location through the partition-mapper;
+4. execute locally against the bContainer (data access, guarded), or ship
+   the request with the requested flavour: ``invoke`` (asynchronous),
+   ``invoke_ret`` (synchronous), ``invoke_opaque_ret`` (split-phase).
+
+Containers implement ``_local_<method>(bc, gid, *args)`` handlers which the
+skeleton dispatches to once the owning bContainer is found.
+"""
+
+from __future__ import annotations
+
+from .partitions import BCInfo
+from .thread_safety import THSInfo
+from .traits import ConsistencyMode
+
+ASYNC = "async"
+SYNC = "sync"
+OPAQUE = "opaque"
+
+
+class DataDistributionManager:
+    """Owns the partition + partition-mapper of one container representative
+    and executes the generic method skeleton."""
+
+    def __init__(self, container, partition, mapper, ths_manager,
+                 consistency=ConsistencyMode.DEFAULT,
+                 bcontainer_thread_safe=False):
+        self.container = container
+        self.partition = partition
+        self.mapper = mapper
+        self.ths_manager = ths_manager
+        self.consistency = consistency
+        self.bcontainer_thread_safe = bcontainer_thread_safe
+
+    # -- address resolution (Fig. 7 flowchart) ---------------------------
+    def get_info(self, gid) -> BCInfo:
+        """``FunctorWhere``: partition query, possibly partial (Fig. 8)."""
+        loc = self.container.here
+        loc.charge_lookup()
+        p = self.partition
+        if p.directory:
+            home_bcid = p.home_bcid(gid)
+            home_loc = self.mapper.map(home_bcid)
+            if home_loc != loc.id:
+                if p.forwarding:
+                    return BCInfo(loc_hint=home_loc)
+                # no forwarding: synchronous directory interrogation
+                bcid = self.container._sync_dir_lookup(home_loc, gid)
+                if bcid is None:
+                    raise KeyError(f"GID {gid!r} not in container")
+                return BCInfo(bcid=bcid)
+            bcid = p.lookup(gid)
+            if bcid is None:
+                raise KeyError(f"GID {gid!r} not in container")
+            return BCInfo(bcid=bcid)
+        return p.find(gid)
+
+    def lookup(self, gid):
+        """Location that owns (or may know more about) ``gid``."""
+        info = self.get_info(gid)
+        if info.valid:
+            return self.mapper.map(info.bcid)
+        return info.loc_hint
+
+    def is_local(self, gid) -> bool:
+        info = self.get_info(gid)
+        return info.valid and self.mapper.map(info.bcid) == self.container.here.id
+
+    # -- the generic skeleton ---------------------------------------------
+    def _execute_local(self, method, gid, args, ths_info, bcid):
+        ths = self.ths_manager
+        loc = self.container.here
+        ths.data_access_pre(ths_info, bcid)
+        loc.charge_access()
+        bc = self.container.location_manager.get_bcontainer(bcid)
+        handler = getattr(self.container, "_local_" + method)
+        result = handler(bc, gid, *args)
+        ths.data_access_post(ths_info, bcid)
+        ths.method_access_post(ths_info)
+        return result
+
+    def _dispatch(self, method, gid, args, flavor):
+        container = self.container
+        loc = container.here
+        ths = self.ths_manager
+        policy = self.partition.locking_policy
+        pol = policy.get_locking_policy(method) if policy else None
+        if pol is None:
+            from .thread_safety import ELEMENT, MDREAD, WRITE
+            pol = (ELEMENT, WRITE, MDREAD)
+        info = THSInfo(method, gid, pol, loc, self.partition.dynamic,
+                       self.bcontainer_thread_safe)
+        ths.method_access_pre(info)
+        ths.metadata_access_pre(info)
+        bcinfo = self.get_info(gid)
+        ths.metadata_access_post(info)
+        if bcinfo.valid:
+            target = self.mapper.map(bcinfo.bcid)
+        else:
+            target = bcinfo.loc_hint
+        if target == loc.id:
+            if not bcinfo.valid:  # pragma: no cover - defensive
+                raise RuntimeError("partition returned hint to self")
+            loc.stats.local_invocations += 1
+            result = self._execute_local(method, gid, args, info, bcinfo.bcid)
+            if flavor == OPAQUE:
+                from ..runtime.future import Future
+
+                fut = Future(container.runtime, loc.id, loc.id)
+                fut._resolve(result, loc.clock)
+                return fut
+            return result
+        # remote: ship the request with the requested flavour.  When the
+        # sub-domain is already resolved (directory home answered, or a
+        # closed-form partition), ship the BCID so the owner executes
+        # directly instead of re-resolving — this is what terminates a
+        # forwarding chain at the owner.
+        ths.method_access_post(info)
+        if container.runtime.current_origin != loc.id:
+            loc.stats.forwarded += 1
+        loc.stats.remote_invocations += 1
+        if bcinfo.valid:
+            handler_async, handler_ret = "_invoke_exec_async", "_invoke_exec_ret"
+            extra = (bcinfo.bcid,)
+        else:
+            handler_async, handler_ret = ("_invoke_handler_async",
+                                          "_invoke_handler_ret")
+            extra = ()
+        if flavor == ASYNC:
+            loc.async_rmi(target, container.handle, handler_async,
+                          method, gid, args, *extra)
+            return None
+        if flavor == SYNC:
+            return loc.sync_rmi(target, container.handle, handler_ret,
+                                method, gid, args, *extra)
+        return loc.opaque_rmi(target, container.handle, handler_ret,
+                              method, gid, args, *extra)
+
+    def execute_at_bcid(self, method, gid, args, bcid):
+        """Execute at a pre-resolved bContainer (tail of a forwarding chain).
+        Falls back to full re-dispatch if the BCID moved (redistribution)."""
+        container = self.container
+        loc = container.here
+        if not container.location_manager.has_bcontainer(bcid):
+            return self._dispatch(method, gid, args, SYNC)
+        ths = self.ths_manager
+        policy = self.partition.locking_policy
+        pol = policy.get_locking_policy(method) if policy else None
+        if pol is None:
+            from .thread_safety import ELEMENT, MDREAD, WRITE
+            pol = (ELEMENT, WRITE, MDREAD)
+        info = THSInfo(method, gid, pol, loc, self.partition.dynamic,
+                       self.bcontainer_thread_safe)
+        ths.method_access_pre(info)
+        loc.stats.local_invocations += 1
+        return self._execute_local(method, gid, args, info, bcid)
+
+    # -- public flavours (Table X) ------------------------------------------
+    def invoke(self, method, gid, *args) -> None:
+        """Asynchronous execution (no return value)."""
+        if self.consistency is ConsistencyMode.SEQUENTIAL:
+            self._dispatch(method, gid, args, SYNC)
+            return None
+        return self._dispatch(method, gid, args, ASYNC)
+
+    def invoke_ret(self, method, gid, *args):
+        """Synchronous execution returning the method's value."""
+        return self._dispatch(method, gid, args, SYNC)
+
+    def invoke_opaque_ret(self, method, gid, *args):
+        """Split-phase execution returning a future."""
+        if self.consistency is ConsistencyMode.SEQUENTIAL:
+            from ..runtime.future import Future
+
+            value = self._dispatch(method, gid, args, SYNC)
+            loc = self.container.here
+            fut = Future(self.container.runtime, loc.id, loc.id)
+            fut._resolve(value, loc.clock)
+            return fut
+        return self._dispatch(method, gid, args, OPAQUE)
+
+    def memory_size(self) -> int:
+        return (64 + self.partition.memory_size()
+                + self.mapper.memory_size())

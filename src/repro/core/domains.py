@@ -1,0 +1,490 @@
+"""pContainer domains (Ch. IV.B.2–3, Ch. V.C.3).
+
+A *domain* is a set of GIDs.  An *ordered domain* adds a total order with the
+paper's STL-compatible convention: ``first`` belongs to the domain, ``last``
+is a one-past-the-end sentinel that compares greater than every member.  A
+*finite ordered domain* additionally supports ``size``, ``next``, ``prev``,
+``advance`` and ``offset`` — the interface of Tables V and VI.
+
+Provided domain families (Ch. IV.B.3 "Example of Domains used by
+pContainers"): enumerations, 1D ranges, 2D ranges with row-/column-major
+linearisation, open (infinite) associative domains, cartesian products,
+set-operation compositions and filtered domains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_left
+from typing import Iterable, Iterator
+
+INVALID_GID = object()
+
+
+class Domain:
+    """Abstract set of GIDs."""
+
+    is_finite = True
+
+    def contains_gid(self, gid) -> bool:
+        raise NotImplementedError
+
+    def __contains__(self, gid) -> bool:
+        return self.contains_gid(gid)
+
+    def memory_size(self) -> int:
+        """Bytes of metadata used to represent this domain."""
+        return 32
+
+
+class OrderedDomain(Domain):
+    """Domain with a total order (Table V interface)."""
+
+    def get_first_gid(self):
+        raise NotImplementedError
+
+    def get_last_gid(self):
+        """One-past-the-end convention: not a member, greater than all."""
+        raise NotImplementedError
+
+    def compare_less_gids(self, a, b) -> bool:
+        raise NotImplementedError
+
+    def get_invalid_gid(self):
+        return INVALID_GID
+
+
+class FiniteOrderedDomain(OrderedDomain):
+    """Finite total-ordered domain (Table VI interface)."""
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def get_next_gid(self, gid):
+        raise NotImplementedError
+
+    def get_prev_gid(self, gid):
+        raise NotImplementedError
+
+    def advance(self, gid, n: int):
+        for _ in range(n):
+            gid = self.get_next_gid(gid)
+        return gid
+
+    def offset(self, gid) -> int:
+        raise NotImplementedError
+
+    def gid_at(self, off: int):
+        """Inverse of :meth:`offset` (the unique enumeration of Def. 6)."""
+        return self.advance(self.get_first_gid(), off)
+
+    def __iter__(self) -> Iterator:
+        if self.size() == 0:
+            return
+        gid = self.get_first_gid()
+        last = self.get_last_gid()
+        while gid != last:
+            yield gid
+            gid = self.get_next_gid(gid)
+
+    def __eq__(self, other):
+        if not isinstance(other, FiniteOrderedDomain):
+            return NotImplemented
+        if self.size() != other.size():
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    def __hash__(self):  # pragma: no cover - identity hashing
+        return id(self)
+
+
+class RangeDomain(FiniteOrderedDomain):
+    """Half-open integer interval ``[lo, hi)`` — the pArray/pVector domain."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int):
+        if hi < lo:
+            raise ValueError(f"empty-negative range [{lo}, {hi})")
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    def contains_gid(self, gid) -> bool:
+        return isinstance(gid, int) and self.lo <= gid < self.hi
+
+    def get_first_gid(self) -> int:
+        return self.lo
+
+    def get_last_gid(self) -> int:
+        return self.hi
+
+    def compare_less_gids(self, a, b) -> bool:
+        return a < b
+
+    def get_next_gid(self, gid) -> int:
+        return gid + 1
+
+    def get_prev_gid(self, gid) -> int:
+        return gid - 1
+
+    def advance(self, gid, n: int) -> int:
+        return gid + n
+
+    def offset(self, gid) -> int:
+        return gid - self.lo
+
+    def gid_at(self, off: int) -> int:
+        return self.lo + off
+
+    def __iter__(self):
+        return iter(range(self.lo, self.hi))
+
+    def split_at(self, mid: int):
+        """Split into ([lo, mid), [mid, hi)) — the *split* of Def. 11."""
+        return RangeDomain(self.lo, mid), RangeDomain(mid, self.hi)
+
+    def intersect(self, other: "RangeDomain") -> "RangeDomain":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        return RangeDomain(lo, max(lo, hi))
+
+    def __repr__(self):
+        return f"RangeDomain[{self.lo}, {self.hi})"
+
+    def memory_size(self) -> int:
+        return 16
+
+
+class EnumeratedDomain(FiniteOrderedDomain):
+    """Explicit enumeration of GIDs; order is the enumeration order."""
+
+    def __init__(self, gids: Iterable):
+        self._gids = list(gids)
+        if len(set(self._gids)) != len(self._gids):
+            raise ValueError("domain elements must be distinct")
+        self._index = {g: i for i, g in enumerate(self._gids)}
+
+    def size(self) -> int:
+        return len(self._gids)
+
+    def contains_gid(self, gid) -> bool:
+        try:
+            return gid in self._index
+        except TypeError:
+            return False
+
+    def get_first_gid(self):
+        if not self._gids:
+            return INVALID_GID
+        return self._gids[0]
+
+    def get_last_gid(self):
+        return INVALID_GID  # sentinel: one past the final element
+
+    def compare_less_gids(self, a, b) -> bool:
+        if b is INVALID_GID:
+            return a is not INVALID_GID
+        if a is INVALID_GID:
+            return False
+        return self._index[a] < self._index[b]
+
+    def get_next_gid(self, gid):
+        i = self._index[gid]
+        if i + 1 >= len(self._gids):
+            return self.get_last_gid()
+        return self._gids[i + 1]
+
+    def get_prev_gid(self, gid):
+        if gid is INVALID_GID:
+            return self._gids[-1]
+        return self._gids[self._index[gid] - 1]
+
+    def offset(self, gid) -> int:
+        return self._index[gid]
+
+    def gid_at(self, off: int):
+        return self._gids[off]
+
+    def __iter__(self):
+        return iter(self._gids)
+
+    def __repr__(self):
+        return f"EnumeratedDomain({self._gids!r})"
+
+    def memory_size(self) -> int:
+        return 16 + 16 * len(self._gids)
+
+
+class Range2DDomain(FiniteOrderedDomain):
+    """2D index domain ``[(r0,c0), (r1,c1))`` with row- or column-major
+    linearisation (the two total orders of Ch. IV.B.3)."""
+
+    def __init__(self, first: tuple, last: tuple, order: str = "row"):
+        self.r0, self.c0 = first
+        self.r1, self.c1 = last
+        if self.r1 < self.r0 or self.c1 < self.c0:
+            raise ValueError("negative 2D range")
+        if order not in ("row", "column"):
+            raise ValueError("order must be 'row' or 'column'")
+        self.order = order
+
+    @property
+    def rows(self) -> int:
+        return self.r1 - self.r0
+
+    @property
+    def cols(self) -> int:
+        return self.c1 - self.c0
+
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def contains_gid(self, gid) -> bool:
+        try:
+            r, c = gid
+        except (TypeError, ValueError):
+            return False
+        return self.r0 <= r < self.r1 and self.c0 <= c < self.c1
+
+    def get_first_gid(self):
+        return (self.r0, self.c0)
+
+    def get_last_gid(self):
+        return (self.r1, self.c1)
+
+    def _key(self, gid):
+        r, c = gid
+        if self.order == "row":
+            return (r, c)
+        return (c, r)
+
+    def compare_less_gids(self, a, b) -> bool:
+        return self._key(a) < self._key(b)
+
+    def offset(self, gid) -> int:
+        r, c = gid
+        if self.order == "row":
+            return (r - self.r0) * self.cols + (c - self.c0)
+        return (c - self.c0) * self.rows + (r - self.r0)
+
+    def gid_at(self, off: int):
+        if self.order == "row":
+            return (self.r0 + off // self.cols, self.c0 + off % self.cols)
+        return (self.r0 + off % self.rows, self.c0 + off // self.rows)
+
+    def get_next_gid(self, gid):
+        off = self.offset(gid) + 1
+        if off >= self.size():
+            return self.get_last_gid()
+        return self.gid_at(off)
+
+    def get_prev_gid(self, gid):
+        if gid == self.get_last_gid():
+            return self.gid_at(self.size() - 1)
+        return self.gid_at(self.offset(gid) - 1)
+
+    def advance(self, gid, n: int):
+        off = self.offset(gid) + n
+        if off >= self.size():
+            return self.get_last_gid()
+        return self.gid_at(off)
+
+    def __iter__(self):
+        return (self.gid_at(i) for i in range(self.size()))
+
+    def __repr__(self):
+        return (f"Range2DDomain[({self.r0},{self.c0}), ({self.r1},{self.c1}))"
+                f" {self.order}-major")
+
+    def memory_size(self) -> int:
+        return 40
+
+
+class OpenDomain(OrderedDomain):
+    """Infinite, open ordered domain for sorted associative containers:
+    ``{[lo, hi), key order}`` (e.g. the strings domain of Ch. IV.B.3).
+    ``None`` bounds mean unbounded on that side."""
+
+    is_finite = False
+
+    def __init__(self, lo=None, hi=None):
+        self.lo = lo
+        self.hi = hi
+
+    def contains_gid(self, gid) -> bool:
+        try:
+            if self.lo is not None and gid < self.lo:
+                return False
+            if self.hi is not None and gid >= self.hi:
+                return False
+        except TypeError:
+            return False
+        return True
+
+    def get_first_gid(self):
+        return self.lo
+
+    def get_last_gid(self):
+        return self.hi
+
+    def compare_less_gids(self, a, b) -> bool:
+        return a < b
+
+    def __repr__(self):
+        return f"OpenDomain[{self.lo!r}, {self.hi!r})"
+
+
+class UniverseDomain(Domain):
+    """Universe(T): infinite domain of all valid GIDs (dynamic containers)."""
+
+    is_finite = False
+
+    def __init__(self, predicate=None):
+        self._pred = predicate
+
+    def contains_gid(self, gid) -> bool:
+        return True if self._pred is None else bool(self._pred(gid))
+
+    def __repr__(self):
+        return "UniverseDomain()"
+
+
+class CartesianDomain(FiniteOrderedDomain):
+    """Lexicographic product of finite ordered domains (Ch. IV.B.3)."""
+
+    def __init__(self, factors: list):
+        self.factors = list(factors)
+        if not self.factors:
+            raise ValueError("need at least one factor domain")
+        self._sizes = [f.size() for f in self.factors]
+
+    def size(self) -> int:
+        out = 1
+        for s in self._sizes:
+            out *= s
+        return out
+
+    def contains_gid(self, gid) -> bool:
+        try:
+            if len(gid) != len(self.factors):
+                return False
+        except TypeError:
+            return False
+        return all(f.contains_gid(x) for f, x in zip(self.factors, gid))
+
+    def get_first_gid(self):
+        return tuple(f.get_first_gid() for f in self.factors)
+
+    def get_last_gid(self):
+        return tuple(f.get_last_gid() for f in self.factors)
+
+    def compare_less_gids(self, a, b) -> bool:
+        ka = tuple(f.offset(x) for f, x in zip(self.factors, a))
+        kb = tuple(f.offset(x) for f, x in zip(self.factors, b))
+        return ka < kb
+
+    def offset(self, gid) -> int:
+        out = 0
+        for f, x, s in zip(self.factors, gid, self._sizes):
+            out = out * s + f.offset(x)
+        return out
+
+    def gid_at(self, off: int):
+        coords = []
+        for f, s in zip(reversed(self.factors), reversed(self._sizes)):
+            coords.append(f.gid_at(off % s))
+            off //= s
+        return tuple(reversed(coords))
+
+    def get_next_gid(self, gid):
+        off = self.offset(gid) + 1
+        if off >= self.size():
+            return self.get_last_gid()
+        return self.gid_at(off)
+
+    def get_prev_gid(self, gid):
+        return self.gid_at(self.offset(gid) - 1)
+
+    def __iter__(self):
+        return (self.gid_at(i) for i in range(self.size()))
+
+    def memory_size(self) -> int:
+        return 16 + sum(f.memory_size() for f in self.factors)
+
+
+class FilteredDomain(FiniteOrderedDomain):
+    """``(D1, filter_function)``: members of a base domain passing a
+    predicate, in the base order (Ch. IV.B.3)."""
+
+    def __init__(self, base: FiniteOrderedDomain, predicate):
+        self.base = base
+        self.predicate = predicate
+        self._gids = [g for g in base if predicate(g)]
+        self._view = EnumeratedDomain(self._gids)
+
+    def size(self) -> int:
+        return self._view.size()
+
+    def contains_gid(self, gid) -> bool:
+        return self.base.contains_gid(gid) and self.predicate(gid)
+
+    def get_first_gid(self):
+        return self._view.get_first_gid()
+
+    def get_last_gid(self):
+        return self._view.get_last_gid()
+
+    def compare_less_gids(self, a, b) -> bool:
+        return self._view.compare_less_gids(a, b)
+
+    def get_next_gid(self, gid):
+        return self._view.get_next_gid(gid)
+
+    def get_prev_gid(self, gid):
+        return self._view.get_prev_gid(gid)
+
+    def offset(self, gid) -> int:
+        return self._view.offset(gid)
+
+    def gid_at(self, off: int):
+        return self._view.gid_at(off)
+
+    def __iter__(self):
+        return iter(self._gids)
+
+    def memory_size(self) -> int:
+        return self._view.memory_size()
+
+
+# -- set operations on domains (Ch. IV.B.3: OD3 = OD1 op OD2) --------------
+
+def domain_union(a: FiniteOrderedDomain, b: FiniteOrderedDomain) -> FiniteOrderedDomain:
+    if isinstance(a, RangeDomain) and isinstance(b, RangeDomain):
+        if a.hi >= b.lo and b.hi >= a.lo:  # overlapping/adjacent
+            return RangeDomain(min(a.lo, b.lo), max(a.hi, b.hi))
+    seen = list(a)
+    extra = [g for g in b if g not in set(seen)]
+    return EnumeratedDomain(sorted(seen + extra))
+
+
+def domain_intersection(a: FiniteOrderedDomain, b: FiniteOrderedDomain) -> FiniteOrderedDomain:
+    if isinstance(a, RangeDomain) and isinstance(b, RangeDomain):
+        return a.intersect(b)
+    bset = set(b)
+    return EnumeratedDomain([g for g in a if g in bset])
+
+
+def domain_difference(a: FiniteOrderedDomain, b: FiniteOrderedDomain) -> FiniteOrderedDomain:
+    bset = set(b)
+    return EnumeratedDomain([g for g in a if g not in bset])
+
+
+def linearization(domain: FiniteOrderedDomain) -> list:
+    """The unique enumeration imposed by the domain's total order (Def. 6)."""
+    return list(domain)

@@ -1,0 +1,62 @@
+"""Location manager: per-location bContainer administration
+(Ch. V.C.2, Table IV)."""
+
+from __future__ import annotations
+
+
+class LocationManager:
+    """Maintains the collection of bContainers mapped to one location."""
+
+    def __init__(self):
+        self._bcontainers: dict = {}
+
+    def add_bcontainer(self, bcid, bc) -> None:
+        if bcid in self._bcontainers:
+            raise ValueError(f"bContainer {bcid} already registered")
+        self._bcontainers[bcid] = bc
+
+    def delete_bcontainer(self, bcid):
+        return self._bcontainers.pop(bcid)
+
+    def get_bcontainer(self, bcid):
+        return self._bcontainers[bcid]
+
+    def has_bcontainer(self, bcid) -> bool:
+        return bcid in self._bcontainers
+
+    def size(self) -> int:
+        return len(self._bcontainers)
+
+    def __len__(self) -> int:
+        return len(self._bcontainers)
+
+    def __iter__(self):
+        return iter(self._bcontainers.values())
+
+    def bcids(self) -> list:
+        return sorted(self._bcontainers.keys(), key=_bcid_key)
+
+    def ordered(self) -> list:
+        return [self._bcontainers[b] for b in self.bcids()]
+
+    def clear(self) -> None:
+        for bc in self._bcontainers.values():
+            bc.clear()
+        self._bcontainers.clear()
+
+    def local_size(self) -> int:
+        return sum(bc.size() for bc in self._bcontainers.values())
+
+    def memory_size(self) -> tuple:
+        """(metadata bytes, data bytes) summed over local bContainers."""
+        meta, data = 48, 0
+        for bc in self._bcontainers.values():
+            m, d = bc.memory_size()
+            meta += m + 16  # map-entry overhead per bContainer
+            data += d
+        return meta, data
+
+
+def _bcid_key(b):
+    """Stable ordering for heterogeneous BCID types."""
+    return (str(type(b).__name__), b if isinstance(b, (int, float)) else str(b))

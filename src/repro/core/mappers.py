@@ -1,0 +1,95 @@
+"""Partition mappers: BCID → location (Ch. V.C.5, Table IX).
+
+The partition decides *which sub-domain* owns a GID; the partition-mapper
+decides *which location* hosts each sub-domain's bContainer.  The framework
+ships the paper's three mappers: cyclic, blocked and general (arbitrary).
+"""
+
+from __future__ import annotations
+
+
+class PartitionMapper:
+    """Table IX interface."""
+
+    def __init__(self):
+        self._num_bcontainers = 0
+        self._members: tuple = ()
+
+    def init(self, num_bcontainers: int, members) -> None:
+        """Initialise with the BCID count and the group's location list."""
+        self._num_bcontainers = num_bcontainers
+        self._members = tuple(members)
+
+    @property
+    def num_locations(self) -> int:
+        return len(self._members)
+
+    def get_num_bcontainers(self) -> int:
+        return self._num_bcontainers
+
+    def map(self, bcid: int):
+        """Location hosting ``bcid``."""
+        raise NotImplementedError
+
+    def is_local(self, bcid: int, lid) -> bool:
+        return self.map(bcid) == lid
+
+    def get_local_cids(self, lid) -> list:
+        return [b for b in range(self._num_bcontainers) if self.map(b) == lid]
+
+    def memory_size(self) -> int:
+        return 32
+
+
+class CyclicMapper(PartitionMapper):
+    """Sub-domain *i* lives on location ``members[i % L]``."""
+
+    def map(self, bcid: int):
+        return self._members[bcid % len(self._members)]
+
+    def get_local_cids(self, lid) -> list:
+        try:
+            start = self._members.index(lid)
+        except ValueError:
+            return []
+        return list(range(start, self._num_bcontainers, len(self._members)))
+
+
+class BlockedMapper(PartitionMapper):
+    """m/L consecutive sub-domains per location."""
+
+    def map(self, bcid: int):
+        L = len(self._members)
+        m = self._num_bcontainers
+        per, rem = divmod(m, L)
+        big = rem * (per + 1)
+        if bcid < big:
+            return self._members[bcid // (per + 1)]
+        if per == 0:
+            raise IndexError(bcid)
+        return self._members[rem + (bcid - big) // per]
+
+
+class GeneralMapper(PartitionMapper):
+    """Arbitrary explicit BCID → location assignment."""
+
+    def __init__(self, assignment: list):
+        super().__init__()
+        self.assignment = list(assignment)
+
+    def init(self, num_bcontainers: int, members) -> None:
+        if num_bcontainers != len(self.assignment):
+            raise ValueError(
+                f"assignment covers {len(self.assignment)} BCIDs, partition "
+                f"has {num_bcontainers}")
+        mset = set(members)
+        for loc in self.assignment:
+            if loc not in mset:
+                raise ValueError(f"location {loc} not in group {members}")
+        super().init(num_bcontainers, members)
+
+    def map(self, bcid: int):
+        return self.assignment[bcid]
+
+    def memory_size(self) -> int:
+        return 32 + 8 * len(self.assignment)

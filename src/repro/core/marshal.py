@@ -1,0 +1,40 @@
+"""Data marshaling (Ch. V.G.1): the ``define_type``/typer mechanism.
+
+The C++ RTS needs explicit packing rules for every shipped type.  In Python
+objects are trivially transportable inside one simulation, so the typer's
+remaining job is *cost accounting*: computing how many bytes a payload
+occupies on the wire so the bandwidth term of the machine model is charged
+correctly.  bContainers additionally expose ``pack``/``unpack`` used by
+redistribution.
+"""
+
+from __future__ import annotations
+
+from ..runtime.comm import estimate_size
+
+
+class Typer:
+    """Accumulates the marshaled size of an object graph, mirroring the
+    recursive ``define_type(typer&)`` protocol of Fig. 14."""
+
+    def __init__(self):
+        self._bytes = 0
+
+    def member(self, value, count: int = 1) -> "Typer":
+        self._bytes += estimate_size(value) * max(1, count)
+        return self
+
+    @property
+    def size(self) -> int:
+        return self._bytes
+
+
+def marshal_size(obj) -> int:
+    """Wire size of ``obj``: honours a user-defined ``define_type`` hook if
+    present, else falls back to the generic estimator."""
+    define_type = getattr(obj, "define_type", None)
+    if define_type is not None:
+        t = Typer()
+        define_type(t)
+        return t.size
+    return estimate_size(obj)

@@ -1,0 +1,76 @@
+"""Memory-consumption accounting (Ch. IX.F, Tables XXII/XXIII, Fig. 34).
+
+Every framework module reports its own ``memory_size``; this module gathers
+them into per-location and aggregate reports and provides the *theoretical*
+models the paper compares against (Table XXIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base_containers import ELEM_BYTES
+
+
+@dataclass
+class MemoryReport:
+    """Measured memory of one container across all locations."""
+
+    per_location: list  # [(metadata, data), ...]
+
+    @property
+    def metadata(self) -> int:
+        return sum(m for m, _ in self.per_location)
+
+    @property
+    def data(self) -> int:
+        return sum(d for _, d in self.per_location)
+
+    @property
+    def total(self) -> int:
+        return self.metadata + self.data
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Metadata bytes per data byte — the paper's figure of merit."""
+        return self.metadata / self.data if self.data else float("inf")
+
+
+def measure_memory(container) -> MemoryReport:
+    """Collective: gather (metadata, data) from every representative."""
+    local = container.local_memory_size()
+    gathered = container.ctx.allgather_rmi(local, group=container.group)
+    return MemoryReport(gathered)
+
+
+def theoretical_parray_memory(n: int, p: int, nparts: int | None = None,
+                              elem_bytes: int = ELEM_BYTES) -> dict:
+    """Table XXIII model for pArray.
+
+    Data is exactly ``n * elem_bytes``; metadata is O(1) per location for a
+    closed-form partition (domain + partition + mapper + manager bookkeeping)
+    plus per-bContainer records.
+    """
+    nparts = nparts if nparts is not None else p
+    per_loc_fixed = 64 + 48 + 32 + 32 + 64 + 48  # base/lm/domain/part/mapper/dist
+    per_bcontainer = 48 + 16 + 16  # bc header + map entry + sub-domain
+    metadata = p * per_loc_fixed + nparts * per_bcontainer
+    return {
+        "data": n * elem_bytes,
+        "metadata": metadata,
+        "total": n * elem_bytes + metadata,
+        "per_location_metadata": metadata / p,
+    }
+
+
+def theoretical_plist_memory(n: int, p: int, elem_bytes: int = ELEM_BYTES) -> dict:
+    """pList: three-pointer node overhead per element dominates metadata."""
+    per_node = 32
+    per_loc_fixed = 64 + 48 + 32 + 32 + 64 + 48
+    metadata = p * per_loc_fixed + n * per_node
+    return {
+        "data": n * elem_bytes,
+        "metadata": metadata,
+        "total": n * elem_bytes + metadata,
+        "per_location_metadata": metadata / p,
+    }

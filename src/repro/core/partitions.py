@@ -1,0 +1,499 @@
+"""Partitions: decomposition of a domain into sub-domains (Ch. IV.B.4–5,
+Ch. V.C.4, Tables VII/VIII/XV).
+
+A partition splits a pContainer's domain into disjoint sub-domains, one per
+base container (bContainer), and answers the central address-resolution
+question *which sub-domain owns this GID?* (``find``).  Static containers use
+closed-form partitions (no communication); dynamic containers either maintain
+replicated metadata (pVector, pList) or a distributed *directory*
+(dynamic pGraph) whose lookups may be forwarded between locations —
+reproducing the static / dynamic-forwarding / dynamic-no-forwarding
+trichotomy the paper evaluates in Fig. 51.
+
+Every partition also carries the per-method *locking policy* table consulted
+by the thread-safety manager (Ch. VI.D).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional
+
+from .domains import (
+    EnumeratedDomain,
+    FiniteOrderedDomain,
+    OpenDomain,
+    Range2DDomain,
+    RangeDomain,
+    UniverseDomain,
+)
+
+
+class BCInfo:
+    """Result of a ``where`` query (the bContainer-info structure of Fig. 8).
+
+    Either a valid bContainer id, or — when only partial information is
+    available on the querying location — a hint naming the location that may
+    know more (method forwarding, Ch. V.C).
+    """
+
+    __slots__ = ("bcid", "loc_hint")
+
+    def __init__(self, bcid=None, loc_hint=None):
+        self.bcid = bcid
+        self.loc_hint = loc_hint
+
+    @property
+    def valid(self) -> bool:
+        return self.bcid is not None
+
+    def __repr__(self):
+        return f"BCInfo(bcid={self.bcid}, loc_hint={self.loc_hint})"
+
+
+def split_domain(domain: FiniteOrderedDomain, sizes: list) -> list:
+    """The *split* of Def. 11: block the unique enumeration of a totally
+    ordered domain into consecutive chunks of the given sizes."""
+    if sum(sizes) != domain.size():
+        raise ValueError(
+            f"split sizes {sum(sizes)} != domain size {domain.size()}")
+    if isinstance(domain, RangeDomain):
+        out, lo = [], domain.lo
+        for s in sizes:
+            out.append(RangeDomain(lo, lo + s))
+            lo += s
+        return out
+    gids = list(domain)
+    out, at = [], 0
+    for s in sizes:
+        out.append(EnumeratedDomain(gids[at:at + s]))
+        at += s
+    return out
+
+
+def balanced_sizes(n: int, parts: int) -> list:
+    """Sizes of a balanced split of ``n`` elements into ``parts`` chunks."""
+    if parts <= 0:
+        raise ValueError("need at least one part")
+    base, rem = divmod(n, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+class Partition:
+    """Base partition interface (Table VII) over an ordered BCID space.
+
+    BCIDs are the integers ``0..m-1``; the ordered-partition relation RD is
+    their natural order (Table VIII).
+    """
+
+    #: True when ``find`` may return partial information (directory lookups)
+    directory = False
+    #: True when the sub-domains can change during execution
+    dynamic = False
+
+    def __init__(self):
+        self._domain: Optional[FiniteOrderedDomain] = None
+        self._subdomains: list = []
+        #: per-method locking attributes, filled in by the owning container
+        self.locking_policy: dict = {}
+
+    # -- setup ----------------------------------------------------------
+    def set_domain(self, domain) -> None:
+        self._domain = domain
+        self._subdomains = self._build_subdomains(domain)
+
+    def _build_subdomains(self, domain) -> list:
+        raise NotImplementedError
+
+    # -- Table VII ------------------------------------------------------
+    def get_domain(self):
+        return self._domain
+
+    def size(self) -> int:
+        return len(self._subdomains)
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def get_sub_domain(self, bcid: int):
+        return self._subdomains[bcid]
+
+    def get_sub_domains(self) -> list:
+        return list(self._subdomains)
+
+    def get_sub_domain_sizes(self) -> list:
+        return [d.size() for d in self._subdomains]
+
+    def find(self, gid) -> BCInfo:
+        """Map a GID to its sub-domain (``get_info`` of Table VII)."""
+        raise NotImplementedError
+
+    # -- ordered partition (Table VIII) ----------------------------------
+    def get_first(self) -> int:
+        return 0
+
+    def get_last(self) -> int:
+        return self.size()
+
+    def get_next(self, bcid: int) -> int:
+        return bcid + 1
+
+    def get_prev(self, bcid: int) -> int:
+        return bcid - 1
+
+    def memory_size(self) -> int:
+        return 64 + sum(d.memory_size() for d in self._subdomains)
+
+
+class BalancedPartition(Partition):
+    """``partition_balanced``: P sub-domains of N/P elements (pArray default)."""
+
+    def __init__(self, num_parts: int):
+        super().__init__()
+        if num_parts < 1:
+            raise ValueError("need at least one part")
+        self.num_parts = num_parts
+
+    def _build_subdomains(self, domain):
+        n = domain.size()
+        parts = min(self.num_parts, n) if n else 1
+        self._base, self._rem = divmod(n, parts) if n else (0, 0)
+        self._parts = parts
+        return split_domain(domain, balanced_sizes(n, parts))
+
+    def find(self, gid) -> BCInfo:
+        off = self._domain.offset(gid)
+        # first `rem` parts hold (base+1) elements: closed form
+        big = self._rem * (self._base + 1)
+        if off < big:
+            return BCInfo(off // (self._base + 1))
+        if self._base == 0:
+            raise KeyError(gid)
+        return BCInfo(self._rem + (off - big) // self._base)
+
+    def memory_size(self) -> int:
+        return 32  # closed form: no per-subdomain metadata needed
+
+
+class BlockedPartition(Partition):
+    """``partition_blocked``: fixed block size, N/BS sub-domains."""
+
+    def __init__(self, block_size: int):
+        super().__init__()
+        if block_size < 1:
+            raise ValueError("block size must be positive")
+        self.block_size = block_size
+
+    def _build_subdomains(self, domain):
+        n = domain.size()
+        sizes = []
+        while n > 0:
+            sizes.append(min(self.block_size, n))
+            n -= sizes[-1]
+        if not sizes:
+            sizes = [0]
+        return split_domain(domain, sizes)
+
+    def find(self, gid) -> BCInfo:
+        return BCInfo(self._domain.offset(gid) // self.block_size)
+
+    def memory_size(self) -> int:
+        return 32
+
+
+class BlockCyclicPartition(Partition):
+    """``partition_block_cyclic``: round-robin groups of ``block`` GIDs over
+    ``num_parts`` sub-domains."""
+
+    def __init__(self, num_parts: int, block: int = 1):
+        super().__init__()
+        self.num_parts = num_parts
+        self.block = max(1, block)
+
+    def _build_subdomains(self, domain):
+        gids = [[] for _ in range(self.num_parts)]
+        for off, gid in enumerate(domain):
+            gids[(off // self.block) % self.num_parts].append(gid)
+        return [EnumeratedDomain(g) for g in gids]
+
+    def find(self, gid) -> BCInfo:
+        off = self._domain.offset(gid)
+        return BCInfo((off // self.block) % self.num_parts)
+
+
+class ExplicitPartition(Partition):
+    """``partition_blocked_explicit``: caller-specified block sizes."""
+
+    def __init__(self, sizes: list):
+        super().__init__()
+        self.sizes = list(sizes)
+        if any(s < 0 for s in self.sizes) or not self.sizes:
+            raise ValueError("sizes must be a non-empty list of >= 0")
+
+    def _build_subdomains(self, domain):
+        self._cum = []
+        acc = 0
+        for s in self.sizes:
+            acc += s
+            self._cum.append(acc)
+        return split_domain(domain, self.sizes)
+
+    def find(self, gid) -> BCInfo:
+        off = self._domain.offset(gid)
+        return BCInfo(bisect_right(self._cum, off))
+
+    def memory_size(self) -> int:
+        return 32 + 8 * len(self.sizes)
+
+
+class Matrix2DPartition(Partition):
+    """``p_matrix_partition``: (pr × pc) grid of 2D blocks over a
+    :class:`Range2DDomain` (row/column/blocked layouts, Ch. V.D.4)."""
+
+    def __init__(self, pr: int, pc: int):
+        super().__init__()
+        if pr < 1 or pc < 1:
+            raise ValueError("grid dims must be positive")
+        self.pr = pr
+        self.pc = pc
+
+    def _build_subdomains(self, domain: Range2DDomain):
+        if not isinstance(domain, Range2DDomain):
+            raise TypeError("Matrix2DPartition needs a Range2DDomain")
+        self._dom2d = domain
+        rs = balanced_sizes(domain.rows, self.pr)
+        cs = balanced_sizes(domain.cols, self.pc)
+        self._row_starts = [domain.r0]
+        for s in rs[:-1]:
+            self._row_starts.append(self._row_starts[-1] + s)
+        self._col_starts = [domain.c0]
+        for s in cs[:-1]:
+            self._col_starts.append(self._col_starts[-1] + s)
+        subs = []
+        for i, r0 in enumerate(self._row_starts):
+            r1 = r0 + rs[i]
+            for j, c0 in enumerate(self._col_starts):
+                c1 = c0 + cs[j]
+                subs.append(Range2DDomain((r0, c0), (r1, c1),
+                                          order=domain.order))
+        return subs
+
+    def find(self, gid) -> BCInfo:
+        r, c = gid
+        i = bisect_right(self._row_starts, r) - 1
+        j = bisect_right(self._col_starts, c) - 1
+        return BCInfo(i * self.pc + j)
+
+    def block_coords(self, bcid: int) -> tuple:
+        return divmod(bcid, self.pc)
+
+
+class UnbalancedBlockedPartition(Partition):
+    """``pv_unbalanced_partition`` (pVector): starts balanced; inserts and
+    erases shift per-block counts, so ``find`` bisects a cumulative-size
+    table (replicated metadata, MDWRITE on dynamic ops)."""
+
+    dynamic = True
+
+    def __init__(self, num_parts: int):
+        super().__init__()
+        self.num_parts = max(1, num_parts)
+
+    def _build_subdomains(self, domain):
+        self._block_sizes = balanced_sizes(domain.size(), self.num_parts)
+        self._rebuild_cum()
+        return [None] * self.num_parts  # sub-domains are implicit (index math)
+
+    def _rebuild_cum(self):
+        self._cum = []
+        acc = 0
+        for s in self._block_sizes:
+            acc += s
+            self._cum.append(acc)
+
+    def size(self) -> int:
+        return len(self._block_sizes)
+
+    def total_size(self) -> int:
+        return self._cum[-1] if self._cum else 0
+
+    def get_sub_domain_sizes(self) -> list:
+        return list(self._block_sizes)
+
+    def get_sub_domain(self, bcid: int):
+        lo = self._cum[bcid - 1] if bcid else 0
+        return RangeDomain(lo, self._cum[bcid])
+
+    def get_sub_domains(self) -> list:
+        return [self.get_sub_domain(b) for b in range(self.size())]
+
+    def find(self, gid) -> BCInfo:
+        if not 0 <= gid < self.total_size():
+            raise IndexError(f"pVector index {gid} out of range")
+        return BCInfo(bisect_right(self._cum, gid))
+
+    def local_offset(self, gid, bcid: int) -> int:
+        return gid - (self._cum[bcid - 1] if bcid else 0)
+
+    def grow(self, bcid: int, by: int = 1) -> None:
+        self._block_sizes[bcid] += by
+        self._rebuild_cum()
+
+    def shrink(self, bcid: int, by: int = 1) -> None:
+        self._block_sizes[bcid] -= by
+        if self._block_sizes[bcid] < 0:
+            raise ValueError("negative block size")
+        self._rebuild_cum()
+
+    def memory_size(self) -> int:
+        return 32 + 16 * len(self._block_sizes)
+
+
+class ListPartition(Partition):
+    """pList partition: GIDs are stable ``(bcid, seq)`` handles, so
+    ownership is read off the GID itself — O(1), no directory (Ch. X.C)."""
+
+    dynamic = True
+
+    def __init__(self, num_parts: int):
+        super().__init__()
+        self.num_parts = max(1, num_parts)
+
+    def _build_subdomains(self, domain):
+        return [None] * self.num_parts
+
+    def size(self) -> int:
+        return self.num_parts
+
+    def find(self, gid) -> BCInfo:
+        bcid, _seq = gid
+        return BCInfo(bcid)
+
+    def memory_size(self) -> int:
+        return 32
+
+
+class HashPartition(Partition):
+    """Associative hash partition: ``bcid = stable_hash(key) % m``
+    (pHashMap/pSet; amortised O(1) address resolution)."""
+
+    dynamic = True
+
+    def __init__(self, num_parts: int):
+        super().__init__()
+        self.num_parts = max(1, num_parts)
+
+    def _build_subdomains(self, domain):
+        return [UniverseDomain() for _ in range(self.num_parts)]
+
+    def size(self) -> int:
+        return self.num_parts
+
+    def find(self, gid) -> BCInfo:
+        return BCInfo(stable_hash(gid) % self.num_parts)
+
+    def memory_size(self) -> int:
+        return 32
+
+
+class RangePartition(Partition):
+    """Value-based partition for *sorted* associative containers
+    (Fig. 58): splitter keys define open sub-domains; ``find`` bisects."""
+
+    dynamic = True
+
+    def __init__(self, splitters: list):
+        super().__init__()
+        self.splitters = list(splitters)
+
+    def _build_subdomains(self, domain):
+        bounds = [None] + list(self.splitters) + [None]
+        return [OpenDomain(bounds[i], bounds[i + 1])
+                for i in range(len(bounds) - 1)]
+
+    def size(self) -> int:
+        return len(self.splitters) + 1
+
+    def find(self, gid) -> BCInfo:
+        return BCInfo(bisect_right(self.splitters, gid))
+
+    def memory_size(self) -> int:
+        return 32 + 16 * len(self.splitters)
+
+
+class DirectoryPartition(Partition):
+    """Dynamic relational partition backed by a distributed directory.
+
+    Each GID has a *home* sub-domain (``stable_hash(gid) % m``) whose owning
+    location stores the authoritative GID → BCID entry.  A ``find`` issued
+    away from the home location returns only a location hint
+    (``BCInfo(loc_hint=home)``); the data-distribution manager then either
+    **forwards** the whole request to the home location (one-way traffic) or,
+    with ``forwarding=False``, performs a synchronous lookup round trip —
+    the two dynamic curves of Fig. 51.
+    """
+
+    directory = True
+    dynamic = True
+
+    def __init__(self, num_parts: int, forwarding: bool = True):
+        super().__init__()
+        self.num_parts = max(1, num_parts)
+        self.forwarding = forwarding
+        self._entries: dict = {}
+
+    def _build_subdomains(self, domain):
+        return [UniverseDomain() for _ in range(self.num_parts)]
+
+    def size(self) -> int:
+        return self.num_parts
+
+    def home_bcid(self, gid) -> int:
+        return stable_hash(gid) % self.num_parts
+
+    def register_gid(self, gid, bcid: int) -> None:
+        self._entries[gid] = bcid
+
+    def unregister_gid(self, gid) -> None:
+        self._entries.pop(gid, None)
+
+    def lookup(self, gid):
+        """Authoritative lookup — only meaningful at the home location."""
+        return self._entries.get(gid)
+
+    def contains(self, gid) -> bool:
+        return gid in self._entries
+
+    def find(self, gid) -> BCInfo:
+        bcid = self._entries.get(gid)
+        if bcid is None:
+            raise KeyError(gid)
+        return BCInfo(bcid)
+
+    def memory_size(self) -> int:
+        return 32 + 48 * len(self._entries)
+
+
+def stable_hash(x) -> int:
+    """Deterministic hash (no PYTHONHASHSEED dependence) for partitioning."""
+    if isinstance(x, int):
+        # finalizer-style mixing so the low bits (used by `% num_parts`)
+        # depend on all input bits
+        h = (x * 2654435761) & 0xFFFFFFFF
+        h ^= h >> 16
+        h = (h * 0x45D9F3B) & 0xFFFFFFFF
+        h ^= h >> 13
+        return h & 0x7FFFFFFF
+    if isinstance(x, str):
+        h = 2166136261
+        for ch in x:
+            h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+        return h & 0x7FFFFFFF
+    if isinstance(x, tuple):
+        h = 1000003
+        for item in x:
+            h = (h * 31 + stable_hash(item)) & 0x7FFFFFFF
+        return h
+    if isinstance(x, float):
+        return stable_hash(str(x))
+    return stable_hash(str(x))

@@ -1,0 +1,333 @@
+"""pContainer base classes (Ch. V.D, Fig. 5 taxonomy).
+
+``PContainerBase`` (Table XI) owns the location-manager and the
+data-distribution manager and provides the collective construction protocol:
+register with the RTS, initialise domain/partition/mapper, allocate local
+bContainers, and close with a barrier so no location escapes a constructor
+before every representative is usable.
+
+Specialisations (Tables XII–XVIII) are provided as mixin-style subclasses:
+static, dynamic, indexed; associative / relational / sequence interfaces live
+with their concrete containers in :mod:`repro.containers`.
+"""
+
+from __future__ import annotations
+
+from ..runtime.p_object import PObject
+from .distribution import DataDistributionManager
+from .location_manager import LocationManager
+from .mappers import CyclicMapper
+from .thread_safety import (
+    BCONTAINER,
+    ELEMENT,
+    LOCAL,
+    MDREAD,
+    MDWRITE,
+    READ,
+    WRITE,
+    LockingPolicy,
+    ThreadSafetyManager,
+)
+from .traits import DEFAULT_TRAITS, ConsistencyMode, Traits
+
+
+class PartitionProxy:
+    """Polymorphic partition wrapper (Ch. V.G): lets a live container swap
+    its partition during redistribution.  All attribute access is delegated
+    to the current inner partition."""
+
+    def __init__(self, inner):
+        object.__setattr__(self, "_inner", inner)
+
+    @property
+    def inner(self):
+        return object.__getattribute__(self, "_inner")
+
+    def swap(self, new_inner) -> None:
+        object.__setattr__(self, "_inner", new_inner)
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_inner"), name)
+
+    def __len__(self):
+        return len(self.inner)
+
+    def __repr__(self):
+        return f"PartitionProxy({self.inner!r})"
+
+
+class PContainerBase(PObject):
+    """Per-location representative of a distributed container (Table XI)."""
+
+    #: subclasses override with their method locking table (Ch. VI.D)
+    DEFAULT_LOCKING: dict = {}
+
+    def __init__(self, ctx, traits: Traits | None = None, group=None):
+        super().__init__(ctx, group)
+        self.traits = traits or DEFAULT_TRAITS
+        self.location_manager = LocationManager()
+        self._dist: DataDistributionManager | None = None
+        self._cached_size = 0
+
+    # -- construction helpers -------------------------------------------
+    def _make_ths_manager(self) -> ThreadSafetyManager:
+        factory = self.traits.ths_manager_factory
+        return factory() if factory else ThreadSafetyManager()
+
+    def _make_mapper(self):
+        factory = self.traits.mapper_factory
+        return factory() if factory else CyclicMapper()
+
+    def _make_bcontainer(self, subdomain, bcid):
+        factory = self.traits.bcontainer_factory
+        if factory is not None:
+            return factory(subdomain, bcid)
+        return self._default_bcontainer(subdomain, bcid)
+
+    def _default_bcontainer(self, subdomain, bcid):  # pragma: no cover
+        raise NotImplementedError
+
+    def _install_locking_policy(self, partition) -> None:
+        policy = LockingPolicy()
+        for method, attrs in self.DEFAULT_LOCKING.items():
+            policy.set(method, *attrs)
+        partition.locking_policy = policy
+
+    def init(self, domain, partition, mapper=None, shared_partition=False,
+             allocate=True) -> None:
+        """Set up distribution metadata and allocate local bContainers.
+
+        With ``shared_partition`` the first group member's partition instance
+        becomes the canonical (shared-metadata) copy for the whole container
+        — used by containers whose partition metadata mutates (pVector).
+        """
+        first = self.group.members[0]
+        if shared_partition and self.ctx.id != first:
+            partition = self.rep_on(first).partition
+        else:
+            if domain is not None:
+                partition.set_domain(domain)
+            if self.traits.use_partition_proxy and not isinstance(
+                    partition, PartitionProxy):
+                partition = PartitionProxy(partition)
+        self._install_locking_policy(partition)
+        mapper = mapper if mapper is not None else self._make_mapper()
+        mapper.init(partition.size(), self.group.members)
+        self._dist = DataDistributionManager(
+            self, partition, mapper, self._make_ths_manager(),
+            consistency=self.traits.consistency,
+            bcontainer_thread_safe=self.traits.bcontainer_thread_safe)
+        if allocate:
+            self._allocate_local(partition, mapper)
+
+    def _allocate_local(self, partition, mapper) -> None:
+        m = self.ctx.machine
+        for bcid in mapper.get_local_cids(self.ctx.id):
+            sub = partition.get_sub_domain(bcid)
+            bc = self._make_bcontainer(sub, bcid)
+            self.location_manager.add_bcontainer(bcid, bc)
+            # constructor touches every local element once (Fig. 27 shape)
+            self.ctx.charge(m.t_access * 0.25 * bc.size())
+
+    def _ctor_done(self) -> None:
+        """Collective constructor epilogue: barrier so every representative
+        is initialised before any location proceeds."""
+        self.ctx.barrier(self.group)
+
+    # -- accessors (Table XI) ---------------------------------------------
+    @property
+    def distribution(self) -> DataDistributionManager:
+        return self._dist
+
+    def get_distribution(self) -> DataDistributionManager:
+        return self._dist
+
+    def get_location_manager(self) -> LocationManager:
+        return self.location_manager
+
+    @property
+    def partition(self):
+        return self._dist.partition
+
+    @property
+    def mapper(self):
+        return self._dist.mapper
+
+    # -- shared-object-view queries ----------------------------------------
+    def is_local(self, gid) -> bool:
+        return self._dist.is_local(gid)
+
+    def lookup(self, gid):
+        """Location owning (or knowing more about) ``gid``."""
+        return self._dist.lookup(gid)
+
+    def local_size(self) -> int:
+        return self.location_manager.local_size()
+
+    def local_empty(self) -> bool:
+        return self.local_size() == 0
+
+    # -- generic RMI handlers (targets of the invoke skeleton) -------------
+    def _invoke_handler_async(self, method, gid, args):
+        self._dist._dispatch(method, gid, args, "async")
+
+    def _invoke_handler_ret(self, method, gid, args):
+        return self._dist._dispatch(method, gid, args, "sync")
+
+    def _invoke_exec_async(self, method, gid, args, bcid):
+        self._dist.execute_at_bcid(method, gid, args, bcid)
+
+    def _invoke_exec_ret(self, method, gid, args, bcid):
+        return self._dist.execute_at_bcid(method, gid, args, bcid)
+
+    def _sync_dir_lookup(self, home_loc, gid):
+        """Directory interrogation round trip (forwarding disabled)."""
+        return self._sync(home_loc, "_dir_lookup", gid)
+
+    def _dir_lookup(self, gid):
+        return self._dist.partition.lookup(gid)
+
+    def _dir_register(self, gid, bcid):
+        self.here.charge_lookup()
+        self._dist.partition.register_gid(gid, bcid)
+
+    def _dir_unregister(self, gid):
+        self.here.charge_lookup()
+        self._dist.partition.unregister_gid(gid)
+
+    # -- memory accounting (Ch. IX.F) ---------------------------------------
+    def local_memory_size(self) -> tuple:
+        """(metadata bytes, data bytes) on this location."""
+        lm_meta, lm_data = self.location_manager.memory_size()
+        meta = 64 + lm_meta + self._dist.memory_size()
+        return meta, lm_data
+
+    def memory_size(self) -> tuple:
+        """Collective: (metadata bytes, data bytes) over the whole container."""
+        meta, data = self.local_memory_size()
+        return tuple(self.ctx.allreduce_rmi(
+            (meta, data), lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            group=self.group))
+
+    # -- bulk iteration support (native views / pAlgorithms) ----------------
+    def local_bcontainers(self) -> list:
+        return self.location_manager.ordered()
+
+
+class PContainerStatic(PContainerBase):
+    """Static container (Table XII): element count fixed at construction."""
+
+    def size(self) -> int:
+        return self._cached_size
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def empty(self) -> bool:
+        return self.size() == 0
+
+    def apply_get(self, gid, fn):
+        """Apply a returning functor to the element at ``gid`` (sync)."""
+        return self._dist.invoke_ret("apply_get", gid, fn)
+
+    def apply_set(self, gid, fn) -> None:
+        """Apply a mutating functor to the element at ``gid`` (async)."""
+        self._dist.invoke("apply_set", gid, fn)
+
+
+class PContainerDynamic(PContainerBase):
+    """Dynamic container (Table XIII): elements can be added and removed.
+
+    ``size()`` is the lazily-maintained replicated size of Ch. VII.G — it is
+    refreshed by :meth:`update_size` (called from view ``post_execute``) and
+    may be stale between synchronisation points, exactly as specified.
+    """
+
+    def size(self) -> int:
+        return self._cached_size
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def empty(self) -> bool:
+        return self.size() == 0
+
+    def update_size(self) -> int:
+        """Collective re-synchronisation of the replicated size."""
+        self._cached_size = self.ctx.allreduce_rmi(
+            self.local_size(), group=self.group)
+        return self._cached_size
+
+    def post_execute(self) -> None:
+        """Hook invoked by the executor after a computation finishes
+        (Ch. VII.H): commit pending ops and refresh replicated metadata."""
+        self.update_size()
+
+    def clear(self) -> None:
+        """Collective: remove all elements (distribution remains valid)."""
+        for bc in self.location_manager:
+            bc.clear()
+        self.ctx.barrier(self.group)
+        self._cached_size = 0
+
+    def add_bcontainer(self, bc, bcid) -> None:
+        self.location_manager.add_bcontainer(bcid, bc)
+
+    def delete_bcontainer(self, bcid):
+        return self.location_manager.delete_bcontainer(bcid)
+
+
+class PContainerIndexed(PContainerStatic):
+    """Indexed container (Table XIV): access by index GID.
+
+    The method-flavour triple of Ch. V.B: ``set_element`` is asynchronous,
+    ``get_element`` synchronous, ``split_phase_get_element`` returns a
+    ``pc_future``.
+    """
+
+    DEFAULT_LOCKING = {
+        "set_element": (ELEMENT, WRITE, MDREAD),
+        "get_element": (ELEMENT, READ, MDREAD),
+        "apply_get": (ELEMENT, READ, MDREAD),
+        "apply_set": (ELEMENT, WRITE, MDREAD),
+    }
+
+    def set_element(self, gid, value) -> None:
+        self._dist.invoke("set_element", gid, value)
+
+    def get_element(self, gid):
+        return self._dist.invoke_ret("get_element", gid)
+
+    def split_phase_get_element(self, gid):
+        return self._dist.invoke_opaque_ret("get_element", gid)
+
+    # alias used in parts of the paper
+    get_element_split = split_phase_get_element
+
+    def __getitem__(self, gid):
+        return self.get_element(gid)
+
+    def __setitem__(self, gid, value) -> None:
+        self.set_element(gid, value)
+
+    # -- local handlers ----------------------------------------------------
+    def _local_set_element(self, bc, gid, value) -> None:
+        bc.set(gid, value)
+
+    def _local_get_element(self, bc, gid):
+        return bc.get(gid)
+
+    def _local_apply_get(self, bc, gid, fn):
+        return bc.apply(gid, fn)
+
+    def _local_apply_set(self, bc, gid, fn) -> None:
+        bc.apply_set(gid, fn)
+
+
+__all__ = [
+    "PartitionProxy",
+    "PContainerBase",
+    "PContainerStatic",
+    "PContainerDynamic",
+    "PContainerIndexed",
+]

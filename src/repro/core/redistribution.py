@@ -1,0 +1,99 @@
+"""Redistribution support (Ch. V.G): change a live container's partition
+and/or mapping, moving marshaled data between locations.
+
+The container's partition is held behind a :class:`PartitionProxy`
+(Ch. V.G "partition proxy"), so ``redistribute`` can swap the underlying
+partition object while the container stays alive.  Elements are packed per
+destination (the ``define_type`` marshaling path, Ch. V.G.1) and exchanged
+with one all-to-all.
+"""
+
+from __future__ import annotations
+
+from .marshal import marshal_size
+from .pcontainer import PartitionProxy
+
+
+class RedistributableMixin:
+    """Adds ``redistribute`` / ``rebalance`` / ``rotate`` to indexed
+    containers (pArray, pMatrix).  Requires the partition proxy trait."""
+
+    def redistribute(self, new_partition, new_mapper=None) -> None:
+        """Collective: reorganise data per ``new_partition`` (and optionally
+        a new partition-mapper).  Raises if the container was built without
+        a partition proxy, mirroring the paper's compile-time error."""
+        if not isinstance(self._dist.partition, PartitionProxy):
+            raise TypeError(
+                "redistribute() requires a proxy partition "
+                "(traits.use_partition_proxy=True)")
+        ctx = self.ctx
+        group = self.group
+        members = group.members
+        domain = self._dist.partition.get_domain()
+        new_partition.set_domain(domain)
+        self._install_locking_policy(new_partition)
+        mapper = new_mapper if new_mapper is not None else self._make_mapper()
+        mapper.init(new_partition.size(), members)
+
+        # pack every local element for its new owner
+        outgoing = [[] for _ in members]
+        pos_of = {lid: i for i, lid in enumerate(members)}
+        for bc in self.location_manager.ordered():
+            for gid in bc.domain:
+                value = bc.get(gid)
+                info = new_partition.find(gid)
+                dest = mapper.map(info.bcid)
+                outgoing[pos_of[dest]].append((gid, value))
+                ctx.charge_lookup()
+        for bucket in outgoing:
+            ctx.stats.bytes_sent += marshal_size(bucket)
+        incoming = ctx.alltoall_rmi(outgoing, group=group)
+
+        # rebuild local storage under the new distribution
+        self.location_manager.clear()
+        for bcid in mapper.get_local_cids(ctx.id):
+            sub = new_partition.get_sub_domain(bcid)
+            bc = self._make_bcontainer(sub, bcid)
+            self.location_manager.add_bcontainer(bcid, bc)
+        for bucket in incoming:
+            for gid, value in bucket:
+                info = new_partition.find(gid)
+                bc = self.location_manager.get_bcontainer(info.bcid)
+                bc.set(gid, value)
+                ctx.charge_access()
+
+        self._dist.partition.swap(new_partition)
+        self._dist.mapper = mapper
+        ctx.barrier(group)
+
+    def rebalance(self) -> None:
+        """Redistribute so each location owns ~N/P elements."""
+        from .partitions import BalancedPartition
+
+        self.redistribute(BalancedPartition(len(self.group)))
+
+    def rotate(self, positions: int = 1) -> None:
+        """Cyclically shift sub-domain ownership by ``positions`` locations."""
+        from .mappers import GeneralMapper
+
+        part = self._dist.partition
+        old_mapper = self._dist.mapper
+        members = list(self.group.members)
+        idx = {lid: i for i, lid in enumerate(members)}
+        assignment = []
+        for bcid in range(part.size()):
+            cur = old_mapper.map(bcid)
+            assignment.append(members[(idx[cur] + positions) % len(members)])
+        # same partition geometry, new ownership
+        inner = part.inner if isinstance(part, PartitionProxy) else part
+        fresh = _clone_partition(inner)
+        self.redistribute(fresh, GeneralMapper(assignment))
+
+
+def _clone_partition(partition):
+    """Fresh partition with identical configuration (proxy swap target)."""
+    import copy
+
+    clone = copy.copy(partition)
+    clone.locking_policy = {}
+    return clone

@@ -1,0 +1,158 @@
+"""Thread-safety managers and locking policies (Ch. VI).
+
+A pContainer method accesses metadata (partition / mapper) and data
+(bContainers).  The partition carries a per-method *locking policy*:
+a (granularity, data-mode, metadata-mode) tuple, with granularities
+``NONE`` / ``ELEMENT`` / ``BCONTAINER`` / ``LOCAL`` and modes ``READ`` /
+``WRITE`` (``MDREAD`` / ``MDWRITE`` for metadata).  The data-distribution
+manager calls back into the thread-safety manager around each phase of the
+generic ``invoke`` skeleton (Fig. 17); the manager decides what to lock.
+
+The simulator's baton guarantees physical atomicity, so managers here are
+*cost and policy* models: they charge lock overhead to the virtual clock,
+count acquisitions, and honour the customization hooks (no-lock managers,
+K-way hashed element locks, thread-safe bContainers that suppress framework
+locking) exactly as Ch. VI describes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class LockGranularity(Enum):
+    NONE = "none"
+    ELEMENT = "element"
+    BCONTAINER = "bcontainer"
+    LOCAL = "local"
+
+
+class RWMode(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+#: convenience aliases matching the paper's policy tables (Ch. VI.D)
+NONE = LockGranularity.NONE
+ELEMENT = LockGranularity.ELEMENT
+BCONTAINER = LockGranularity.BCONTAINER
+LOCAL = LockGranularity.LOCAL
+READ = RWMode.READ
+WRITE = RWMode.WRITE
+MDREAD = RWMode.READ
+MDWRITE = RWMode.WRITE
+
+
+class LockingPolicy:
+    """Per-method locking attribute table (Ch. VI.D)."""
+
+    def __init__(self, default=(ELEMENT, WRITE, MDREAD)):
+        self._default = default
+        self._per_method: dict[str, tuple] = {}
+
+    def set(self, method: str, granularity, data_mode, md_mode) -> None:
+        self._per_method[method] = (granularity, data_mode, md_mode)
+
+    def get_locking_policy(self, method: str) -> tuple:
+        return self._per_method.get(method, self._default)
+
+    def methods(self) -> list:
+        return sorted(self._per_method)
+
+
+class ThreadSafetyManager:
+    """Default manager: locks per the policy table, charging lock cost."""
+
+    def __init__(self):
+        self.acquires = 0
+        self.element_locks = 0
+        self.bcontainer_locks = 0
+        self.local_locks = 0
+        self.metadata_locks = 0
+
+    # -- Ch. VI.C interface ----------------------------------------------
+    def method_access_pre(self, info) -> None:
+        pass
+
+    def method_access_post(self, info) -> None:
+        pass
+
+    def metadata_access_pre(self, info) -> None:
+        granularity, _data, md_mode = info.policy
+        if granularity is NONE:
+            return
+        if info.partition_dynamic or md_mode is WRITE:
+            self.metadata_locks += 1
+            self._acquire(info)
+
+    def metadata_access_post(self, info) -> None:
+        pass
+
+    def data_access_pre(self, info, bcid) -> None:
+        granularity, _data, _md = info.policy
+        if granularity is NONE:
+            return
+        if info.bcontainer_thread_safe:
+            return  # thread-safe storage: framework performs no locking
+        if granularity is ELEMENT:
+            self.element_locks += 1
+        elif granularity is BCONTAINER:
+            self.bcontainer_locks += 1
+        else:
+            self.local_locks += 1
+        self._acquire(info)
+
+    def data_access_post(self, info, bcid) -> None:
+        pass
+
+    def _acquire(self, info) -> None:
+        self.acquires += 1
+        info.location.charge_lock()
+
+
+class NoLockManager(ThreadSafetyManager):
+    """Customization for read-only phases / TDG-serialised access: no locks
+    at all (the 'NONE' manager of Ch. VI.E)."""
+
+    def metadata_access_pre(self, info) -> None:
+        pass
+
+    def data_access_pre(self, info, bcid) -> None:
+        pass
+
+
+class HashedLockManager(ThreadSafetyManager):
+    """K-lock refinement (Ch. VI.E): element accesses hash their GID onto one
+    of K locks; tracked so tests can verify the distribution of lock use."""
+
+    def __init__(self, k: int = 64):
+        super().__init__()
+        self.k = max(1, k)
+        self.per_lock = [0] * self.k
+
+    def data_access_pre(self, info, bcid) -> None:
+        granularity, _d, _m = info.policy
+        if granularity is NONE or info.bcontainer_thread_safe:
+            return
+        from .partitions import stable_hash
+
+        slot = stable_hash(info.gid) % self.k if info.gid is not None else 0
+        self.per_lock[slot] += 1
+        self.element_locks += 1
+        self._acquire(info)
+
+
+class THSInfo:
+    """The ``ths_info`` record handed through one ``invoke`` execution."""
+
+    __slots__ = ("method", "gid", "policy", "location", "partition_dynamic",
+                 "bcontainer_thread_safe")
+
+    def __init__(self, method, gid, policy, location, partition_dynamic,
+                 bcontainer_thread_safe=False):
+        self.method = method
+        self.gid = gid
+        self.policy = policy
+        self.location = location
+        self.partition_dynamic = partition_dynamic
+        self.bcontainer_thread_safe = bcontainer_thread_safe

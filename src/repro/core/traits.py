@@ -1,0 +1,73 @@
+"""pContainer traits (Ch. V.H): instance-level customization.
+
+The C++ framework passes traits as template arguments; here a
+:class:`Traits` object carries the same factories — partition, partition
+mapper, bContainer class, thread-safety manager, memory-consistency mode —
+and every container resolves its modules through it, so users can override
+any module per container instance (``p_array(..., traits=Traits(...))``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Optional
+
+
+class ConsistencyMode(Enum):
+    """Memory-consistency configuration (Ch. VII.E.3).
+
+    ``DEFAULT``: the relaxed pContainer MCM (async methods complete at
+    fences / same-element sync points).  ``SEQUENTIAL``: every element-wise
+    method executes synchronously, which Ch. VII Claim 3 shows restores
+    sequential consistency.
+    """
+
+    DEFAULT = "default"
+    SEQUENTIAL = "sequential"
+
+
+class Traits:
+    """Bundle of customization points for one pContainer instance."""
+
+    def __init__(
+        self,
+        partition=None,
+        mapper_factory: Optional[Callable] = None,
+        bcontainer_factory: Optional[Callable] = None,
+        ths_manager_factory: Optional[Callable] = None,
+        consistency: ConsistencyMode = ConsistencyMode.DEFAULT,
+        bcontainer_thread_safe: bool = False,
+        use_partition_proxy: bool = True,
+    ):
+        #: a Partition instance (or None for the container's default)
+        self.partition = partition
+        #: zero-arg callable returning a PartitionMapper
+        self.mapper_factory = mapper_factory
+        #: callable (domain, bcid) -> BaseContainer
+        self.bcontainer_factory = bcontainer_factory
+        #: zero-arg callable returning a ThreadSafetyManager
+        self.ths_manager_factory = ths_manager_factory
+        self.consistency = consistency
+        #: declares the storage itself thread-safe (framework skips locking)
+        self.bcontainer_thread_safe = bcontainer_thread_safe
+        #: wrap the partition in a proxy so `redistribute` is available
+        self.use_partition_proxy = use_partition_proxy
+
+    def clone(self, **overrides) -> "Traits":
+        out = Traits(
+            partition=self.partition,
+            mapper_factory=self.mapper_factory,
+            bcontainer_factory=self.bcontainer_factory,
+            ths_manager_factory=self.ths_manager_factory,
+            consistency=self.consistency,
+            bcontainer_thread_safe=self.bcontainer_thread_safe,
+            use_partition_proxy=self.use_partition_proxy,
+        )
+        for k, v in overrides.items():
+            if not hasattr(out, k):
+                raise AttributeError(f"unknown trait {k!r}")
+            setattr(out, k, v)
+        return out
+
+
+DEFAULT_TRAITS = Traits()

@@ -1,0 +1,96 @@
+"""Regenerate every paper table/figure from the command line.
+
+Usage::
+
+    python -m repro.evaluation              # all figures, default scale
+    python -m repro.evaluation fig51 fig62  # selected figures
+    python -m repro.evaluation --list
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    ablation_aggregation,
+    ablation_consistency_mode,
+    ablation_lazy_size,
+    ablation_view_alignment,
+    fig27_constructor,
+    fig28_local_methods,
+    fig29_methods_weak,
+    fig30_method_flavours,
+    fig31_remote_fraction,
+    fig32_local_remote_sizes,
+    fig33_generic_algorithms,
+    fig34_memory_study,
+    fig39_plist_methods,
+    fig40_parray_vs_plist,
+    fig41_placement,
+    fig42_plist_vs_pvector,
+    fig43_euler_tour_weak,
+    fig44_euler_applications,
+    fig49_50_pgraph_methods,
+    fig51_find_sources,
+    fig52_partition_comparison,
+    fig53_55_graph_algorithms,
+    fig56_pagerank_meshes,
+    fig59_mapreduce_wordcount,
+    fig60_assoc_algorithms,
+    fig62_row_min,
+    mcm_demonstrations,
+)
+
+DRIVERS = {
+    "fig27": fig27_constructor,
+    "fig28": fig28_local_methods,
+    "fig29": fig29_methods_weak,
+    "fig30": fig30_method_flavours,
+    "fig31": fig31_remote_fraction,
+    "fig32": fig32_local_remote_sizes,
+    "fig33": fig33_generic_algorithms,
+    "fig34": fig34_memory_study,
+    "fig39": fig39_plist_methods,
+    "fig40": fig40_parray_vs_plist,
+    "fig41": fig41_placement,
+    "fig42": fig42_plist_vs_pvector,
+    "fig43": fig43_euler_tour_weak,
+    "fig44": fig44_euler_applications,
+    "fig49_50": fig49_50_pgraph_methods,
+    "fig51": fig51_find_sources,
+    "fig52": fig52_partition_comparison,
+    "fig53_55": fig53_55_graph_algorithms,
+    "fig56": fig56_pagerank_meshes,
+    "fig59": fig59_mapreduce_wordcount,
+    "fig60": fig60_assoc_algorithms,
+    "fig62": fig62_row_min,
+    "mcm": mcm_demonstrations,
+    "ablation_aggregation": ablation_aggregation,
+    "ablation_alignment": ablation_view_alignment,
+    "ablation_consistency": ablation_consistency_mode,
+    "ablation_lazy_size": ablation_lazy_size,
+}
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--list" in args:
+        print("\n".join(DRIVERS))
+        return 0
+    selected = args or list(DRIVERS)
+    unknown = [a for a in selected if a not in DRIVERS]
+    if unknown:
+        print(f"unknown figures: {unknown}; use --list", file=sys.stderr)
+        return 2
+    for name in selected:
+        t0 = time.perf_counter()
+        result = DRIVERS[name]()
+        dt = time.perf_counter() - t0
+        print(result.format_table())
+        print(f"[{name}: regenerated in {dt:.2f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

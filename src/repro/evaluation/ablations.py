@@ -1,0 +1,127 @@
+"""Ablation studies for the design decisions called out in DESIGN.md §4.
+
+These are not paper figures; they isolate the mechanisms behind the paper's
+results: RMI aggregation, view/distribution alignment, the relaxed default
+MCM, and the lazy replicated size.
+"""
+
+from __future__ import annotations
+
+from ..containers.parray import PArray
+from ..containers.plist import PList
+from ..core.traits import ConsistencyMode, Traits
+from ..runtime.machine import get_machine
+from ..views.array_views import Array1DView, BalancedView
+from .harness import ExperimentResult, run_spmd_timed
+
+
+def ablation_aggregation(P=4, n_per_loc=500, machine="cray4",
+                         levels=(1, 8, 64)) -> ExperimentResult:
+    """Async-RMI cost vs aggregation factor: aggregation=1 charges the full
+    physical-message overhead per RMI, collapsing the async advantage."""
+    res = ExperimentResult(
+        "Ablation: RMI aggregation",
+        ["aggregation", "total_us", "physical_messages"])
+    base = get_machine(machine)
+
+    def prog(ctx):
+        n = 1024 * ctx.nlocs
+        pa = PArray(ctx, n, dtype=int)
+        block = max(1, n // ctx.nlocs)
+        tgt = ((ctx.id + 1) % ctx.nlocs) * block
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        for i in range(n_per_loc):
+            pa.set_element(tgt + (i % block), i)  # all remote
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    for agg in levels:
+        m = base.with_(aggregation=agg)
+        results, _, stats = run_spmd_timed(prog, P, m)
+        res.add(agg, max(results), stats.physical_messages)
+    return res
+
+
+def ablation_view_alignment(P=4, n_per_loc=2000, machine="cray4") -> ExperimentResult:
+    """Native vs balanced views: aligned native chunks run vectorised local
+    sweeps; a balanced view over a block-cyclic distribution pays remote
+    element traffic (the locality story of Ch. III.A)."""
+    from ..algorithms.generic import p_accumulate
+    from ..core.partitions import BlockCyclicPartition
+
+    res = ExperimentResult(
+        "Ablation: view/distribution alignment",
+        ["case", "time_us"],
+        notes="native < balanced-over-cyclic")
+
+    def prog(ctx, cyclic, balanced):
+        n = n_per_loc * ctx.nlocs
+        part = BlockCyclicPartition(ctx.nlocs, 1) if cyclic else None
+        pa = PArray(ctx, n, dtype=float, partition=part)
+        view = Array1DView(pa)
+        if balanced:
+            view = BalancedView(view)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        p_accumulate(view, 0.0)
+        return ctx.stop_timer(t0)
+
+    for label, cyclic, balanced in (
+            ("native_aligned", False, False),
+            ("balanced_over_blocked", False, True),
+            ("balanced_over_cyclic", True, True)):
+        results, _, _ = run_spmd_timed(prog, P, machine, (cyclic, balanced))
+        res.add(label, max(results))
+    return res
+
+
+def ablation_consistency_mode(P=4, n_per_loc=400, machine="cray4") -> ExperimentResult:
+    """DEFAULT (relaxed, async writes) vs SEQUENTIAL (all-sync) traits:
+    the price of sequential consistency (Ch. VII.E.3)."""
+    res = ExperimentResult(
+        "Ablation: consistency mode",
+        ["mode", "total_us", "per_op_us"])
+
+    def prog(ctx, mode):
+        traits = Traits(consistency=mode)
+        n = 1024 * ctx.nlocs
+        pa = PArray(ctx, n, dtype=int, traits=traits)
+        block = max(1, n // ctx.nlocs)
+        tgt = ((ctx.id + 1) % ctx.nlocs) * block
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        for i in range(n_per_loc):
+            pa.set_element(tgt + (i % block), i)
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    for mode in (ConsistencyMode.DEFAULT, ConsistencyMode.SEQUENTIAL):
+        results, _, _ = run_spmd_timed(prog, P, machine, (mode,))
+        res.add(mode.value, max(results), max(results) / n_per_loc)
+    return res
+
+
+def ablation_lazy_size(P=4, reps=200, machine="cray4") -> ExperimentResult:
+    """Lazy replicated size() vs collective update_size() per query."""
+    res = ExperimentResult(
+        "Ablation: lazy vs synchronised size()",
+        ["mode", "total_us"])
+
+    def prog(ctx, lazy):
+        pl = PList(ctx, 64 * ctx.nlocs)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        for _ in range(reps):
+            if lazy:
+                pl.size()
+                ctx.charge(ctx.machine.t_access)
+            else:
+                pl.update_size()
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    for label, lazy in (("lazy_replicated", True), ("collective_sync", False)):
+        results, _, _ = run_spmd_timed(prog, P, machine, (lazy,))
+        res.add(label, max(results))
+    return res

@@ -1,0 +1,72 @@
+"""Associative-container evaluation drivers (Ch. XII.C, Figs. 59/60)."""
+
+from __future__ import annotations
+
+from ..containers.associative import PHashMap
+from ..views.map_views import MapView
+from ..workloads.corpus import local_documents
+from .harness import ExperimentResult, run_spmd_timed
+
+_DEF_PS = (1, 2, 4, 8)
+
+
+def fig59_mapreduce_wordcount(nlocs_list=_DEF_PS, tokens_per_loc=4000,
+                              vocab_size=500,
+                              machine="cray4") -> ExperimentResult:
+    """MapReduce word count, weak scaling (Fig. 59; the paper's 1.5GB
+    Wikipedia dump is replaced by a Zipf-distributed synthetic corpus)."""
+    from ..algorithms.map_reduce import word_count
+
+    res = ExperimentResult(
+        "Fig.59 MapReduce word count",
+        ["P", "tokens", "time_us", "distinct_words"],
+        notes="weak scaling: tokens per location fixed")
+
+    def prog(ctx):
+        docs = local_documents(ctx.id, ctx.nlocs, tokens_per_loc,
+                               vocab_size=vocab_size)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        out = word_count(ctx, docs)
+        t = ctx.stop_timer(t0)
+        return t, out.size()
+
+    for P in nlocs_list:
+        results, _, _ = run_spmd_timed(prog, P, machine)
+        res.add(P, tokens_per_loc * P, max(r[0] for r in results),
+                results[0][1])
+    return res
+
+
+def fig60_assoc_algorithms(nlocs_list=_DEF_PS, n_per_loc=2000,
+                           machine="cray4") -> ExperimentResult:
+    """Generic algorithms over associative pContainers, weak scaling
+    (Fig. 60): p_for_each / p_accumulate / p_count_if on a pHashMap."""
+    from ..algorithms.generic import p_accumulate, p_count_if, p_for_each
+
+    res = ExperimentResult(
+        "Fig.60 generic algorithms on pHashMap",
+        ["P", "algorithm", "time_us"])
+
+    def prog(ctx, algo):
+        hm = PHashMap(ctx)
+        # keys inserted locally (hash-partition routes them)
+        base = ctx.id * n_per_loc
+        for k in range(base, base + n_per_loc):
+            hm.insert(k, k % 17)
+        ctx.rmi_fence()
+        view = MapView(hm)
+        t0 = ctx.start_timer()
+        if algo == "p_for_each":
+            p_for_each(view, lambda v: v + 1)
+        elif algo == "p_accumulate":
+            p_accumulate(view, 0)
+        else:
+            p_count_if(view, lambda v: v % 2 == 0)
+        return ctx.stop_timer(t0)
+
+    for P in nlocs_list:
+        for algo in ("p_for_each", "p_accumulate", "p_count_if"):
+            results, _, _ = run_spmd_timed(prog, P, machine, (algo,))
+            res.add(P, algo, max(results))
+    return res

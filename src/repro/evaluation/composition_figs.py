@@ -1,0 +1,81 @@
+"""Composition evaluation (Ch. XIII, Fig. 62): row minima of a matrix held
+as pMatrix, pArray<pArray> and pList<pArray>."""
+
+from __future__ import annotations
+
+from ..containers.composition import (
+    compose_parray_of_parrays,
+    compose_plist_of_parrays,
+)
+from ..containers.pmatrix import PMatrix
+from ..core.partitions import Matrix2DPartition
+from .harness import ExperimentResult, run_spmd_timed
+
+
+def fig62_row_min(P=4, rows=64, cols=32, machine="cray4") -> ExperimentResult:
+    """Minimum of each row under the three representations (Fig. 62).
+
+    pMatrix rows are contiguous NumPy slices (fastest); the composed
+    containers pay nested-container indirection, and pList<pArray> adds
+    segment traversal on top — the paper's ordering."""
+    from ..algorithms.generic import p_accumulate
+    from ..views.array_views import Array1DView
+    from ..views.matrix_views import MatrixRowsView
+
+    res = ExperimentResult(
+        "Fig.62 row minima: pMatrix vs pArray<pArray> vs pList<pArray>",
+        ["representation", "time_us"],
+        notes="expected ordering: pmatrix < parray<parray> < plist<parray>")
+
+    def prog_matrix(ctx):
+        pm = PMatrix(ctx, rows, cols, value=1.0,
+                     partition=Matrix2DPartition(ctx.nlocs, 1))
+        ctx.rmi_fence()
+        rv = MatrixRowsView(pm)
+        t0 = ctx.start_timer()
+        minima = []
+        for chunk in rv.local_chunks():
+            if hasattr(chunk, "row_reduce"):
+                import numpy as np
+
+                minima.extend(chunk.row_reduce(np.min))
+            else:
+                for r in chunk.gids():
+                    minima.append((r, min(chunk.read(r))))
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    def prog_pa_pa(ctx):
+        outer = compose_parray_of_parrays(ctx, [cols] * rows, value=1.0)
+        t0 = ctx.start_timer()
+        rt = outer.runtime
+        for bc in outer.local_bcontainers():
+            for i in bc.domain:
+                ctx.charge_lookup()          # nested-handle resolution
+                inner = bc.get(i).resolve(rt)
+                view = Array1DView(inner)
+                p_accumulate(view, float("inf"), min)
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    def prog_pl_pa(ctx):
+        outer = compose_plist_of_parrays(ctx, [cols] * rows, value=1.0)
+        t0 = ctx.start_timer()
+        rt = outer.runtime
+        seg = outer.local_segment()
+        m = ctx.machine
+        for seq in seg.seqs():
+            # segment-node pointer chase + nested-handle resolution
+            ctx.charge(m.t_access * 1.5 + m.t_lookup)
+            inner = seg.get(seq).resolve(rt)
+            view = Array1DView(inner)
+            p_accumulate(view, float("inf"), min)
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    for label, prog in (("pmatrix", prog_matrix),
+                        ("parray<parray>", prog_pa_pa),
+                        ("plist<parray>", prog_pl_pa)):
+        results, _, _ = run_spmd_timed(prog, P, machine)
+        res.add(label, max(results))
+    return res

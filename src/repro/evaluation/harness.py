@@ -1,0 +1,87 @@
+"""Evaluation harness (Ch. VIII): the method-evaluation kernel of Fig. 24
+and utilities shared by every figure driver.
+
+Every driver returns an :class:`ExperimentResult` — a titled table whose
+rows are the series the corresponding paper figure plots, measured in
+deterministic virtual microseconds from the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..runtime import Runtime
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    name: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *row) -> None:
+        self.rows.append(tuple(row))
+
+    def column(self, name: str) -> list:
+        i = self.columns.index(name)
+        return [r[i] for r in self.rows]
+
+    def format_table(self) -> str:
+        def fmt(v):
+            if isinstance(v, float):
+                return f"{v:.2f}"
+            return str(v)
+
+        cells = [[fmt(c) for c in self.columns]] + [
+            [fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.columns))]
+        lines = [f"== {self.name} =="]
+        for j, row in enumerate(cells):
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if j == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.format_table())
+
+
+def run_spmd_timed(fn, nlocs: int, machine="cray4", args: tuple = (),
+                   placement: str = "packed"):
+    """Run an SPMD program and return (per-location results, max virtual
+    clock in us, aggregate stats)."""
+    rt = Runtime(nlocs, machine, placement)
+    results = rt.run(fn, args)
+    return results, rt.max_clock(), rt.stats().total
+
+
+def method_kernel(container_factory, op, n_per_loc: int):
+    """Fig. 24: build the container, then concurrently perform ``n_per_loc``
+    method invocations per location inside a timed region closed by a fence.
+    ``op(container, ctx, i)`` performs invocation *i*.  Returns the SPMD
+    function; run it with :func:`run_spmd_timed`."""
+
+    def prog(ctx):
+        container = container_factory(ctx)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        for i in range(n_per_loc):
+            op(container, ctx, i)
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    return prog
+
+
+def max_time(results) -> float:
+    """The paper reports the max time over processors."""
+    return max(results)
+
+
+def per_op_us(results, n_per_loc: int) -> float:
+    return max(results) / max(1, n_per_loc)

@@ -1,0 +1,39 @@
+"""Memory-consumption study (Ch. IX.F, Tables XXII/XXIII, Fig. 34)."""
+
+from __future__ import annotations
+
+from ..containers.parray import PArray
+from ..containers.plist import PList
+from ..core.memory import (
+    measure_memory,
+    theoretical_parray_memory,
+    theoretical_plist_memory,
+)
+from .harness import ExperimentResult, run_spmd_timed
+
+
+def fig34_memory_study(sizes=(1024, 8192, 65536), P=4) -> ExperimentResult:
+    """Measured vs theoretical pArray/pList memory, data vs metadata."""
+    res = ExperimentResult(
+        "Fig.34 / Tables XXII-XXIII memory study",
+        ["container", "N", "measured_data", "measured_meta",
+         "theoretical_data", "theoretical_meta", "overhead_ratio"],
+        notes="pArray metadata is O(P); pList metadata is O(N) node headers")
+
+    def prog(ctx, n, kind):
+        if kind == "parray":
+            c = PArray(ctx, n, dtype=float)
+        else:
+            c = PList(ctx, n, value=0.0)
+        report = measure_memory(c)
+        return report.metadata, report.data
+
+    for kind, model in (("parray", theoretical_parray_memory),
+                        ("plist", theoretical_plist_memory)):
+        for n in sizes:
+            results, _, _ = run_spmd_timed(prog, P, "cray4", (n, kind))
+            meta, data = results[0]
+            theory = model(n, P)
+            res.add(kind, n, data, meta, theory["data"], theory["metadata"],
+                    meta / max(1, data))
+    return res

@@ -1,0 +1,175 @@
+"""pArray evaluation drivers (Ch. IX.E, Figs. 27–33)."""
+
+from __future__ import annotations
+
+from ..containers.parray import PArray
+from ..views.array_views import Array1DView
+from .harness import ExperimentResult, method_kernel, run_spmd_timed
+
+_DEF_PS = (1, 2, 4, 8)
+
+
+def fig27_constructor(nlocs_list=_DEF_PS, sizes=(4096, 16384, 65536),
+                      machines=("cray4", "p5cluster")) -> ExperimentResult:
+    """pArray constructor time for various input sizes (Fig. 27 a/b)."""
+    res = ExperimentResult(
+        "Fig.27 pArray constructor", ["machine", "P", "N", "time_us"],
+        notes="constructor touches N/P local elements + collective setup")
+
+    def prog(ctx, n):
+        t0 = ctx.start_timer()
+        PArray(ctx, n, dtype=float)
+        return ctx.stop_timer(t0)
+
+    for machine in machines:
+        for P in nlocs_list:
+            for n in sizes:
+                results, _, _ = run_spmd_timed(prog, P, machine, (n,))
+                res.add(machine, P, n, max(results))
+    return res
+
+
+def _kernel_time(op_name: str, n: int, n_per_loc: int, P: int,
+                 machine="cray4", remote_fraction: float = 0.0):
+    """Fig. 24 kernel for one pArray method flavour."""
+
+    def factory(ctx):
+        return PArray(ctx, n, dtype=int)
+
+    def pick_gid(container, ctx, i):
+        P_ = ctx.nlocs
+        block = max(1, n // P_)
+        if remote_fraction and P_ > 1 and (i % 100) < remote_fraction * 100:
+            owner = (ctx.id + 1 + (i % (P_ - 1))) % P_   # someone else
+        else:
+            owner = ctx.id
+        return min(owner * block + (i % block), n - 1)
+
+    futures: dict = {}  # per-location outstanding split-phase requests
+
+    def op(container, ctx, i):
+        gid = pick_gid(container, ctx, i)
+        if op_name == "set_element":
+            container.set_element(gid, i)
+        elif op_name == "get_element":
+            container.get_element(gid)
+        elif op_name == "split_phase_get_element":
+            mine = futures.setdefault(ctx.id, [])
+            mine.append(container.split_phase_get_element(gid))
+            if len(mine) >= 64:      # bounded outstanding futures
+                for f in mine:
+                    f.get()
+                mine.clear()
+        elif op_name == "apply_set":
+            container.apply_set(gid, lambda v: v + 1)
+        else:
+            raise ValueError(op_name)
+
+    prog = method_kernel(factory, op, n_per_loc)
+    results, _, stats = run_spmd_timed(prog, P, machine)
+    return max(results), stats
+
+
+def fig28_local_methods(sizes=(1024, 4096, 16384), n_per_loc=500,
+                        P=4, machine="cray4") -> ExperimentResult:
+    """pArray local method invocations for various container sizes."""
+    res = ExperimentResult(
+        "Fig.28 pArray local methods",
+        ["N", "method", "total_us", "per_op_us"],
+        notes="100% local invocations; flat in N (closed-form translation)")
+    for n in sizes:
+        for m in ("set_element", "get_element", "apply_set"):
+            t, _ = _kernel_time(m, n, n_per_loc, P, machine)
+            res.add(n, m, t, t / n_per_loc)
+    return res
+
+
+def fig29_methods_weak(nlocs_list=_DEF_PS, n_per_loc=500,
+                       machine="cray4") -> ExperimentResult:
+    """pArray methods weak scaling (fixed invocations per location)."""
+    res = ExperimentResult(
+        "Fig.29 pArray methods weak scaling",
+        ["P", "method", "total_us", "per_op_us"],
+        notes="ideal weak scaling = flat curves")
+    for P in nlocs_list:
+        n = 1024 * P
+        for m in ("set_element", "get_element"):
+            t, _ = _kernel_time(m, n, n_per_loc, P, machine)
+            res.add(P, m, t, t / n_per_loc)
+    return res
+
+
+def fig30_method_flavours(P=4, n_per_loc=500, machine="cray4",
+                          remote_fraction=0.5) -> ExperimentResult:
+    """set (async) vs get (sync) vs split-phase get (Fig. 30)."""
+    res = ExperimentResult(
+        "Fig.30 set/get/split-phase",
+        ["method", "total_us", "per_op_us"],
+        notes="async < split-phase < sync is the paper's ordering")
+    for m in ("set_element", "split_phase_get_element", "get_element"):
+        t, _ = _kernel_time(m, 1024 * P, n_per_loc, P, machine,
+                            remote_fraction=remote_fraction)
+        res.add(m, t, t / n_per_loc)
+    return res
+
+
+def fig31_remote_fraction(P=4, n_per_loc=400, machine="cray4",
+                          fractions=(0.0, 0.25, 0.5, 0.75, 1.0)) -> ExperimentResult:
+    """Method cost vs percentage of remote invocations (Fig. 31)."""
+    res = ExperimentResult(
+        "Fig.31 pArray methods vs % remote",
+        ["remote_%", "method", "total_us", "per_op_us"])
+    for frac in fractions:
+        for m in ("set_element", "get_element"):
+            t, _ = _kernel_time(m, 1024 * P, n_per_loc, P, machine,
+                                remote_fraction=frac)
+            res.add(int(frac * 100), m, t, t / n_per_loc)
+    return res
+
+
+def fig32_local_remote_sizes(sizes=(1024, 4096, 16384), P=4, n_per_loc=400,
+                             machine="cray4",
+                             remote_fraction=0.3) -> ExperimentResult:
+    """Mixed local/remote invocations across container sizes (Fig. 32)."""
+    res = ExperimentResult(
+        "Fig.32 pArray local+remote vs size",
+        ["N", "method", "total_us", "per_op_us"],
+        notes=f"{int(remote_fraction*100)}% remote invocations")
+    for n in sizes:
+        for m in ("set_element", "get_element"):
+            t, _ = _kernel_time(m, n, n_per_loc, P, machine,
+                                remote_fraction=remote_fraction)
+            res.add(n, m, t, t / n_per_loc)
+    return res
+
+
+def fig33_generic_algorithms(nlocs_list=_DEF_PS, n_per_loc=20000,
+                             machine="cray4") -> ExperimentResult:
+    """p_generate / p_for_each / p_accumulate on pArray, weak scaling
+    (Fig. 33; paper used 20M elements/proc, scaled to n_per_loc)."""
+    from ..algorithms.generic import p_accumulate, p_for_each, p_generate
+
+    res = ExperimentResult(
+        "Fig.33 generic algorithms on pArray",
+        ["P", "algorithm", "time_us"],
+        notes="weak scaling; flat = ideal")
+
+    def prog(ctx, n, which):
+        pa = PArray(ctx, n, dtype=float)
+        view = Array1DView(pa)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        if which == "p_generate":
+            p_generate(view, lambda i: float(i % 97), vector=lambda g: g % 97)
+        elif which == "p_for_each":
+            p_for_each(view, lambda x: x + 1.0, vector=lambda a: a + 1.0)
+        else:
+            p_accumulate(view, 0.0)
+        return ctx.stop_timer(t0)
+
+    for P in nlocs_list:
+        n = n_per_loc * P
+        for algo in ("p_generate", "p_for_each", "p_accumulate"):
+            results, _, _ = run_spmd_timed(prog, P, machine, (n, algo))
+            res.add(P, algo, max(results))
+    return res

@@ -1,0 +1,252 @@
+"""pList / pVector / Euler-tour evaluation drivers (Ch. X, Figs. 39–44)."""
+
+from __future__ import annotations
+
+from ..containers.parray import PArray
+from ..containers.plist import PList
+from ..containers.pvector import PVector
+from ..views.array_views import Array1DView
+from ..views.list_views import StaticListView
+from ..workloads.opmix import STANDARD_MIXES, generate_ops
+from ..workloads.trees import binary_tree_edges
+from .harness import ExperimentResult, run_spmd_timed
+
+_DEF_PS = (1, 2, 4, 8)
+
+
+def fig39_plist_methods(P=4, n_per_loc=500, machine="cray4") -> ExperimentResult:
+    """pList methods: push_back/push_front (hot segment) vs push_anywhere
+    (local) vs insert at a local handle (Fig. 39)."""
+    res = ExperimentResult(
+        "Fig.39 pList methods",
+        ["method", "total_us", "per_op_us"],
+        notes="push_anywhere avoids the hot last-segment bottleneck")
+
+    def prog(ctx, which):
+        pl = PList(ctx, 0)
+        seed_gid = pl.push_anywhere(0)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        for i in range(n_per_loc):
+            if which == "push_back":
+                pl.push_back(i)
+            elif which == "push_front":
+                pl.push_front(i)
+            elif which == "push_anywhere":
+                pl.push_anywhere(i)
+            else:  # insert before a local handle
+                pl.insert_element_async(seed_gid, i)
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    for which in ("push_back", "push_front", "push_anywhere", "insert"):
+        results, _, _ = run_spmd_timed(prog, P, machine, (which,))
+        res.add(which, max(results), max(results) / n_per_loc)
+    return res
+
+
+def fig40_parray_vs_plist(nlocs_list=_DEF_PS, n_per_loc=5000,
+                          machine="cray4") -> ExperimentResult:
+    """p_for_each / p_generate / p_accumulate on pArray vs pList (Fig. 40)."""
+    from ..algorithms.generic import p_accumulate, p_for_each, p_generate
+
+    res = ExperimentResult(
+        "Fig.40 algorithms: pArray vs pList",
+        ["P", "container", "algorithm", "time_us"],
+        notes="pList pays pointer-chasing overhead; both scale flat")
+
+    def prog(ctx, n, kind, algo):
+        if kind == "parray":
+            c = PArray(ctx, n, dtype=float)
+            view = Array1DView(c)
+        else:
+            c = PList(ctx, n, value=0.0)
+            view = StaticListView(c)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        if algo == "p_generate":
+            p_generate(view, lambda g: 1.0, vector=lambda g: g * 0 + 1.0)
+        elif algo == "p_for_each":
+            p_for_each(view, lambda x: x + 1.0, vector=lambda a: a + 1.0)
+        else:
+            p_accumulate(view, 0.0)
+        return ctx.stop_timer(t0)
+
+    for P in nlocs_list:
+        n = n_per_loc * P
+        for kind in ("parray", "plist"):
+            for algo in ("p_generate", "p_for_each", "p_accumulate"):
+                results, _, _ = run_spmd_timed(prog, P, machine,
+                                               (n, kind, algo))
+                res.add(P, kind, algo, max(results))
+    return res
+
+
+def fig41_placement(nlocs_list=(2, 4, 8, 16), n_per_loc=5000) -> ExperimentResult:
+    """P5-cluster: p_for_each weak scaling with processes packed onto nodes
+    (curve a) vs spread across nodes (curve b) — Fig. 41.
+
+    The placement changes which fence/collective hops cross the slow
+    inter-node links of the P5 model."""
+    from ..algorithms.generic import p_for_each
+
+    res = ExperimentResult(
+        "Fig.41 p_for_each placement on P5-cluster",
+        ["P", "placement", "time_us"])
+
+    def prog(ctx, n):
+        pa = PArray(ctx, n, dtype=float)
+        view = Array1DView(pa)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        # a touch of neighbour traffic so placement matters beyond the fence
+        nb = (ctx.id + 1) % ctx.nlocs
+        block = max(1, n // ctx.nlocs)
+        for k in range(32):
+            pa.get_element(min(n - 1, nb * block + k))
+        p_for_each(view, lambda x: x + 1.0, vector=lambda a: a + 1.0)
+        return ctx.stop_timer(t0)
+
+    for placement in ("packed", "spread"):
+        for P in nlocs_list:
+            results, _, _ = run_spmd_timed(prog, P, "p5cluster",
+                                           (n_per_loc * P,),
+                                           placement=placement)
+            res.add(P, placement, max(results))
+    return res
+
+
+def fig42_plist_vs_pvector(P=4, num_ops=2000, machine="cray4") -> ExperimentResult:
+    """pList vs pVector on read/write/insert/delete mixes (Fig. 42; paper
+    uses 10M ops, scaled).  pVector wins read/write-heavy mixes, pList wins
+    insert/delete-heavy ones — the crossover is the point of the figure."""
+    res = ExperimentResult(
+        "Fig.42 pList vs pVector op mixes",
+        ["mix", "container", "total_us", "per_op_us"])
+
+    def prog_vec(ctx, mix_name):
+        n0 = 512
+        pv = PVector(ctx, n0 * ctx.nlocs, value=0)
+        me = ctx.id if ctx.nlocs == pv._dist.partition.size() else 0
+        ops = generate_ops(num_ops, STANDARD_MIXES[mix_name],
+                           seed=1000 + ctx.id)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        for kind, r in ops:
+            # operate within the local block (as the pList side does)
+            sub = pv._dist.partition.get_sub_domain(me)
+            lo, hi = sub.lo, sub.hi
+            if hi <= lo:
+                pv.push_anywhere(1)
+                continue
+            idx = min(lo + int(r * (hi - lo)), hi - 1)
+            if kind == "read":
+                pv.get_element(idx)
+            elif kind == "write":
+                pv.set_element(idx, 1)
+            elif kind == "insert":
+                pv.insert_element(idx, 1)
+            else:
+                pv.erase_element(idx)
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    def prog_list(ctx, mix_name):
+        n0 = 512
+        pl = PList(ctx, n0 * ctx.nlocs, value=0)
+        gids = pl.local_gids()
+        ops = generate_ops(num_ops, STANDARD_MIXES[mix_name],
+                           seed=1000 + ctx.id)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        for kind, r in ops:
+            if not gids:
+                gids.append(pl.push_anywhere(1))
+                continue
+            gid = gids[min(int(r * len(gids)), len(gids) - 1)]
+            if kind == "read":
+                pl.get_element(gid)
+            elif kind == "write":
+                pl.set_element(gid, 1)
+            elif kind == "insert":
+                gids.append(pl.insert_element(gid, 1))
+            else:
+                pl.erase_element(gid)
+                gids.remove(gid)
+        ctx.rmi_fence()
+        return ctx.stop_timer(t0)
+
+    for mix_name in ("read_heavy", "balanced_rw", "mixed",
+                     "insert_delete_heavy"):
+        for kind, prog in (("pvector", prog_vec), ("plist", prog_list)):
+            results, _, _ = run_spmd_timed(prog, P, machine, (mix_name,))
+            res.add(mix_name, kind, max(results), max(results) / num_ops)
+    return res
+
+
+def fig43_euler_tour_weak(nlocs_list=(2, 4, 8), verts_per_loc=64,
+                          machine="cray4") -> ExperimentResult:
+    """Euler tour construction + list ranking, weak scaling (Fig. 43)."""
+    from ..algorithms.euler_tour import EulerTour
+
+    res = ExperimentResult(
+        "Fig.43 Euler tour weak scaling",
+        ["P", "vertices", "time_us"],
+        notes="pointer jumping: O(log n) fenced rounds of split-phase reads")
+
+    def prog(ctx, n):
+        edges = binary_tree_edges(n)
+        t0 = ctx.start_timer()
+        tour = EulerTour(ctx, edges, n, root=0)
+        tour.rank()
+        return ctx.stop_timer(t0)
+
+    for P in nlocs_list:
+        n = verts_per_loc * P
+        results, _, _ = run_spmd_timed(prog, P, machine, (n,))
+        res.add(P, n, max(results))
+    return res
+
+
+def fig44_euler_applications(P=4, sizes=(63, 127), machine="cray4") -> ExperimentResult:
+    """Euler-tour applications: rooting, levels, preorder, subtree sizes
+    (Fig. 44; the paper's 500k/1M subtrees per processor, scaled)."""
+    from ..algorithms.euler_tour import (
+        EulerTour,
+        preorder_numbering,
+        subtree_sizes,
+        tree_rooting,
+        vertex_levels,
+    )
+
+    res = ExperimentResult(
+        "Fig.44 Euler tour applications",
+        ["vertices", "phase", "time_us"])
+
+    def prog(ctx, n):
+        edges = binary_tree_edges(n)
+        out = {}
+        t0 = ctx.start_timer()
+        tour = EulerTour(ctx, edges, n, root=0)
+        tour.rank()
+        out["tour+rank"] = ctx.stop_timer(t0)
+        t0 = ctx.start_timer()
+        parent = tree_rooting(tour)
+        out["rooting"] = ctx.stop_timer(t0)
+        t0 = ctx.start_timer()
+        vertex_levels(tour, parent)
+        out["levels"] = ctx.stop_timer(t0)
+        t0 = ctx.start_timer()
+        preorder_numbering(tour, parent)
+        out["preorder"] = ctx.stop_timer(t0)
+        t0 = ctx.start_timer()
+        subtree_sizes(tour, parent)
+        out["subtree_sizes"] = ctx.stop_timer(t0)
+        return out
+
+    for n in sizes:
+        results, _, _ = run_spmd_timed(prog, P, machine, (n,))
+        for phase in ("tour+rank", "rooting", "levels", "preorder",
+                      "subtree_sizes"):
+            res.add(n, phase, max(r[phase] for r in results))
+    return res

@@ -1,0 +1,46 @@
+"""Simulated STAPL runtime system (ARMI + scheduler + machine models).
+
+Public surface mirrors Ch. III.B of the paper: locations, RMI primitives
+(async / sync / split-phase), fences, collectives, communication groups and
+p_objects — all running on a deterministic virtual-time machine simulator.
+"""
+
+from .comm import Message, Network, estimate_size
+from .future import Future, pc_future
+from .machine import CRAY4, CRAY5, MACHINES, P5_CLUSTER, SMP, MachineModel, get_machine
+from .p_object import PObject
+from .scheduler import (
+    Location,
+    LocationGroup,
+    Runtime,
+    SpmdError,
+    SpmdReport,
+    spmd_run,
+    spmd_run_detailed,
+)
+from .stats import LocationStats, RunStats
+
+__all__ = [
+    "CRAY4",
+    "CRAY5",
+    "Future",
+    "Location",
+    "LocationGroup",
+    "LocationStats",
+    "MACHINES",
+    "MachineModel",
+    "Message",
+    "Network",
+    "P5_CLUSTER",
+    "PObject",
+    "RunStats",
+    "Runtime",
+    "SMP",
+    "SpmdError",
+    "SpmdReport",
+    "estimate_size",
+    "get_machine",
+    "pc_future",
+    "spmd_run",
+    "spmd_run_detailed",
+]

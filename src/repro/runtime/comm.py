@@ -1,0 +1,138 @@
+"""Messages, FIFO channels and aggregation for the simulated ARMI layer.
+
+The RTS guarantee reproduced here (Ch. III.B): *requests from a location to
+another location are executed in order of invocation at the source*.  Each
+(src, dst) pair owns one FIFO channel.  Async RMIs are buffered in the
+channel and executed when the channel is flushed (by a fence, a poll, a
+``Future.get`` or a sync RMI to the same destination) — exactly the
+completion guarantees of Ch. VII.B.
+
+Aggregation (Ch. III.B "major techniques used are aggregation ... and
+combining") is modelled by charging the fixed physical-message overhead only
+once per ``machine.aggregation`` RMIs enqueued on a channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+_SCALAR_SIZE = 8
+_DEFAULT_SIZE = 64
+
+
+def estimate_size(obj, _depth: int = 0) -> int:
+    """Cheap, deterministic wire-size estimate (bytes) for RMI arguments.
+
+    This stands in for the ``define_type``/typer marshaling machinery of the
+    C++ RTS: it only needs to be consistent, so the bandwidth term of the
+    cost model scales with payload size.
+    """
+    if obj is None or isinstance(obj, (bool, int, float)):
+        return _SCALAR_SIZE
+    if isinstance(obj, (str, bytes, bytearray)):
+        return 16 + len(obj)
+    if isinstance(obj, np.ndarray):
+        return 64 + int(obj.nbytes)
+    if _depth >= 3:
+        return _DEFAULT_SIZE
+    if isinstance(obj, (tuple, list)):
+        n = len(obj)
+        if n == 0:
+            return 16
+        if n > 64:
+            sample = sum(estimate_size(x, _depth + 1) for x in obj[:16])
+            return 16 + (sample * n) // 16
+        return 16 + sum(estimate_size(x, _depth + 1) for x in obj)
+    if isinstance(obj, dict):
+        n = len(obj)
+        if n == 0:
+            return 16
+        items = list(obj.items())[:16]
+        sample = sum(
+            estimate_size(k, _depth + 1) + estimate_size(v, _depth + 1)
+            for k, v in items
+        )
+        return 16 + (sample * n) // max(1, len(items))
+    vt = getattr(obj, "_vt_size_", None)
+    if vt is not None:
+        return int(vt() if callable(vt) else vt)
+    return _DEFAULT_SIZE
+
+
+class Message:
+    """One buffered RMI request."""
+
+    __slots__ = ("src", "dst", "handle", "method", "args", "size", "depart",
+                 "origin", "future")
+
+    def __init__(self, src, dst, handle, method, args, size, depart, origin,
+                 future=None):
+        self.src = src
+        self.dst = dst
+        self.handle = handle
+        self.method = method
+        self.args = args
+        self.size = size
+        self.depart = depart
+        self.origin = origin
+        self.future = future
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"Message({self.src}->{self.dst} h{self.handle}."
+                f"{self.method} size={self.size})")
+
+
+class Network:
+    """All (src, dst) FIFO channels plus aggregation bookkeeping."""
+
+    def __init__(self, nlocs: int, aggregation: int):
+        self.nlocs = nlocs
+        self.aggregation = max(1, aggregation)
+        self._channels: dict[tuple[int, int], deque] = {}
+        self._agg_fill: dict[tuple[int, int], int] = {}
+        self.total_pending = 0
+
+    # -- sending -------------------------------------------------------
+    def enqueue(self, msg: Message) -> bool:
+        """Buffer ``msg``; returns True if a new physical message started
+        (i.e. the fixed message overhead must be charged to the sender)."""
+        key = (msg.src, msg.dst)
+        chan = self._channels.get(key)
+        if chan is None:
+            chan = self._channels[key] = deque()
+        chan.append(msg)
+        self.total_pending += 1
+        fill = self._agg_fill.get(key, 0)
+        new_message = fill == 0
+        self._agg_fill[key] = (fill + 1) % self.aggregation
+        return new_message
+
+    # -- inspection ----------------------------------------------------
+    def channel(self, src: int, dst: int) -> deque:
+        return self._channels.get((src, dst), _EMPTY)
+
+    def pending_to(self, dst: int) -> list[tuple[int, deque]]:
+        return [(s, c) for (s, d), c in self._channels.items() if d == dst and c]
+
+    def pending_among(self, members) -> list[deque]:
+        ms = members if isinstance(members, (set, frozenset)) else set(members)
+        return [c for (s, d), c in self._channels.items()
+                if c and d in ms and s in ms]
+
+    def pop(self, src: int, dst: int) -> Message | None:
+        chan = self._channels.get((src, dst))
+        if not chan:
+            return None
+        self.total_pending -= 1
+        msg = chan.popleft()
+        if not chan:
+            self._agg_fill[(src, dst)] = 0
+        return msg
+
+    def has_pending(self, src: int, dst: int) -> bool:
+        return bool(self._channels.get((src, dst)))
+
+
+_EMPTY: deque = deque()

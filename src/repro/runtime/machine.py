@@ -1,0 +1,181 @@
+"""Machine models for the simulated parallel machine.
+
+The paper evaluates STAPL on a CRAY XT4 (``CRAY4``), a CRAY XT5 (``CRAY5``)
+and an IBM P5-575 cluster (``P5-cluster``).  We reproduce those platforms as
+LogGP-style cost models: every RMI pays a sender overhead, a per-byte
+bandwidth term and a one-way latency that depends on whether source and
+destination share a node.  Collectives pay an ``alpha * ceil(log2 P) + beta``
+tree term.  All times are virtual microseconds tracked by the scheduler; the
+model is deterministic, so every benchmark in ``benchmarks/`` is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost model of one target platform (all times in microseconds)."""
+
+    name: str
+    #: number of locations sharing one node (intra-node latency applies)
+    cores_per_node: int
+    #: cost of one element-level operation inside a bContainer
+    t_access: float
+    #: cost of one partition + partition-mapper address translation
+    t_lookup: float
+    #: cost of one lock acquire/release pair in the thread-safety manager
+    t_lock: float
+    #: sender-side overhead of issuing one RMI
+    o_send: float
+    #: receiver-side overhead of executing one RMI
+    o_recv: float
+    #: one-way latency between two locations on the same node
+    latency_intra: float
+    #: one-way latency between two locations on different nodes
+    latency_inter: float
+    #: per-byte transfer cost, same node
+    byte_intra: float
+    #: per-byte transfer cost, different nodes
+    byte_inter: float
+    #: fixed cost of one physical network message (amortised by aggregation)
+    msg_overhead: float
+    #: maximum number of RMIs aggregated into one physical message
+    aggregation: int
+    #: collective/fence tree cost: alpha * ceil(log2 P) + beta
+    coll_alpha: float
+    coll_beta: float
+
+    # ------------------------------------------------------------------
+    def node_of(self, loc: int, nlocs: int, placement: str = "packed") -> int:
+        """Node hosting ``loc`` under a placement policy.
+
+        ``packed`` fills nodes with consecutive locations (the paper's
+        "processes on the same nodes when possible", Fig. 41 curve (a));
+        ``spread`` allocates every location on its own node (curve (b),
+        "in different nodes").
+        """
+        if placement == "spread":
+            return loc
+        return loc // self.cores_per_node
+
+    def same_node(self, a: int, b: int, nlocs: int, placement: str) -> bool:
+        return self.node_of(a, nlocs, placement) == self.node_of(b, nlocs, placement)
+
+    def latency(self, a: int, b: int, nlocs: int, placement: str) -> float:
+        if a == b:
+            return 0.0
+        if self.same_node(a, b, nlocs, placement):
+            return self.latency_intra
+        return self.latency_inter
+
+    def byte_cost(self, a: int, b: int, nlocs: int, placement: str) -> float:
+        if a == b:
+            return 0.0
+        if self.same_node(a, b, nlocs, placement):
+            return self.byte_intra
+        return self.byte_inter
+
+    def collective_cost(self, nparticipants: int) -> float:
+        if nparticipants <= 1:
+            return self.coll_beta
+        return self.coll_alpha * math.ceil(math.log2(nparticipants)) + self.coll_beta
+
+    def with_(self, **kw) -> "MachineModel":
+        """Return a copy with selected parameters overridden (ablations)."""
+        return replace(self, **kw)
+
+
+#: CRAY XT4: quad-core Opteron nodes, SeaStar2 3D-torus (low, uniform latency).
+CRAY4 = MachineModel(
+    name="cray4",
+    cores_per_node=4,
+    t_access=0.05,
+    t_lookup=0.05,
+    t_lock=0.04,
+    o_send=0.25,
+    o_recv=0.35,
+    latency_intra=0.8,
+    latency_inter=2.4,
+    byte_intra=0.0003,
+    byte_inter=0.0006,
+    msg_overhead=1.2,
+    aggregation=64,
+    coll_alpha=2.5,
+    coll_beta=2.0,
+)
+
+#: CRAY XT5: two quad-core Opterons per node.
+CRAY5 = MachineModel(
+    name="cray5",
+    cores_per_node=8,
+    t_access=0.045,
+    t_lookup=0.045,
+    t_lock=0.04,
+    o_send=0.22,
+    o_recv=0.3,
+    latency_intra=0.7,
+    latency_inter=2.2,
+    byte_intra=0.0003,
+    byte_inter=0.0005,
+    msg_overhead=1.1,
+    aggregation=64,
+    coll_alpha=2.2,
+    coll_beta=1.8,
+)
+
+#: IBM P5-575 cluster: 16-way SMP nodes; cheap intra-node, expensive
+#: inter-node communication (this asymmetry produces Fig. 41).
+P5_CLUSTER = MachineModel(
+    name="p5cluster",
+    cores_per_node=16,
+    t_access=0.07,
+    t_lookup=0.07,
+    t_lock=0.05,
+    o_send=0.4,
+    o_recv=0.5,
+    latency_intra=0.5,
+    latency_inter=7.0,
+    byte_intra=0.0004,
+    byte_inter=0.0012,
+    msg_overhead=2.0,
+    aggregation=64,
+    coll_alpha=4.0,
+    coll_beta=3.0,
+)
+
+#: Single shared-memory node (used by unit tests: no inter-node effects).
+SMP = MachineModel(
+    name="smp",
+    cores_per_node=1 << 20,
+    t_access=0.05,
+    t_lookup=0.05,
+    t_lock=0.04,
+    o_send=0.2,
+    o_recv=0.25,
+    latency_intra=0.4,
+    latency_inter=0.4,
+    byte_intra=0.0002,
+    byte_inter=0.0002,
+    msg_overhead=0.8,
+    aggregation=64,
+    coll_alpha=1.5,
+    coll_beta=1.0,
+)
+
+MACHINES = {m.name: m for m in (CRAY4, CRAY5, P5_CLUSTER, SMP)}
+
+
+def get_machine(spec) -> MachineModel:
+    """Resolve a machine spec (model instance or name) to a model."""
+    if isinstance(spec, MachineModel):
+        return spec
+    try:
+        return MACHINES[str(spec).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {spec!r}; available: {sorted(MACHINES)}"
+        ) from None

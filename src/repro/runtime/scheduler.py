@@ -1,0 +1,696 @@
+"""Deterministic SPMD scheduler: locations, RMI primitives, collectives.
+
+A *location* (Ch. III.B) is "a component of a parallel machine that has a
+contiguous address space and associated execution capabilities".  Each
+location runs the user's SPMD function on its own Python thread, but a single
+baton guarantees exactly one thread executes at a time, so runs are fully
+deterministic and data-race free; parallelism is *modelled* by per-location
+virtual clocks (see :mod:`repro.runtime.machine`).
+
+Blocking points are exactly the collective operations (fence, barrier,
+reduction, broadcast, registration).  Everything else — including sync RMIs,
+which execute the handler directly against the target representative while
+charging round-trip time — runs to completion without a context switch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from .comm import Message, Network, estimate_size
+from .future import Future
+from .machine import get_machine
+from .stats import LocationStats, RunStats
+
+_READY = "ready"
+_WAITING = "waiting"
+_DONE = "done"
+_FAILED = "failed"
+
+#: watchdog for a single baton hold; generous, only trips on a genuine hang.
+_BATON_TIMEOUT = 900.0
+
+
+class SpmdError(RuntimeError):
+    """Raised for SPMD protocol violations (mismatched collectives, etc.)."""
+
+
+class _Abort(BaseException):
+    """Internal: unwinds location threads after another location failed."""
+
+
+class LocationGroup:
+    """An ordered set of locations forming a communication group (Ch. III.B).
+
+    All RMI collectives are defined within a group, which is what enables
+    nested parallelism: a nested pContainer can live on a sub-group and run
+    its own fences/reductions without involving outside locations.
+    """
+
+    __slots__ = ("members", "key")
+
+    def __init__(self, members):
+        self.members = tuple(sorted(set(members)))
+        if not self.members:
+            raise ValueError("a location group needs at least one member")
+        self.key = self.members
+
+    def __len__(self):
+        return len(self.members)
+
+    def __contains__(self, lid):
+        return lid in set(self.members)
+
+    def index_of(self, lid: int) -> int:
+        return self.members.index(lid)
+
+    def __repr__(self):
+        return f"LocationGroup{self.members}"
+
+
+class _Rendezvous:
+    """One in-flight collective operation over a group."""
+
+    __slots__ = ("key", "op", "members", "arrived", "finisher", "results")
+
+    def __init__(self, key, op, members, finisher):
+        self.key = key
+        self.op = op
+        self.members = members
+        self.arrived: dict[int, object] = {}
+        self.finisher = finisher
+        self.results: dict[int, object] = {}
+
+    def complete(self) -> bool:
+        return len(self.arrived) == len(self.members)
+
+
+class Location:
+    """Execution context handed to the SPMD program (one per location)."""
+
+    def __init__(self, runtime: "Runtime", lid: int):
+        self.runtime = runtime
+        self.id = lid
+        self.clock = 0.0
+        self.stats = LocationStats()
+        self.result = None
+        self.error = None
+        self.state = _READY
+        self._resume = threading.Event()
+        self._waiting_on: _Rendezvous | None = None
+        self._coll_payload = None
+        self._coll_result = None
+        self._coll_seq: dict[tuple, int] = {}
+        self._thread: threading.Thread | None = None
+
+    # -- identity ------------------------------------------------------
+    @property
+    def nlocs(self) -> int:
+        return self.runtime.nlocs
+
+    def get_location_id(self) -> int:
+        return self.id
+
+    def get_num_locations(self) -> int:
+        return self.runtime.nlocs
+
+    @property
+    def machine(self):
+        return self.runtime.machine
+
+    def __repr__(self):
+        return f"Location({self.id}/{self.runtime.nlocs})"
+
+    # -- virtual time ----------------------------------------------------
+    def charge(self, us: float) -> None:
+        """Advance this location's virtual clock by ``us`` microseconds."""
+        self.clock += us
+
+    def charge_access(self, n: int = 1) -> None:
+        self.clock += self.runtime.machine.t_access * n
+
+    def charge_lookup(self, n: int = 1) -> None:
+        self.clock += self.runtime.machine.t_lookup * n
+
+    def charge_lock(self, n: int = 1) -> None:
+        self.clock += self.runtime.machine.t_lock * n
+        self.stats.lock_acquires += n
+
+    def start_timer(self) -> float:
+        """Paper idiom ``stapl::start_timer`` — returns the virtual clock."""
+        return self.clock
+
+    def stop_timer(self, t0: float) -> float:
+        """Elapsed virtual microseconds since ``t0``."""
+        return self.clock - t0
+
+    # -- point-to-point RMI ---------------------------------------------
+    def async_rmi(self, dest: int, handle: int, method: str, *args) -> None:
+        """Fire-and-forget remote method invocation (no return value).
+
+        Completion is guaranteed only by a subsequent fence, or by a sync /
+        split-phase method to the same destination from this location
+        (source FIFO ordering), per Ch. VII.B.
+        """
+        rt = self.runtime
+        m = rt.machine
+        size = 32 + estimate_size(args)
+        self.clock += m.o_send
+        self.stats.async_rmi_sent += 1
+        self.stats.bytes_sent += size
+        msg = Message(self.id, dest, handle, method, args, size, self.clock,
+                      rt.current_origin)
+        if rt.network.enqueue(msg):
+            self.clock += m.msg_overhead
+            self.stats.physical_messages += 1
+
+    def sync_rmi(self, dest: int, handle: int, method: str, *args):
+        """Blocking RMI: returns the method's result; costs a round trip."""
+        rt = self.runtime
+        m = rt.machine
+        self.stats.sync_rmi_sent += 1
+        # Source FIFO: pending asyncs to `dest` execute first.
+        rt.flush_channel(self.id, dest)
+        size = 32 + estimate_size(args)
+        self.clock += m.o_send
+        self.stats.bytes_sent += size
+        dst_loc = rt.locations[dest]
+        if dest != self.id:
+            lat = m.latency(self.id, dest, rt.nlocs, rt.placement)
+            bc = m.byte_cost(self.id, dest, rt.nlocs, rt.placement)
+            arrival = self.clock + lat + size * bc
+            if dst_loc.clock < arrival:
+                dst_loc.clock = arrival
+            dst_loc.clock += m.o_recv
+            result = rt._run_handler(dst_loc, handle, method, args, self.id)
+            rsize = 32 + estimate_size(result)
+            self.clock = dst_loc.clock + lat + rsize * bc + m.o_recv
+        else:
+            self.clock += m.o_recv
+            result = rt._run_handler(dst_loc, handle, method, args, self.id)
+        return result
+
+    def opaque_rmi(self, dest: int, handle: int, method: str, *args) -> Future:
+        """Split-phase RMI: returns a :class:`Future` immediately."""
+        rt = self.runtime
+        m = rt.machine
+        size = 32 + estimate_size(args)
+        self.clock += m.o_send
+        self.stats.opaque_rmi_sent += 1
+        self.stats.bytes_sent += size
+        fut = Future(rt, self.id, dest)
+        msg = Message(self.id, dest, handle, method, args, size, self.clock,
+                      rt.current_origin, future=fut)
+        if rt.network.enqueue(msg):
+            self.clock += m.msg_overhead
+            self.stats.physical_messages += 1
+        return fut
+
+    def poll(self) -> int:
+        """Execute all buffered RMIs destined to this location; returns the
+        number executed (the RTS's incoming-request processing point)."""
+        return self.runtime.drain_to(self.id)
+
+    # -- collectives -----------------------------------------------------
+    def rmi_fence(self, group: LocationGroup | None = None) -> None:
+        """Collective fence: on return, no RMI issued by any group member
+        before the fence is still pending (Ch. III.B / VII.B)."""
+        self.stats.fences += 1
+        self._collective("fence", None, group)
+
+    def barrier(self, group: LocationGroup | None = None) -> None:
+        """Synchronize clocks without draining pending traffic."""
+        self._collective("barrier", None, group)
+
+    def allreduce_rmi(self, value, op: Callable = None,
+                      group: LocationGroup | None = None):
+        """Reduce ``value`` across the group; every member gets the result."""
+        return self._collective("allreduce", (value, op), group)
+
+    def reduce_rmi(self, value, op: Callable = None, root: int = 0,
+                   group: LocationGroup | None = None):
+        """Rooted reduction; non-roots receive ``None``."""
+        result = self._collective("allreduce", (value, op), group)
+        return result if self.id == root else None
+
+    def broadcast_rmi(self, root: int, value=None,
+                      group: LocationGroup | None = None):
+        """Broadcast ``value`` from ``root`` to every group member."""
+        return self._collective("broadcast", (root, value), group)
+
+    def allgather_rmi(self, value, group: LocationGroup | None = None) -> list:
+        """Gather one value per member, in group order, on every member."""
+        return self._collective("allgather", value, group)
+
+    def alltoall_rmi(self, values: list, group: LocationGroup | None = None) -> list:
+        """Personalised all-to-all: ``values[i]`` goes to the i-th member."""
+        return self._collective("alltoall", values, group)
+
+    def scan_rmi(self, value, op: Callable = None, exclusive: bool = False,
+                 group: LocationGroup | None = None):
+        """Parallel prefix over group order; returns (prefix, total)."""
+        return self._collective("scan", (value, op, exclusive), group)
+
+    def os_fence(self) -> None:
+        """One-sided fence: completes all RMIs *originated* by this location
+        (including forwarded continuations) without a collective."""
+        self.runtime.drain_origin(self.id)
+
+    # -- registration ------------------------------------------------------
+    def collective_register(self, obj, group: LocationGroup | None = None) -> int:
+        """Collectively register a p_object representative; all members
+        receive the same RMI handle (Ch. III.B p_object registration)."""
+        return self._collective("register", obj, group)
+
+    def collective_unregister(self, handle: int,
+                              group: LocationGroup | None = None) -> None:
+        self._collective("unregister", handle, group)
+
+    # -- internals -------------------------------------------------------
+    def _collective(self, op: str, payload, group: LocationGroup | None):
+        rt = self.runtime
+        group = group or rt.world
+        if self.id not in group:
+            raise SpmdError(f"location {self.id} not in {group}")
+        if len(group) == 1:
+            # singleton groups (nested parallelism on one location) complete
+            # inline: no rendezvous, no context switch
+            return self._singleton_collective(op, payload)
+        if rt._exec_depth:
+            raise SpmdError(
+                f"location {self.id}: collective '{op}' invoked inside an RMI "
+                "handler; handlers must not block")
+        seq = self._coll_seq.get(group.key, 0)
+        self._coll_seq[group.key] = seq + 1
+        key = (group.key, seq)
+        rv = rt._pending_rv.get(key)
+        if rv is None:
+            rv = _Rendezvous(key, op, group.members, op)
+            rt._pending_rv[key] = rv
+        elif rv.op != op:
+            raise SpmdError(
+                f"collective mismatch on {group}: location {self.id} called "
+                f"'{op}' but another member called '{rv.op}'")
+        rv.arrived[self.id] = payload
+        self._waiting_on = rv
+        self.state = _WAITING
+        self.stats.collectives += 1
+        rt._yield_to_conductor(self)
+        self._waiting_on = None
+        out = self._coll_result
+        self._coll_result = None
+        return out
+
+    def _singleton_collective(self, op: str, payload):
+        rt = self.runtime
+        self.stats.collectives += 1
+        self.clock += rt.machine.coll_beta
+        if op == "fence":
+            rt.flush_channel(self.id, self.id)
+            return None
+        if op == "barrier":
+            return None
+        if op == "register":
+            handle = rt._next_handle
+            rt._next_handle += 1
+            slot = [None] * rt.nlocs
+            slot[self.id] = payload
+            rt.registry[handle] = slot
+            return handle
+        if op == "unregister":
+            rt.registry.pop(payload, None)
+            return None
+        if op == "allreduce":
+            return payload[0]
+        if op == "broadcast":
+            root, value = payload
+            if root != self.id:
+                raise SpmdError("broadcast root outside singleton group")
+            return value
+        if op == "allgather":
+            return [payload]
+        if op == "alltoall":
+            if len(payload) != 1:
+                raise SpmdError("alltoall payload size != group size")
+            return [payload[0]]
+        if op == "scan":
+            value, _op_fn, exclusive = payload
+            return (None, value) if exclusive else (value, value)
+        raise SpmdError(f"unknown collective {op!r}")  # pragma: no cover
+
+
+class Runtime:
+    """One SPMD execution: locations + network + registry + conductor."""
+
+    def __init__(self, nlocs: int, machine="smp", placement: str = "packed"):
+        if nlocs < 1:
+            raise ValueError("need at least one location")
+        self.machine = get_machine(machine)
+        self.nlocs = nlocs
+        self.placement = placement
+        self.locations = [Location(self, i) for i in range(nlocs)]
+        self.world = LocationGroup(range(nlocs))
+        self.network = Network(nlocs, self.machine.aggregation)
+        self.registry: dict[int, list] = {}
+        self._next_handle = 0
+        self._pending_rv: dict = {}
+        self._conductor_evt = threading.Event()
+        self._abort = False
+        self._exec_stack: list[tuple[Location, int]] = []
+        self._exec_depth = 0
+        self._tls = threading.local()
+
+    # -- current location tracking --------------------------------------
+    @property
+    def current_location(self) -> Location:
+        if self._exec_stack:
+            return self._exec_stack[-1][0]
+        loc = getattr(self._tls, "loc", None)
+        if loc is None:
+            raise SpmdError("no current location (outside an SPMD run)")
+        return loc
+
+    @property
+    def current_origin(self) -> int:
+        if self._exec_stack:
+            return self._exec_stack[-1][1]
+        return self.current_location.id
+
+    # -- registry --------------------------------------------------------
+    def lookup(self, handle: int, lid: int):
+        try:
+            obj = self.registry[handle][lid]
+        except KeyError:
+            raise SpmdError(f"unknown p_object handle {handle}") from None
+        if obj is None:
+            raise SpmdError(
+                f"p_object handle {handle} has no representative on "
+                f"location {lid}")
+        return obj
+
+    # -- message execution ----------------------------------------------
+    def _run_handler(self, dst_loc: Location, handle: int, method: str,
+                     args, origin: int):
+        obj = self.lookup(handle, dst_loc.id)
+        self._exec_stack.append((dst_loc, origin))
+        self._exec_depth += 1
+        try:
+            result = getattr(obj, method)(*args)
+        finally:
+            self._exec_stack.pop()
+            self._exec_depth -= 1
+        dst_loc.stats.rmi_executed += 1
+        return result
+
+    def execute_message(self, msg: Message) -> None:
+        m = self.machine
+        dst_loc = self.locations[msg.dst]
+        if msg.src != msg.dst:
+            lat = m.latency(msg.src, msg.dst, self.nlocs, self.placement)
+            bc = m.byte_cost(msg.src, msg.dst, self.nlocs, self.placement)
+            arrival = msg.depart + lat + msg.size * bc
+            if dst_loc.clock < arrival:
+                dst_loc.clock = arrival
+        else:
+            lat = 0.0
+        dst_loc.clock += m.o_recv
+        result = self._run_handler(dst_loc, msg.handle, msg.method, msg.args,
+                                   msg.origin)
+        if msg.future is not None:
+            msg.future._resolve(result, dst_loc.clock + lat)
+
+    # -- progress engines --------------------------------------------------
+    def flush_channel(self, src: int, dst: int, until_future=None) -> int:
+        """Execute buffered messages src->dst in FIFO order.  If
+        ``until_future`` is given, stop once that future resolves."""
+        n = 0
+        while True:
+            if until_future is not None and until_future.ready:
+                break
+            msg = self.network.pop(src, dst)
+            if msg is None:
+                break
+            self.execute_message(msg)
+            n += 1
+        return n
+
+    def drain_to(self, dst: int) -> int:
+        n = 0
+        for src in range(self.nlocs):
+            n += self.flush_channel(src, dst)
+        return n
+
+    def drain_among(self, members) -> int:
+        """Execute buffered traffic among ``members`` to quiescence.
+        Handlers may enqueue further messages (method forwarding), so loop."""
+        total = 0
+        ms = set(members)
+        while True:
+            chans = self.network.pending_among(ms)
+            if not chans:
+                return total
+            for chan in chans:
+                while chan:
+                    # channels are shared deques; pop via network for
+                    # aggregation bookkeeping
+                    msg = chan[0]
+                    self.network.pop(msg.src, msg.dst)
+                    self.execute_message(msg)
+                    total += 1
+
+    def drain_origin(self, origin: int) -> int:
+        """Execute every buffered message whose originating location is
+        ``origin`` (transitively, through forwarding)."""
+        total = 0
+        progress = True
+        while progress:
+            progress = False
+            for src in range(self.nlocs):
+                for dst in range(self.nlocs):
+                    chan = self.network.channel(src, dst)
+                    while chan and chan[0].origin == origin:
+                        msg = self.network.pop(src, dst)
+                        self.execute_message(msg)
+                        total += 1
+                        progress = True
+        return total
+
+    # -- conductor ---------------------------------------------------------
+    def run(self, fn: Callable, args: tuple = ()) -> list:
+        """Run ``fn(location, *args)`` SPMD-style on every location."""
+        threads = []
+        for loc in self.locations:
+            t = threading.Thread(
+                target=self._thread_main, args=(loc, fn, args),
+                name=f"loc-{loc.id}", daemon=True)
+            loc._thread = t
+            threads.append(t)
+        for t in threads:
+            t.start()
+        try:
+            self._conduct()
+        except SpmdError:
+            raise
+        except Exception as exc:
+            # handler failures surfacing from a conductor-side drain
+            self._abort = True
+            raise SpmdError(
+                f"RMI handler raised {type(exc).__name__}: {exc}") from exc
+        finally:
+            if self._abort:
+                for loc in self.locations:
+                    loc._resume.set()
+            for t in threads:
+                t.join(timeout=30.0)
+        failed = [loc for loc in self.locations if loc.state == _FAILED]
+        if failed:
+            loc = failed[0]
+            raise SpmdError(
+                f"location {loc.id} raised {type(loc.error).__name__}: "
+                f"{loc.error}") from loc.error
+        return [loc.result for loc in self.locations]
+
+    def _thread_main(self, loc: Location, fn: Callable, args: tuple) -> None:
+        loc._resume.wait()
+        loc._resume.clear()
+        if self._abort:
+            loc.state = _DONE
+            self._conductor_evt.set()
+            return
+        self._tls.loc = loc
+        try:
+            loc.result = fn(loc, *args)
+            loc.state = _DONE
+        except _Abort:
+            loc.state = _DONE
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            loc.error = exc
+            loc.state = _FAILED
+        finally:
+            self._conductor_evt.set()
+
+    def _yield_to_conductor(self, loc: Location) -> None:
+        self._conductor_evt.set()
+        loc._resume.wait()
+        loc._resume.clear()
+        if self._abort:
+            raise _Abort()
+
+    def _give_baton(self, loc: Location) -> None:
+        self._conductor_evt.clear()
+        loc._resume.set()
+        if not self._conductor_evt.wait(timeout=_BATON_TIMEOUT):
+            self._abort = True
+            raise SpmdError(f"location {loc.id} hung (baton watchdog)")
+
+    def _conduct(self) -> None:
+        try:
+            while True:
+                progressed = False
+                for loc in self.locations:
+                    if loc.state == _READY:
+                        self._give_baton(loc)
+                        progressed = True
+                        if loc.state == _FAILED:
+                            self._abort = True
+                            return
+                for key in list(self._pending_rv):
+                    rv = self._pending_rv[key]
+                    if rv.complete():
+                        del self._pending_rv[key]
+                        self._finish_rendezvous(rv)
+                        progressed = True
+                states = {loc.state for loc in self.locations}
+                if states <= {_DONE}:
+                    return
+                if not progressed:
+                    detail = ", ".join(
+                        f"L{loc.id}:{loc.state}"
+                        + (f"@{loc._waiting_on.op}" if loc._waiting_on else "")
+                        for loc in self.locations)
+                    self._abort = True
+                    raise SpmdError(
+                        "SPMD deadlock — mismatched collectives or a location "
+                        f"exited while others wait ({detail})")
+        except Exception:
+            self._abort = True
+            raise
+
+    # -- rendezvous finishers ----------------------------------------------
+    def _finish_rendezvous(self, rv: _Rendezvous) -> None:
+        members = [self.locations[i] for i in rv.members]
+        op = rv.op
+        if op == "fence":
+            self.drain_among(rv.members)
+        t = max(loc.clock for loc in members)
+        t += self.machine.collective_cost(len(members))
+        for loc in members:
+            loc.clock = t
+        if op in ("fence", "barrier"):
+            results = {i: None for i in rv.members}
+        elif op == "register":
+            handle = self._next_handle
+            self._next_handle += 1
+            slot = [None] * self.nlocs
+            for lid, obj in rv.arrived.items():
+                slot[lid] = obj
+            self.registry[handle] = slot
+            results = {i: handle for i in rv.members}
+        elif op == "unregister":
+            handles = set(rv.arrived.values())
+            if len(handles) != 1:
+                raise SpmdError(f"unregister called with differing handles {handles}")
+            self.registry.pop(handles.pop(), None)
+            results = {i: None for i in rv.members}
+        elif op == "allreduce":
+            ordered = [rv.arrived[i] for i in rv.members]
+            op_fn = ordered[0][1]
+            acc = ordered[0][0]
+            for val, _ in ordered[1:]:
+                acc = (acc + val) if op_fn is None else op_fn(acc, val)
+            results = {i: acc for i in rv.members}
+        elif op == "broadcast":
+            root, value = None, None
+            for i in rv.members:
+                r, v = rv.arrived[i]
+                if i == r:
+                    root, value = r, v
+            if root is None:
+                raise SpmdError("broadcast: root did not participate")
+            results = {i: value for i in rv.members}
+        elif op == "allgather":
+            gathered = [rv.arrived[i] for i in rv.members]
+            results = {i: list(gathered) for i in rv.members}
+        elif op == "alltoall":
+            n = len(rv.members)
+            for i in rv.members:
+                if len(rv.arrived[i]) != n:
+                    raise SpmdError(
+                        f"alltoall: location {i} passed {len(rv.arrived[i])} "
+                        f"values for a group of {n}")
+            results = {}
+            for idx, i in enumerate(rv.members):
+                results[i] = [rv.arrived[j][idx] for j in rv.members]
+        elif op == "scan":
+            op_fn = rv.arrived[rv.members[0]][1]
+            exclusive = rv.arrived[rv.members[0]][2]
+            vals = [rv.arrived[i][0] for i in rv.members]
+            results = {}
+            acc = None
+            for idx, i in enumerate(rv.members):
+                if exclusive:
+                    results[i] = acc
+                if acc is None:
+                    acc = vals[idx]
+                else:
+                    acc = (acc + vals[idx]) if op_fn is None else op_fn(acc, vals[idx])
+                if not exclusive:
+                    results[i] = acc
+            total = acc
+            results = {i: (results[i], total) for i in rv.members}
+        else:  # pragma: no cover - defensive
+            raise SpmdError(f"unknown collective {op!r}")
+        for loc in members:
+            loc._coll_result = results[loc.id]
+            loc.state = _READY
+
+    # -- reporting -----------------------------------------------------------
+    def stats(self) -> RunStats:
+        return RunStats([loc.stats for loc in self.locations])
+
+    def max_clock(self) -> float:
+        return max(loc.clock for loc in self.locations)
+
+
+def spmd_run(fn: Callable, nlocs: int = 4, machine="smp", args: tuple = (),
+             placement: str = "packed") -> list:
+    """Run an SPMD program; returns the per-location return values.
+
+    ``fn(ctx, *args)`` is executed once per location with a
+    :class:`Location` context, exactly like a ``stapl_main`` under
+    ``mpiexec -n nlocs``.
+    """
+    return Runtime(nlocs, machine, placement).run(fn, args)
+
+
+class SpmdReport:
+    """Result bundle from :func:`spmd_run_detailed`."""
+
+    def __init__(self, results, runtime: Runtime):
+        self.results = results
+        self.runtime = runtime
+        self.clocks = [loc.clock for loc in runtime.locations]
+        self.stats = runtime.stats()
+
+    @property
+    def max_clock(self) -> float:
+        return max(self.clocks)
+
+
+def spmd_run_detailed(fn: Callable, nlocs: int = 4, machine="smp",
+                      args: tuple = (), placement: str = "packed") -> SpmdReport:
+    """Like :func:`spmd_run` but also returns clocks and traffic stats."""
+    rt = Runtime(nlocs, machine, placement)
+    results = rt.run(fn, args)
+    return SpmdReport(results, rt)

@@ -1,0 +1,53 @@
+"""Per-location and aggregate runtime statistics.
+
+The statistics mirror what the paper instruments for its evaluation chapters:
+RMI traffic split by flavour (async / sync / split-phase), physical message
+counts after aggregation, bytes moved, forwarded requests (Ch. XI, Fig. 51)
+and lock operations performed by the thread-safety manager (Ch. VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class LocationStats:
+    """Counters accumulated by one location during an SPMD run."""
+
+    async_rmi_sent: int = 0
+    sync_rmi_sent: int = 0
+    opaque_rmi_sent: int = 0
+    rmi_executed: int = 0
+    local_invocations: int = 0
+    remote_invocations: int = 0
+    forwarded: int = 0
+    physical_messages: int = 0
+    bytes_sent: int = 0
+    lock_acquires: int = 0
+    fences: int = 0
+    collectives: int = 0
+
+    def merge(self, other: "LocationStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class RunStats:
+    """Aggregate view over all locations of a finished run."""
+
+    per_location: list = field(default_factory=list)
+
+    @property
+    def total(self) -> LocationStats:
+        out = LocationStats()
+        for s in self.per_location:
+            out.merge(s)
+        return out
+
+    def as_dict(self) -> dict:
+        return self.total.as_dict()

@@ -1,0 +1,16 @@
+"""STAPL pViews (Ch. III.A, Table II)."""
+
+from .array_views import (
+    Array1DROView,
+    Array1DView,
+    BalancedView,
+    OverlapView,
+    StridedView,
+    TransformView,
+    native_view,
+)
+from .base import Chunk, GenericChunk, NativeChunk, PView, Workfunction, as_wf
+from .graph_views import BoundaryView, GraphView, InnerView, RegionView, VertexChunk
+from .list_views import ListChunk, ListView, StaticListView
+from .map_views import MapChunk, MapView, SetView
+from .matrix_views import MatrixColsView, MatrixLinearView, MatrixRowsView

@@ -1,0 +1,230 @@
+"""One-dimensional pViews (Table II): array_1d, array_1d_ro, balanced,
+native, strided_1D, overlap and transform views."""
+
+from __future__ import annotations
+
+from ..core.domains import RangeDomain
+from ..core.partitions import balanced_sizes
+from .base import Chunk, GenericChunk, NativeChunk, PView
+
+
+class Array1DView(PView):
+    """``array_1d_pview``: random read/write access to an indexed container
+    through an integer domain ``[0, n)`` and a mapping function F."""
+
+    writable = True
+
+    def __init__(self, container, domain: RangeDomain | None = None,
+                 mapping=None, group=None):
+        super().__init__(container, group)
+        if domain is None:
+            cdom = container.domain
+            domain = RangeDomain(0, cdom.size())
+        self.domain = domain
+        self.mapping = mapping  # view index -> container GID (None: identity)
+
+    def size(self) -> int:
+        return self.domain.size()
+
+    def _gid(self, i):
+        if not self.domain.contains_gid(i):
+            raise IndexError(f"view index {i} outside {self.domain}")
+        return i if self.mapping is None else self.mapping(i)
+
+    def read(self, i):
+        return self.container.get_element(self._gid(i))
+
+    def write(self, i, value) -> None:
+        if not self.writable:
+            raise TypeError("read-only view")
+        self.container.set_element(self._gid(i), value)
+
+    def __getitem__(self, i):
+        return self.read(i)
+
+    def __setitem__(self, i, value):
+        self.write(i, value)
+
+    def local_chunks(self) -> list:
+        # identity-mapped full-domain views over GID-addressed storage align
+        # with the container's bContainers (fast native path); containers
+        # with offset-addressed or shifting storage (pVector) go through the
+        # element interface instead
+        if (self.mapping is None
+                and getattr(self.container, "supports_native_1d", True)
+                and self.size() == self.container.domain.size()):
+            loc = self.ctx
+            return [NativeChunk(self, bc, loc)
+                    for bc in self.container.local_bcontainers()]
+        return BalancedView(self).local_chunks()
+
+
+class Array1DROView(Array1DView):
+    """``array_1d_ro_pview``: write operations are rejected."""
+
+    writable = False
+
+
+def native_view(container, group=None) -> Array1DView:
+    """``native_pview``: partitioned exactly like the container (Ch. III.A);
+    the high-performance default for pAlgorithms."""
+    return Array1DView(container, group=group)
+
+
+class BalancedView(PView):
+    """``balanced_pview``: the data set split into #locations contiguous
+    chunks regardless of the underlying distribution.  Access goes through
+    the base view, so misalignment costs remote traffic (the locality
+    ablation of the evaluation)."""
+
+    def __init__(self, base_view: PView, group=None):
+        super().__init__(base_view.container, group or base_view.group)
+        self.base = base_view
+
+    def size(self) -> int:
+        return self.base.size()
+
+    def read(self, i):
+        return self.base.read(i)
+
+    def write(self, i, value) -> None:
+        self.base.write(i, value)
+
+    def local_chunks(self) -> list:
+        n = self.size()
+        members = self.group.members
+        sizes = balanced_sizes(n, len(members))
+        me = members.index(self.ctx.id)
+        lo = sum(sizes[:me])
+        dom = RangeDomain(lo, lo + sizes[me])
+        return [GenericChunk(self.base, dom)] if dom.size() else []
+
+
+class StridedView(PView):
+    """``strided_1D_pview``: every ``stride``-th element from ``start``."""
+
+    def __init__(self, base_view: PView, stride: int, start: int = 0,
+                 group=None):
+        super().__init__(base_view.container, group or base_view.group)
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.base = base_view
+        self.stride = stride
+        self.start = start
+        n = base_view.size()
+        self._n = max(0, (n - start + stride - 1) // stride)
+
+    def size(self) -> int:
+        return self._n
+
+    def _map(self, i: int) -> int:
+        return self.start + i * self.stride
+
+    def read(self, i):
+        return self.base.read(self._map(i))
+
+    def write(self, i, value) -> None:
+        self.base.write(self._map(i), value)
+
+    def local_chunks(self) -> list:
+        members = self.group.members
+        sizes = balanced_sizes(self._n, len(members))
+        me = members.index(self.ctx.id)
+        lo = sum(sizes[:me])
+        dom = RangeDomain(lo, lo + sizes[me])
+        return [GenericChunk(self, dom)] if dom.size() else []
+
+
+class TransformView(PView):
+    """``transform_pview``: overrides *read* with a user function of the
+    underlying value (Table II row O); writes are disabled."""
+
+    def __init__(self, base_view: PView, fn, group=None):
+        super().__init__(base_view.container, group or base_view.group)
+        self.base = base_view
+        self.fn = fn
+
+    def size(self) -> int:
+        return self.base.size()
+
+    def read(self, i):
+        return self.fn(self.base.read(i))
+
+    def write(self, i, value) -> None:
+        raise TypeError("transform views are read-only")
+
+    def local_chunks(self) -> list:
+        chunks = []
+        for base_chunk in self.base.local_chunks():
+            chunks.append(_TransformChunk(base_chunk, self.fn))
+        return chunks
+
+
+class _TransformChunk(Chunk):
+    def __init__(self, base: Chunk, fn):
+        self.base = base
+        self.fn = fn
+
+    def size(self) -> int:
+        return self.base.size()
+
+    def gids(self):
+        return self.base.gids()
+
+    def read(self, gid):
+        return self.fn(self.base.read(gid))
+
+    def write(self, gid, value) -> None:
+        raise TypeError("transform views are read-only")
+
+    def visit(self, wf) -> None:
+        from .base import Workfunction
+
+        inner = Workfunction(lambda v: wf.fn(self.fn(v)), cost=wf.cost)
+        self.base.visit(inner)
+
+    def reduce_values(self, op, initial):
+        f = self.fn
+        return self.base.reduce_values(lambda acc, v: op(acc, f(v)), initial)
+
+
+class OverlapView(PView):
+    """``overlap_pview`` (Fig. 2): element *i* is the window
+    ``base[c*i, c*i + l + c + r)`` with core ``c``, left ``l``, right ``r``.
+    Reads return the window as a list; windows whose tail crosses a
+    distribution boundary fetch the remote part element-wise."""
+
+    def __init__(self, base_view: PView, c: int = 1, l: int = 0, r: int = 0,
+                 group=None):
+        super().__init__(base_view.container, group or base_view.group)
+        if c < 1 or l < 0 or r < 0:
+            raise ValueError("need c >= 1, l >= 0, r >= 0")
+        self.base = base_view
+        self.c, self.l, self.r = c, l, r
+        n = base_view.size()
+        w = l + c + r
+        self._n = 0 if n < w else (n - w) // c + 1
+
+    @property
+    def window(self) -> int:
+        return self.l + self.c + self.r
+
+    def size(self) -> int:
+        return self._n
+
+    def read(self, i) -> list:
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        lo = self.c * i
+        return [self.base.read(j) for j in range(lo, lo + self.window)]
+
+    def write(self, i, value) -> None:
+        raise TypeError("overlap views are read-only")
+
+    def local_chunks(self) -> list:
+        members = self.group.members
+        sizes = balanced_sizes(self._n, len(members))
+        me = members.index(self.ctx.id)
+        lo = sum(sizes[:me])
+        dom = RangeDomain(lo, lo + sizes[me])
+        return [GenericChunk(self, dom)] if dom.size() else []

@@ -1,0 +1,259 @@
+"""pView core (Ch. III.A): V = (C, D, F, O).
+
+A pView references a collection (usually a pContainer), defines a domain of
+view indices, maps them onto collection GIDs through a mapping function F,
+and exposes ADT operations.  For parallel use a pView partitions itself into
+*base views* (bViews); pAlgorithms obtain the bViews assigned to the calling
+location via :meth:`PView.local_chunks` and process them task-style.
+
+Two chunk flavours implement the locality story the paper tells:
+
+* :class:`NativeChunk` — aligned with the container's distribution; element
+  access is direct bContainer access (and NumPy-bulk capable);
+* :class:`GenericChunk` — an arbitrary slice of the view's domain; element
+  access goes through the container's shared-object interface and may be
+  remote.  Balanced views over misaligned data pay for their flexibility,
+  which the native-vs-balanced ablation measures.
+"""
+
+from __future__ import annotations
+
+from ..core.domains import RangeDomain
+from ..core.partitions import balanced_sizes
+
+
+class Workfunction:
+    """Workfunction wrapper: a scalar callable plus an optional vectorised
+    (NumPy) implementation and a virtual per-element cost."""
+
+    __slots__ = ("fn", "vector", "cost")
+
+    def __init__(self, fn, vector=None, cost=None):
+        self.fn = fn
+        self.vector = vector
+        self.cost = cost
+
+    def __call__(self, *args):
+        return self.fn(*args)
+
+
+def as_wf(fn) -> Workfunction:
+    if isinstance(fn, Workfunction):
+        return fn
+    return Workfunction(fn)
+
+
+class Chunk:
+    """One bView: the unit of work a pAlgorithm task processes."""
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def gids(self):
+        raise NotImplementedError
+
+    def read(self, gid):
+        raise NotImplementedError
+
+    def write(self, gid, value) -> None:
+        raise NotImplementedError
+
+    def items(self):
+        for gid in self.gids():
+            yield gid, self.read(gid)
+
+    # -- bulk operations (overridden with vectorised paths) ---------------
+    def map_values(self, wf: Workfunction) -> None:
+        """value <- wf(value) for every element."""
+        for gid in self.gids():
+            self.write(gid, wf.fn(self.read(gid)))
+
+    def generate(self, wf: Workfunction) -> None:
+        """value <- wf(gid) for every element."""
+        for gid in self.gids():
+            self.write(gid, wf.fn(gid))
+
+    def visit(self, wf: Workfunction) -> None:
+        """Call wf(value) for side effects only."""
+        for gid in self.gids():
+            wf.fn(self.read(gid))
+
+    def reduce_values(self, op, initial):
+        acc = initial
+        for gid in self.gids():
+            acc = op(acc, self.read(gid))
+        return acc
+
+
+class NativeChunk(Chunk):
+    """bView aligned with one local bContainer (fast path)."""
+
+    def __init__(self, view, bc, location):
+        self.view = view
+        self.bc = bc
+        self.location = location
+
+    def size(self) -> int:
+        return self.bc.size()
+
+    def gids(self):
+        return iter(self.bc.domain)
+
+    def read(self, gid):
+        self.location.charge_access()
+        return self.bc.get(gid)
+
+    def write(self, gid, value) -> None:
+        self.location.charge_access()
+        self.bc.set(gid, value)
+
+    def _charge(self, wf: Workfunction, per_elem_accesses: int = 2) -> None:
+        m = self.location.machine
+        per = m.t_access * per_elem_accesses + (wf.cost or m.t_access)
+        self.location.charge(per * self.bc.size())
+
+    def map_values(self, wf: Workfunction) -> None:
+        self._charge(wf)
+        if hasattr(self.bc, "bulk_map"):
+            if wf.vector is not None:
+                self.bc.bulk_map(wf.vector)
+            else:
+                data = self.bc.data
+                data[:] = [wf.fn(v) for v in data.tolist()]
+            return
+        for gid in self.gids():
+            self.bc.set(gid, wf.fn(self.bc.get(gid)))
+
+    def generate(self, wf: Workfunction) -> None:
+        self._charge(wf, per_elem_accesses=1)
+        if wf.vector is not None and hasattr(self.bc, "bulk_map"):
+            import numpy as np
+
+            dom = self.bc.domain
+            if isinstance(dom, RangeDomain):
+                gids = np.arange(dom.lo, dom.hi, dtype=np.int64)
+            else:
+                gids = np.fromiter(dom, dtype=np.int64, count=self.bc.size())
+            self.bc.data = np.asarray(wf.vector(gids), dtype=self.bc.data.dtype)
+            return
+        for gid in self.gids():
+            self.bc.set(gid, wf.fn(gid))
+
+    def visit(self, wf: Workfunction) -> None:
+        self._charge(wf, per_elem_accesses=1)
+        vals = self.bc.values() if hasattr(self.bc, "values") else None
+        if vals is not None:
+            for v in vals:
+                wf.fn(v)
+            return
+        for gid in self.gids():
+            wf.fn(self.bc.get(gid))
+
+    def reduce_values(self, op, initial):
+        m = self.location.machine
+        self.location.charge((m.t_access * 2) * self.bc.size())
+        vals = self.bc.values() if hasattr(self.bc, "values") else None
+        if vals is None:
+            return super().reduce_values(op, initial)
+        if hasattr(vals, "dtype"):  # NumPy fast paths for common reductions
+            import operator
+
+            if self.bc.size():
+                if op is operator.add:
+                    return op(initial, vals.sum().item())
+                if op is min:
+                    return min(initial, vals.min().item())
+                if op is max:
+                    return max(initial, vals.max().item())
+            vals = vals.tolist()
+        acc = initial
+        for v in vals:
+            acc = op(acc, v)
+        return acc
+
+
+class GenericChunk(Chunk):
+    """bView over an arbitrary slice of a view's domain; element access uses
+    the view's ADT operations (possibly remote)."""
+
+    def __init__(self, view, index_domain):
+        self.view = view
+        self.index_domain = index_domain
+
+    def size(self) -> int:
+        return self.index_domain.size()
+
+    def gids(self):
+        return iter(self.index_domain)
+
+    def read(self, i):
+        return self.view.read(i)
+
+    def write(self, i, value) -> None:
+        self.view.write(i, value)
+
+    def map_values(self, wf: Workfunction) -> None:
+        m = self.view.ctx.machine
+        self.view.ctx.charge((wf.cost or m.t_access) * self.size())
+        for i in self.gids():
+            self.view.write(i, wf.fn(self.view.read(i)))
+
+    def generate(self, wf: Workfunction) -> None:
+        m = self.view.ctx.machine
+        self.view.ctx.charge((wf.cost or m.t_access) * self.size())
+        for i in self.gids():
+            self.view.write(i, wf.fn(i))
+
+    def visit(self, wf: Workfunction) -> None:
+        m = self.view.ctx.machine
+        self.view.ctx.charge((wf.cost or m.t_access) * self.size())
+        for i in self.gids():
+            wf.fn(self.view.read(i))
+
+    def reduce_values(self, op, initial):
+        acc = initial
+        for i in self.gids():
+            acc = op(acc, self.view.read(i))
+        return acc
+
+
+class PView:
+    """Base pView (Table II rows share this interface)."""
+
+    def __init__(self, container, group=None):
+        self.container = container
+        self.group = group or container.group
+
+    @property
+    def ctx(self):
+        return self.container.runtime.current_location
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def read(self, i):
+        raise NotImplementedError
+
+    def write(self, i, value) -> None:
+        raise NotImplementedError
+
+    def local_chunks(self) -> list:
+        raise NotImplementedError
+
+    def post_execute(self) -> None:
+        """Automatic synchronisation point (Ch. VII.H): fence, then let the
+        container commit/refresh replicated metadata."""
+        self.ctx.rmi_fence(self.group)
+        hook = getattr(self.container, "post_execute", None)
+        if hook is not None:
+            hook()
+
+    # -- domain helpers ----------------------------------------------------
+    def balanced_slices(self) -> RangeDomain:
+        """This location's share of ``[0, size)`` under a balanced split."""
+        n = self.size()
+        members = self.group.members
+        sizes = balanced_sizes(n, len(members))
+        me = members.index(self.ctx.id)
+        lo = sum(sizes[:me])
+        return RangeDomain(lo, lo + sizes[me])

@@ -1,0 +1,133 @@
+"""pGraph views (Ch. XI.E, Figs. 47/48): partitioned, region, inner and
+boundary views over a graph's vertices.
+
+* the **partitioned (native) view** exposes each location's vertices;
+* a **region view** restricts to an explicit vertex subset;
+* the **inner view** holds vertices all of whose neighbours are local;
+* the **boundary view** holds vertices with at least one remote neighbour.
+
+Inner/boundary splits let algorithms overlap local work with communication
+— inner vertices never generate remote traffic.
+"""
+
+from __future__ import annotations
+
+from .base import Chunk, PView, Workfunction
+
+
+class VertexChunk(Chunk):
+    """A set of local vertices; values are vertex properties."""
+
+    def __init__(self, view, bc, vds, location):
+        self.view = view
+        self.bc = bc
+        self.vds = list(vds)
+        self.location = location
+
+    def size(self) -> int:
+        return len(self.vds)
+
+    def gids(self):
+        return iter(self.vds)
+
+    def read(self, vd):
+        self.location.charge_access()
+        return self.bc.vertex_property(vd)
+
+    def write(self, vd, prop) -> None:
+        self.location.charge_access()
+        self.bc.set_vertex_property(vd, prop)
+
+    def _charge(self, wf: Workfunction, accesses: int = 2) -> None:
+        m = self.location.machine
+        per = m.t_access * accesses + (wf.cost or m.t_access)
+        self.location.charge(per * len(self.vds))
+
+    def map_values(self, wf: Workfunction) -> None:
+        self._charge(wf)
+        for vd in self.vds:
+            self.bc.set_vertex_property(vd, wf.fn(self.bc.vertex_property(vd)))
+
+    def generate(self, wf: Workfunction) -> None:
+        self._charge(wf, accesses=1)
+        for vd in self.vds:
+            self.bc.set_vertex_property(vd, wf.fn(vd))
+
+    def visit(self, wf: Workfunction) -> None:
+        self._charge(wf, accesses=1)
+        for vd in self.vds:
+            wf.fn(self.bc.vertex_property(vd))
+
+    def reduce_values(self, op, initial):
+        m = self.location.machine
+        self.location.charge(m.t_access * 2 * len(self.vds))
+        acc = initial
+        for vd in self.vds:
+            acc = op(acc, self.bc.vertex_property(vd))
+        return acc
+
+
+class GraphView(PView):
+    """``graph_pview``: the partitioned (native) vertex view."""
+
+    def __init__(self, pgraph, group=None):
+        super().__init__(pgraph, group)
+
+    def size(self) -> int:
+        return self.container.get_num_vertices()
+
+    def read(self, vd):
+        return self.container.vertex_property(vd)
+
+    def write(self, vd, prop) -> None:
+        self.container.set_vertex_property(vd, prop)
+
+    def _select(self, bc) -> list:
+        return bc.vertices()
+
+    def local_chunks(self) -> list:
+        loc = self.ctx
+        return [VertexChunk(self, bc, self._select(bc), loc)
+                for bc in self.container.local_bcontainers()]
+
+
+class RegionView(GraphView):
+    """Vertex-subset (region) view (Fig. 48b)."""
+
+    def __init__(self, pgraph, vds, group=None):
+        super().__init__(pgraph, group)
+        self._region = set(vds)
+
+    def size(self) -> int:
+        return len(self._region)
+
+    def _select(self, bc) -> list:
+        return [vd for vd in bc.vertices() if vd in self._region]
+
+
+class InnerView(GraphView):
+    """Vertices whose neighbours are all local (Fig. 48c)."""
+
+    def _select(self, bc) -> list:
+        cont = self.container
+        loc = self.ctx
+        out = []
+        for vd in bc.vertices():
+            loc.charge_lookup()
+            if all(cont._dist.is_local(t) for t in bc.adjacents(vd)):
+                out.append(vd)
+        return out
+
+
+class BoundaryView(GraphView):
+    """Vertices with at least one remote neighbour (Fig. 48d)."""
+
+    def _select(self, bc) -> list:
+        cont = self.container
+        loc = self.ctx
+        out = []
+        for vd in bc.vertices():
+            loc.charge_lookup()
+            if any(not cont._dist.is_local(t) for t in bc.adjacents(vd)):
+                out.append(vd)
+        return out

@@ -1,0 +1,99 @@
+"""pList views (Table II: static_list_pview, list_pview).
+
+The list pView provides concurrent access to *segments* of the list
+(Ch. III.A): native chunks are the per-location ListBC segments, giving
+pAlgorithms random access to a partitioned data space even though the
+underlying structure is a linked list.
+"""
+
+from __future__ import annotations
+
+from .base import Chunk, PView, Workfunction
+
+
+class ListChunk(Chunk):
+    """One local list segment."""
+
+    def __init__(self, view, bc, bcid, location):
+        self.view = view
+        self.bc = bc
+        self.bcid = bcid
+        self.location = location
+
+    def size(self) -> int:
+        return self.bc.size()
+
+    def gids(self):
+        return ((self.bcid, seq) for seq in self.bc.seqs())
+
+    def read(self, gid):
+        self.location.charge_access()
+        return self.bc.get(gid[1])
+
+    def write(self, gid, value) -> None:
+        self.location.charge_access()
+        self.bc.set(gid[1], value)
+
+    def _charge(self, wf: Workfunction, accesses: int = 2) -> None:
+        m = self.location.machine
+        # linked-list traversal: pointer chase adds to the access cost
+        per = m.t_access * (accesses + 0.5) + (wf.cost or m.t_access)
+        self.location.charge(per * self.bc.size())
+
+    def map_values(self, wf: Workfunction) -> None:
+        self._charge(wf)
+        for seq in self.bc.seqs():
+            self.bc.set(seq, wf.fn(self.bc.get(seq)))
+
+    def generate(self, wf: Workfunction) -> None:
+        self._charge(wf, accesses=1)
+        for seq in self.bc.seqs():
+            self.bc.set(seq, wf.fn((self.bcid, seq)))
+
+    def visit(self, wf: Workfunction) -> None:
+        self._charge(wf, accesses=1)
+        for v in self.bc.values():
+            wf.fn(v)
+
+    def reduce_values(self, op, initial):
+        m = self.location.machine
+        self.location.charge(m.t_access * 2.5 * self.bc.size())
+        acc = initial
+        for v in self.bc.values():
+            acc = op(acc, v)
+        return acc
+
+
+class StaticListView(PView):
+    """``static_list_pview``: read/write by stable GID, no structural ops."""
+
+    def __init__(self, plist, group=None):
+        super().__init__(plist, group)
+
+    def size(self) -> int:
+        return self.container.size()
+
+    def read(self, gid):
+        return self.container.get_element(gid)
+
+    def write(self, gid, value) -> None:
+        self.container.set_element(gid, value)
+
+    def local_chunks(self) -> list:
+        loc = self.ctx
+        lm = self.container.location_manager
+        return [ListChunk(self, lm.get_bcontainer(b), b, loc)
+                for b in lm.bcids()]
+
+
+class ListView(StaticListView):
+    """``list_pview``: adds insert/erase/insert-any (Table II)."""
+
+    def insert(self, gid, value):
+        return self.container.insert_element(gid, value)
+
+    def erase(self, gid):
+        return self.container.erase_element(gid)
+
+    def insert_any(self, value):
+        return self.container.push_anywhere(value)

@@ -1,0 +1,95 @@
+"""Associative views (Table II: p_map_pview / p_set_pview).
+
+Elements are the container's values addressed by key; native chunks are the
+local MapBC/SetBC bContainers, giving pAlgorithms partitioned access to
+hash- or range-partitioned key spaces (Fig. 60's workloads).
+"""
+
+from __future__ import annotations
+
+from .base import Chunk, PView, Workfunction
+
+
+class MapChunk(Chunk):
+    """One local associative bContainer; GIDs are keys, values are mapped
+    values (or the keys themselves for set containers)."""
+
+    def __init__(self, view, bc, location):
+        self.view = view
+        self.bc = bc
+        self.location = location
+
+    def size(self) -> int:
+        return self.bc.size()
+
+    def gids(self):
+        return iter(self.bc.keys())
+
+    def items(self):
+        return iter(self.bc.items())
+
+    def read(self, key):
+        self.location.charge_access()
+        return self.bc.get(key)
+
+    def write(self, key, value) -> None:
+        self.location.charge_access()
+        self.bc.set(key, value)
+
+    def _charge(self, wf: Workfunction, accesses: int = 2) -> None:
+        m = self.location.machine
+        per = m.t_access * accesses + (wf.cost or m.t_access)
+        self.location.charge(per * self.bc.size())
+
+    def map_values(self, wf: Workfunction) -> None:
+        self._charge(wf)
+        data = self.bc.data
+        for k in list(data.keys()):
+            data[k] = wf.fn(data[k])
+
+    def visit(self, wf: Workfunction) -> None:
+        self._charge(wf, accesses=1)
+        for v in self.bc.values():
+            wf.fn(v)
+
+    def generate(self, wf: Workfunction) -> None:
+        self._charge(wf, accesses=1)
+        data = self.bc.data
+        for k in list(data.keys()):
+            data[k] = wf.fn(k)
+
+    def reduce_values(self, op, initial):
+        m = self.location.machine
+        self.location.charge(m.t_access * 2 * self.bc.size())
+        acc = initial
+        for v in self.bc.values():
+            acc = op(acc, v)
+        return acc
+
+
+class MapView(PView):
+    """``p_map_pview``: value access by key + partitioned iteration."""
+
+    def __init__(self, assoc, group=None):
+        super().__init__(assoc, group)
+
+    def size(self) -> int:
+        return self.container.size()
+
+    def read(self, key):
+        return self.container.find(key)
+
+    def write(self, key, value) -> None:
+        self.container.set_element(key, value)
+
+    def local_chunks(self) -> list:
+        loc = self.ctx
+        return [MapChunk(self, bc, loc)
+                for bc in self.container.local_bcontainers()]
+
+
+class SetView(MapView):
+    """``p_set_pview``: values are the keys; writes are rejected."""
+
+    def write(self, key, value) -> None:
+        raise TypeError("set views are read-only")

@@ -1,0 +1,253 @@
+"""pMatrix views (Ch. III.A): row, column and linearised views.
+
+"The same pMatrix can be 'viewed' (or used) as a row-major or column-major
+matrix or even as linearized vector" — these adaptors implement exactly
+that, plus the rows-as-elements view used by the composition study
+(Fig. 62, row minima).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.domains import RangeDomain
+from ..core.partitions import balanced_sizes
+from .base import Chunk, GenericChunk, PView, Workfunction
+
+
+class MatrixLinearView(PView):
+    """``array_2d`` linearised to 1D in the matrix's domain order."""
+
+    def __init__(self, pmatrix, group=None):
+        super().__init__(pmatrix, group)
+        self._dom = pmatrix.domain
+
+    def size(self) -> int:
+        return self._dom.size()
+
+    def read(self, i):
+        return self.container.get_element(self._dom.gid_at(i))
+
+    def write(self, i, value) -> None:
+        self.container.set_element(self._dom.gid_at(i), value)
+
+    def local_chunks(self) -> list:
+        loc = self.ctx
+        return [_MatrixBlockChunk(self, bc, loc)
+                for bc in self.container.local_bcontainers()]
+
+
+class _MatrixBlockChunk(Chunk):
+    """All elements of one local 2D block."""
+
+    def __init__(self, view, bc, location):
+        self.view = view
+        self.bc = bc
+        self.location = location
+
+    def size(self) -> int:
+        return self.bc.size()
+
+    def gids(self):
+        return iter(self.bc.domain)
+
+    def read(self, gid):
+        self.location.charge_access()
+        return self.bc.get(gid)
+
+    def write(self, gid, value) -> None:
+        self.location.charge_access()
+        self.bc.set(gid, value)
+
+    def _charge(self, wf: Workfunction, accesses: int = 2) -> None:
+        m = self.location.machine
+        per = m.t_access * accesses + (wf.cost or m.t_access)
+        self.location.charge(per * self.bc.size())
+
+    def map_values(self, wf: Workfunction) -> None:
+        self._charge(wf)
+        if wf.vector is not None:
+            self.bc.data = np.asarray(wf.vector(self.bc.data))
+            return
+        flat = self.bc.data.reshape(-1)
+        flat[:] = [wf.fn(v) for v in flat.tolist()]
+
+    def generate(self, wf: Workfunction) -> None:
+        self._charge(wf, accesses=1)
+        for gid in self.gids():
+            self.bc.set(gid, wf.fn(gid))
+
+    def visit(self, wf: Workfunction) -> None:
+        self._charge(wf, accesses=1)
+        for v in self.bc.data.reshape(-1).tolist():
+            wf.fn(v)
+
+    def reduce_values(self, op, initial):
+        import operator
+
+        m = self.location.machine
+        self.location.charge(m.t_access * 2 * self.bc.size())
+        if self.bc.size():
+            if op is operator.add:
+                return op(initial, self.bc.data.sum().item())
+            if op is min:
+                return min(initial, self.bc.data.min().item())
+            if op is max:
+                return max(initial, self.bc.data.max().item())
+        acc = initial
+        for v in self.bc.data.reshape(-1).tolist():
+            acc = op(acc, v)
+        return acc
+
+
+class MatrixRowsView(PView):
+    """Rows-as-elements view: element *r* is row *r* (a list of values).
+
+    With a row-partitioned matrix (pr = P, pc = 1) every row is a contiguous
+    local NumPy slice, which is why pMatrix wins the Fig. 62 comparison.
+    """
+
+    def __init__(self, pmatrix, group=None):
+        super().__init__(pmatrix, group)
+
+    def size(self) -> int:
+        return self.container.rows
+
+    def read(self, r):
+        return self.container.get_row(r)
+
+    def write(self, r, values) -> None:
+        for c, v in enumerate(values):
+            self.container.set_element((r, c), v)
+
+    def local_chunks(self) -> list:
+        loc = self.ctx
+        chunks = []
+        for bc in self.container.local_bcontainers():
+            if bc.domain.c0 == 0 and bc.domain.c1 == self.container.cols:
+                chunks.append(_LocalRowsChunk(self, bc, loc))
+            else:
+                # block does not span full rows: fall back to generic access
+                dom = RangeDomain(bc.domain.r0, bc.domain.r1)
+                chunks.append(GenericChunk(self, dom))
+        return chunks
+
+
+class MatrixColsView(PView):
+    """Columns-as-elements view: element *c* is column *c* (a list).
+
+    The dual of :class:`MatrixRowsView`: local and vectorised when the
+    matrix is column-partitioned (pr = 1, pc = P) — "the same pMatrix ...
+    'viewed' as a row-major or column-major matrix" (Ch. III.A)."""
+
+    def __init__(self, pmatrix, group=None):
+        super().__init__(pmatrix, group)
+
+    def size(self) -> int:
+        return self.container.cols
+
+    def read(self, c):
+        return self.container.get_col(c)
+
+    def write(self, c, values) -> None:
+        for r, v in enumerate(values):
+            self.container.set_element((r, c), v)
+
+    def local_chunks(self) -> list:
+        loc = self.ctx
+        chunks = []
+        for bc in self.container.local_bcontainers():
+            if bc.domain.r0 == 0 and bc.domain.r1 == self.container.rows:
+                chunks.append(_LocalColsChunk(self, bc, loc))
+            else:
+                dom = RangeDomain(bc.domain.c0, bc.domain.c1)
+                chunks.append(GenericChunk(self, dom))
+        return chunks
+
+
+class _LocalColsChunk(Chunk):
+    """Columns fully contained in one local block."""
+
+    def __init__(self, view, bc, location):
+        self.view = view
+        self.bc = bc
+        self.location = location
+
+    def size(self) -> int:
+        return self.bc.domain.cols
+
+    def gids(self):
+        return iter(range(self.bc.domain.c0, self.bc.domain.c1))
+
+    def read(self, c):
+        self.location.charge_access(self.bc.domain.rows)
+        return self.bc.col_slice(c).tolist()
+
+    def write(self, c, values) -> None:
+        self.location.charge_access(self.bc.domain.rows)
+        self.bc.col_slice(c)[:] = values
+
+    def visit(self, wf: Workfunction) -> None:
+        m = self.location.machine
+        rows = self.bc.domain.rows
+        self.location.charge(
+            (m.t_access * rows + (wf.cost or m.t_access)) * self.size())
+        for c in self.gids():
+            wf.fn(self.bc.col_slice(c))
+
+    def reduce_values(self, op, initial):
+        acc = initial
+        for c in self.gids():
+            acc = op(acc, self.read(c))
+        return acc
+
+    def col_reduce(self, reducer) -> list:
+        """(column index, reducer(column)) per local column — vectorised."""
+        m = self.location.machine
+        self.location.charge(m.t_access * self.bc.size())
+        vals = reducer(self.bc.data, 0)
+        return list(zip(self.gids(), np.asarray(vals).tolist()))
+
+
+class _LocalRowsChunk(Chunk):
+    """Rows fully contained in one local block (vectorised row ops)."""
+
+    def __init__(self, view, bc, location):
+        self.view = view
+        self.bc = bc
+        self.location = location
+
+    def size(self) -> int:
+        return self.bc.domain.rows
+
+    def gids(self):
+        return iter(range(self.bc.domain.r0, self.bc.domain.r1))
+
+    def read(self, r):
+        self.location.charge_access(self.bc.domain.cols)
+        return self.bc.row_slice(r).tolist()
+
+    def write(self, r, values) -> None:
+        self.location.charge_access(self.bc.domain.cols)
+        self.bc.row_slice(r)[:] = values
+
+    def visit(self, wf: Workfunction) -> None:
+        m = self.location.machine
+        cols = self.bc.domain.cols
+        self.location.charge(
+            (m.t_access * cols + (wf.cost or m.t_access)) * self.size())
+        for r in self.gids():
+            wf.fn(self.bc.row_slice(r))
+
+    def reduce_values(self, op, initial):
+        acc = initial
+        for r in self.gids():
+            acc = op(acc, self.read(r))
+        return acc
+
+    def row_reduce(self, reducer) -> list:
+        """(row index, reducer(row)) for each local row — vectorised."""
+        m = self.location.machine
+        self.location.charge(m.t_access * self.bc.size())
+        vals = reducer(self.bc.data, 1)
+        return list(zip(self.gids(), np.asarray(vals).tolist()))

@@ -1,0 +1,12 @@
+"""Workload generators for the evaluation chapters."""
+
+from .corpus import generate_tokens, local_documents, vocabulary
+from .meshes import local_mesh_edges, mesh_edges, mesh_vertex
+from .opmix import STANDARD_MIXES, OpMix, generate_ops
+from .ssca2 import SSCA2Spec, generate_edges, local_edges
+from .trees import (
+    binary_tree_edges,
+    caterpillar_tree_edges,
+    random_tree_edges,
+    tree_parents,
+)

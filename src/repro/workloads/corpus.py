@@ -1,0 +1,43 @@
+"""Synthetic text corpus (substitute for the 1.5 GB Simple English
+Wikipedia dump of Fig. 59).
+
+Word-count MapReduce behaviour depends on (a) total token volume and
+(b) the skew of the word-frequency distribution (natural language is
+Zipfian).  We generate a deterministic Zipf-distributed token stream over a
+synthetic vocabulary, partitioned per location, preserving both properties.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def vocabulary(size: int) -> list:
+    """Deterministic synthetic vocabulary (w0, w1, ...)."""
+    return [f"w{i}" for i in range(size)]
+
+
+def _zipf_weights(size: int, exponent: float) -> list:
+    return [1.0 / (i + 1) ** exponent for i in range(size)]
+
+
+def generate_tokens(num_tokens: int, vocab_size: int = 1000,
+                    exponent: float = 1.1, seed: int = 7) -> list:
+    """One deterministic Zipf-distributed token stream."""
+    rng = random.Random(seed)
+    vocab = vocabulary(vocab_size)
+    weights = _zipf_weights(vocab_size, exponent)
+    return rng.choices(vocab, weights=weights, k=num_tokens)
+
+
+def local_documents(lid: int, nlocs: int, tokens_per_location: int,
+                    vocab_size: int = 1000, exponent: float = 1.1,
+                    words_per_doc: int = 32, seed: int = 7) -> list:
+    """This location's share of the corpus, as whitespace-joined documents
+    (the map tasks split them back into words)."""
+    toks = generate_tokens(tokens_per_location, vocab_size, exponent,
+                           seed=seed + 1009 * lid)
+    docs = []
+    for i in range(0, len(toks), words_per_doc):
+        docs.append(" ".join(toks[i:i + words_per_doc]))
+    return docs

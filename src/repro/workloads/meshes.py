@@ -1,0 +1,58 @@
+"""2D mesh graphs (page-rank inputs of Fig. 56: 1500x1500 vs 15x150000).
+
+A (rows x cols) mesh has a vertex per cell and edges to the 4-neighbours.
+The two paper meshes have the same vertex count but extreme aspect ratios,
+which changes the partition cut: blocked-by-vertex-id partitions cut a
+square mesh along O(sqrt(n)) edges per location but a long thin mesh along
+only O(rows) edges — the shape Fig. 56 demonstrates.
+"""
+
+from __future__ import annotations
+
+
+def mesh_vertex(r: int, c: int, cols: int) -> int:
+    return r * cols + c
+
+
+def mesh_edges(rows: int, cols: int, bidirectional: bool = True) -> list:
+    """Directed edge list of the mesh (right/down, plus reverse)."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = mesh_vertex(r, c, cols)
+            if c + 1 < cols:
+                w = mesh_vertex(r, c + 1, cols)
+                edges.append((v, w))
+                if bidirectional:
+                    edges.append((w, v))
+            if r + 1 < rows:
+                w = mesh_vertex(r + 1, c, cols)
+                edges.append((v, w))
+                if bidirectional:
+                    edges.append((w, v))
+    return edges
+
+
+def local_mesh_edges(rows: int, cols: int, lid: int, nlocs: int,
+                     bidirectional: bool = True) -> list:
+    """Edges whose source vertex falls in this location's blocked vertex
+    range (so insertion is local for a blocked static pGraph)."""
+    n = rows * cols
+    base, rem = divmod(n, nlocs)
+    lo = lid * base + min(lid, rem)
+    hi = lo + base + (1 if lid < rem else 0)
+    out = []
+    for r in range(rows):
+        for c in range(cols):
+            v = mesh_vertex(r, c, cols)
+            if not lo <= v < hi:
+                continue
+            if c + 1 < cols:
+                out.append((v, mesh_vertex(r, c + 1, cols)))
+            if c > 0 and bidirectional:
+                out.append((v, mesh_vertex(r, c - 1, cols)))
+            if r + 1 < rows:
+                out.append((v, mesh_vertex(r + 1, c, cols)))
+            if r > 0 and bidirectional:
+                out.append((v, mesh_vertex(r - 1, c, cols)))
+    return out

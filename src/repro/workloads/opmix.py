@@ -1,0 +1,42 @@
+"""Operation-mix generator for the dynamic-container comparison (Fig. 42):
+a stream of read/write/insert/delete operations with configurable ratios.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Ratios must sum to 1.0."""
+
+    read: float
+    write: float
+    insert: float
+    delete: float
+
+    def __post_init__(self):
+        total = self.read + self.write + self.insert + self.delete
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"op mix ratios sum to {total}, expected 1.0")
+
+
+#: the mixes the paper sweeps (read/write-heavy through insert/delete-heavy)
+STANDARD_MIXES = {
+    "read_heavy": OpMix(0.90, 0.08, 0.01, 0.01),
+    "balanced_rw": OpMix(0.45, 0.45, 0.05, 0.05),
+    "mixed": OpMix(0.25, 0.25, 0.25, 0.25),
+    "insert_delete_heavy": OpMix(0.05, 0.05, 0.45, 0.45),
+}
+
+
+def generate_ops(num_ops: int, mix: OpMix, seed: int = 0) -> list:
+    """Deterministic list of ('read'|'write'|'insert'|'delete', r) pairs;
+    r in [0,1) selects the target position relative to the current size."""
+    rng = random.Random(seed)
+    kinds = ["read", "write", "insert", "delete"]
+    weights = [mix.read, mix.write, mix.insert, mix.delete]
+    return [(rng.choices(kinds, weights=weights)[0], rng.random())
+            for _ in range(num_ops)]

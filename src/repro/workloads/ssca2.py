@@ -1,0 +1,61 @@
+"""SSCA2-style graph generator (used by Figs. 49–52).
+
+The SSCA#2 benchmark generates clustered, scale-free-ish graphs: vertices
+are grouped into cliques of random size and cliques are linked by sparser
+inter-clique edges with distance-decaying probability.  We reproduce that
+structure deterministically from a seed; absolute constants differ from the
+reference implementation but the structural role (highly clustered local
+edges + a tail of remote edges) is the same.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class SSCA2Spec:
+    """Generator parameters."""
+
+    num_vertices: int
+    max_clique_size: int = 8
+    inter_clique_prob: float = 0.15
+    max_parallel_edges: int = 1
+    seed: int = 42
+
+
+def generate_edges(spec: SSCA2Spec) -> list:
+    """Deterministic list of directed edges (src, tgt)."""
+    rng = random.Random(spec.seed)
+    n = spec.num_vertices
+    # carve vertices into cliques
+    cliques = []
+    v = 0
+    while v < n:
+        size = rng.randint(1, spec.max_clique_size)
+        cliques.append(list(range(v, min(v + size, n))))
+        v += size
+    edges = []
+    for cl in cliques:
+        for a in cl:
+            for b in cl:
+                if a != b:
+                    edges.append((a, b))
+    # inter-clique edges with distance-decaying probability
+    for ci, cl in enumerate(cliques):
+        link_dist = 1
+        while ci + link_dist < len(cliques):
+            if rng.random() < spec.inter_clique_prob / link_dist:
+                a = rng.choice(cl)
+                b = rng.choice(cliques[ci + link_dist])
+                edges.append((a, b))
+            link_dist *= 2
+    return edges
+
+
+def local_edges(spec: SSCA2Spec, lid: int, nlocs: int) -> list:
+    """The slice of the edge list a given location inserts (each location
+    generates the full deterministic stream and keeps every nlocs-th edge —
+    the SPMD idiom used by the method benchmarks)."""
+    return [e for i, e in enumerate(generate_edges(spec)) if i % nlocs == lid]

@@ -1,0 +1,51 @@
+"""Tree generators for the Euler-tour experiments (Figs. 43/44: "a tree made
+by a single binary tree with 500k or 1M subtrees per processor")."""
+
+from __future__ import annotations
+
+import random
+
+
+def binary_tree_edges(num_vertices: int) -> list:
+    """Complete-ish binary tree on vertices 0..n-1 (parent i has children
+    2i+1, 2i+2).  Returns undirected edge list (parent, child)."""
+    return [((c - 1) // 2, c) for c in range(1, num_vertices)]
+
+
+def random_tree_edges(num_vertices: int, seed: int = 0) -> list:
+    """Uniform random recursive tree: vertex i attaches to a random earlier
+    vertex."""
+    rng = random.Random(seed)
+    return [(rng.randrange(c), c) for c in range(1, num_vertices)]
+
+
+def caterpillar_tree_edges(num_vertices: int) -> list:
+    """A path with alternating leaves — a worst-ish case for pointer
+    jumping depth."""
+    edges = []
+    spine = list(range(0, num_vertices, 2))
+    for a, b in zip(spine, spine[1:]):
+        edges.append((a, b))
+    for leaf in range(1, num_vertices, 2):
+        edges.append((leaf - 1, leaf))
+    return edges
+
+
+def tree_parents(edges: list, num_vertices: int, root: int = 0) -> list:
+    """Parent array from an undirected tree edge list (BFS from root)."""
+    adj = [[] for _ in range(num_vertices)]
+    for a, b in edges:
+        adj[a].append(b)
+        adj[b].append(a)
+    parent = [-1] * num_vertices
+    parent[root] = root
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for w in adj[v]:
+                if parent[w] == -1:
+                    parent[w] = v
+                    nxt.append(w)
+        frontier = nxt
+    return parent

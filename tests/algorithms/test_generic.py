@@ -1,0 +1,232 @@
+"""Generic pAlgorithm tests (Ch. VIII.C)."""
+
+import operator
+
+import pytest
+
+from repro.algorithms.generic import (
+    p_accumulate,
+    p_adjacent_difference,
+    p_copy,
+    p_count,
+    p_count_if,
+    p_equal,
+    p_fill,
+    p_find,
+    p_find_if,
+    p_for_each,
+    p_generate,
+    p_inner_product,
+    p_max_element,
+    p_min_element,
+    p_partial_sum,
+    p_transform,
+    p_visit,
+)
+from repro.containers.parray import PArray
+from repro.containers.plist import PList
+from repro.core import BlockCyclicPartition
+from repro.views import Array1DView, BalancedView
+from repro.views.list_views import StaticListView
+from tests.conftest import run
+
+
+def _view(ctx, n=20, **kw):
+    return Array1DView(PArray(ctx, n, dtype=int, **kw))
+
+
+class TestMapAlgorithms:
+    def test_generate_scalar_and_vector(self):
+        def prog(ctx, vectorised):
+            v = _view(ctx)
+            if vectorised:
+                p_generate(v, lambda i: i * 2, vector=lambda g: g * 2)
+            else:
+                p_generate(v, lambda i: i * 2)
+            return v.container.to_list()
+        exp = [i * 2 for i in range(20)]
+        assert run(prog, nlocs=4, args=(True,))[0] == exp
+        assert run(prog, nlocs=4, args=(False,))[0] == exp
+
+    def test_for_each_mutates(self):
+        def prog(ctx):
+            v = _view(ctx)
+            p_generate(v, lambda i: i, vector=lambda g: g)
+            p_for_each(v, lambda x: x + 100, vector=lambda a: a + 100)
+            return v.container.to_list()
+        assert run(prog, nlocs=2)[0] == [i + 100 for i in range(20)]
+
+    def test_fill(self):
+        def prog(ctx):
+            v = _view(ctx)
+            p_fill(v, 9)
+            return v.container.to_list()
+        assert run(prog, nlocs=3)[0] == [9] * 20
+
+    def test_visit_read_only(self):
+        def prog(ctx):
+            v = _view(ctx, 8)
+            p_fill(v, 2)
+            seen = []
+            p_visit(v, seen.append)
+            return sum(seen)
+        out = run(prog, nlocs=2)
+        assert sum(out) == 16  # every element visited exactly once globally
+
+    def test_works_on_plist(self):
+        def prog(ctx):
+            pl = PList(ctx, 12, value=1)
+            v = StaticListView(pl)
+            p_for_each(v, lambda x: x * 5)
+            return p_accumulate(v, 0)
+        assert run(prog, nlocs=3) == [60] * 3
+
+
+class TestReductions:
+    def test_accumulate(self):
+        def prog(ctx):
+            v = _view(ctx)
+            p_generate(v, lambda i: i, vector=lambda g: g)
+            return p_accumulate(v, 0)
+        assert run(prog, nlocs=4) == [190] * 4
+
+    def test_accumulate_custom_op(self):
+        def prog(ctx):
+            v = _view(ctx, 8)
+            p_generate(v, lambda i: i + 1, vector=lambda g: g + 1)
+            return p_accumulate(v, 1, operator.mul)
+        import math
+
+        assert run(prog, nlocs=2) == [math.factorial(8)] * 2
+
+    def test_count(self):
+        def prog(ctx):
+            v = _view(ctx)
+            p_generate(v, lambda i: i % 4, vector=lambda g: g % 4)
+            return p_count(v, 2), p_count_if(v, lambda x: x > 1)
+        assert run(prog, nlocs=4) == [(5, 10)] * 4
+
+    def test_min_max(self):
+        def prog(ctx):
+            v = _view(ctx)
+            p_generate(v, lambda i: (i * 7) % 20, vector=lambda g: (g * 7) % 20)
+            return p_min_element(v), p_max_element(v)
+        mn, mx = run(prog, nlocs=4)[0]
+        assert mn[1] == 0 and mx[1] == 19
+
+    def test_min_first_occurrence(self):
+        def prog(ctx):
+            v = _view(ctx, 8)
+            p_fill(v, 5)
+            return p_min_element(v)
+        assert run(prog, nlocs=2) == [(0, 5)] * 2
+
+    def test_find(self):
+        def prog(ctx):
+            v = _view(ctx)
+            p_generate(v, lambda i: i * 3, vector=lambda g: g * 3)
+            return p_find(v, 27), p_find(v, 1000), p_find_if(v, lambda x: x > 50)
+        assert run(prog, nlocs=4) == [(9, None, 17)] * 4
+
+
+class TestTwoViewAlgorithms:
+    def test_copy_and_equal_aligned(self):
+        def prog(ctx):
+            a = _view(ctx)
+            b = _view(ctx)
+            p_generate(a, lambda i: i, vector=lambda g: g)
+            p_copy(a, b)
+            eq = p_equal(a, b)
+            if ctx.id == 0:
+                b.container.set_element(5, -1)
+            ctx.rmi_fence()
+            return eq, p_equal(a, b)
+        assert run(prog, nlocs=4) == [(True, False)] * 4
+
+    def test_copy_misaligned_distributions(self):
+        def prog(ctx):
+            a = Array1DView(PArray(ctx, 12, dtype=int))
+            b = Array1DView(PArray(ctx, 12, dtype=int,
+                                   partition=BlockCyclicPartition(ctx.nlocs, 1)))
+            p_generate(a, lambda i: i, vector=lambda g: g)
+            p_copy(a, b)
+            return b.container.to_list()
+        assert run(prog, nlocs=3)[0] == list(range(12))
+
+    def test_transform(self):
+        def prog(ctx):
+            a, b = _view(ctx, 10), _view(ctx, 10)
+            p_generate(a, lambda i: i, vector=lambda g: g)
+            p_transform(a, b, lambda x: x * x, vector=lambda v: v * v)
+            return b.container.to_list()
+        assert run(prog, nlocs=2)[0] == [i * i for i in range(10)]
+
+    def test_inner_product(self):
+        def prog(ctx):
+            a, b = _view(ctx, 6), _view(ctx, 6)
+            p_fill(a, 2)
+            p_fill(b, 3)
+            return p_inner_product(a, b, init=1)
+        assert run(prog, nlocs=3) == [37] * 3
+
+    def test_equal_size_mismatch(self):
+        def prog(ctx):
+            a = _view(ctx, 4)
+            b = _view(ctx, 6)
+            return p_equal(a, b)
+        assert run(prog, nlocs=2) == [False, False]
+
+
+class TestScanFamily:
+    def test_adjacent_difference(self):
+        def prog(ctx):
+            a, b = _view(ctx, 12), _view(ctx, 12)
+            p_generate(a, lambda i: i * i, vector=lambda g: g * g)
+            p_adjacent_difference(a, b)
+            return b.container.to_list()
+        out = run(prog, nlocs=4)[0]
+        assert out == [0] + [i * i - (i - 1) ** 2 for i in range(1, 12)]
+
+    @pytest.mark.parametrize("nlocs", [1, 2, 4])
+    def test_partial_sum_inclusive(self, nlocs):
+        def prog(ctx):
+            a, b = _view(ctx, 13), _view(ctx, 13)
+            p_generate(a, lambda i: i + 1, vector=lambda g: g + 1)
+            p_partial_sum(a, b)
+            return b.container.to_list()
+        exp = []
+        acc = 0
+        for i in range(13):
+            acc += i + 1
+            exp.append(acc)
+        assert run(prog, nlocs=nlocs)[0] == exp
+
+    def test_partial_sum_exclusive(self):
+        def prog(ctx):
+            a, b = _view(ctx, 8), _view(ctx, 8)
+            p_fill(a, 1)
+            p_fill(b, 0)
+            p_partial_sum(a, b, inclusive=False)
+            return b.container.to_list()
+        out = run(prog, nlocs=4)[0]
+        assert out == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_partial_sum_custom_op(self):
+        def prog(ctx):
+            a, b = _view(ctx, 6), _view(ctx, 6)
+            p_generate(a, lambda i: i + 1, vector=lambda g: g + 1)
+            p_partial_sum(a, b, op=operator.mul)
+            return b.container.to_list()
+        import math
+
+        assert run(prog, nlocs=3)[0] == [math.factorial(i + 1)
+                                         for i in range(6)]
+
+
+class TestBalancedViewAlgorithms:
+    def test_accumulate_via_balanced_view(self):
+        def prog(ctx):
+            v = _view(ctx, 17)
+            p_generate(v, lambda i: 1, vector=lambda g: g * 0 + 1)
+            return p_accumulate(BalancedView(v), 0)
+        assert run(prog, nlocs=4) == [17] * 4

@@ -1,0 +1,302 @@
+"""Graph algorithms, Euler tour, MapReduce and sorting tests."""
+
+import pytest
+
+from repro.algorithms.euler_tour import (
+    EulerTour,
+    preorder_numbering,
+    subtree_sizes,
+    tree_rooting,
+    vertex_levels,
+)
+from repro.algorithms.graph_algorithms import (
+    bfs,
+    connected_components,
+    find_sources,
+    graph_coloring,
+    out_degree_histogram,
+    page_rank,
+)
+from repro.algorithms.map_reduce import map_reduce, word_count
+from repro.algorithms.sorting import p_is_sorted, p_sample_sort
+from repro.containers.parray import PArray
+from repro.containers.pgraph import UNDIRECTED, PGraph
+from repro.views import Array1DView
+from repro.workloads.meshes import local_mesh_edges
+from repro.workloads.ssca2 import SSCA2Spec, local_edges
+from repro.workloads.trees import (
+    binary_tree_edges,
+    caterpillar_tree_edges,
+    random_tree_edges,
+    tree_parents,
+)
+from tests.conftest import run
+
+
+def _mesh_graph(ctx, rows, cols, directed=True, dynamic=False):
+    g = PGraph(ctx, rows * cols, directed=directed, dynamic=dynamic,
+               default_property=0)
+    for (u, v) in local_mesh_edges(rows, cols, ctx.id, ctx.nlocs):
+        g.add_edge_async(u, v)
+    ctx.rmi_fence()
+    return g
+
+
+class TestBFS:
+    def test_mesh_levels(self):
+        def prog(ctx):
+            g = _mesh_graph(ctx, 3, 4)
+            reached, levels = bfs(g, 0)
+            corner = g.vertex_property(11)  # opposite corner
+            return reached, levels, corner
+        out = run(prog, nlocs=4)
+        assert out[0] == (12, 6, 5)  # (3-1)+(4-1) = 5 hops, 6 levels
+
+    def test_unreachable_vertices(self):
+        def prog(ctx):
+            g = PGraph(ctx, 6, default_property=0)
+            if ctx.id == 0:
+                g.add_edge_async(0, 1)
+            ctx.rmi_fence()
+            reached, _ = bfs(g, 0)
+            return reached, g.vertex_property(5)
+        assert run(prog, nlocs=3)[0] == (2, None)
+
+    def test_dynamic_graph_bfs(self):
+        def prog(ctx):
+            g = _mesh_graph(ctx, 2, 4, dynamic=True)
+            reached, _ = bfs(g, 0)
+            return reached
+        assert run(prog, nlocs=2) == [8, 8]
+
+
+class TestFindSources:
+    def test_chain_plus_isolated(self):
+        def prog(ctx):
+            g = PGraph(ctx, 6, default_property=0)
+            if ctx.id == 0:
+                for v in range(4):
+                    g.add_edge_async(v, v + 1)
+            ctx.rmi_fence()
+            return find_sources(g)
+        # vertex 0 heads the chain; vertex 5 is isolated (in-degree 0 too)
+        assert run(prog, nlocs=3)[0] == [0, 5]
+
+    def test_cycle_has_no_sources(self):
+        def prog(ctx):
+            g = PGraph(ctx, 5, default_property=0)
+            if ctx.id == 0:
+                for v in range(5):
+                    g.add_edge_async(v, (v + 1) % 5)
+            ctx.rmi_fence()
+            return find_sources(g)
+        assert run(prog, nlocs=2)[0] == []
+
+    @pytest.mark.parametrize("dynamic,forwarding", [
+        (False, True), (True, True), (True, False)])
+    def test_same_answer_under_all_partitions(self, dynamic, forwarding):
+        def prog(ctx):
+            g = PGraph(ctx, 48, dynamic=dynamic, forwarding=forwarding,
+                       default_property=0)
+            spec = SSCA2Spec(num_vertices=48)
+            for (u, v) in local_edges(spec, ctx.id, ctx.nlocs):
+                g.add_edge_async(u, v)
+            ctx.rmi_fence()
+            return find_sources(g)
+        out = run(prog, nlocs=4)
+        assert all(o == out[0] for o in out)
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        def prog(ctx):
+            g = PGraph(ctx, 8, directed=UNDIRECTED, default_property=0)
+            if ctx.id == 0:
+                g.add_edge(0, 1)
+                g.add_edge(1, 2)
+                g.add_edge(4, 5)
+            ctx.rmi_fence()
+            return connected_components(g)
+        # {0,1,2}, {4,5}, {3}, {6}, {7}
+        assert run(prog, nlocs=4) == [5] * 4
+
+    def test_single_component_mesh(self):
+        def prog(ctx):
+            g = _mesh_graph(ctx, 3, 3, directed=True)
+            return connected_components(g)
+        assert run(prog, nlocs=3) == [1] * 3
+
+
+class TestPageRank:
+    def test_mass_conserved(self):
+        def prog(ctx):
+            g = _mesh_graph(ctx, 3, 5)
+            return page_rank(g, iterations=8)
+        for s in run(prog, nlocs=4):
+            assert s == pytest.approx(1.0, abs=1e-9)
+
+    def test_sink_heavy_vertex(self):
+        """Star pointing at vertex 0: it must out-rank the leaves."""
+        def prog(ctx):
+            g = PGraph(ctx, 6, default_property=0)
+            if ctx.id == 0:
+                for v in range(1, 6):
+                    g.add_edge_async(v, 0)
+            ctx.rmi_fence()
+            page_rank(g, iterations=10)
+            hub = g.vertex_property(0)[0]
+            leaf = g.vertex_property(3)[0]
+            return hub > leaf
+        assert all(run(prog, nlocs=2))
+
+
+class TestColoring:
+    def test_proper_coloring(self):
+        def prog(ctx):
+            g = _mesh_graph(ctx, 3, 4, directed=UNDIRECTED)
+            ncolors = graph_coloring(g)
+            # verify properness locally
+            ok = True
+            for bc in g.local_bcontainers():
+                for vd in bc.vertices():
+                    mine = bc.vertex_property(vd)["color"]
+                    for t in bc.adjacents(vd):
+                        other = g.apply_vertex_get(
+                            t, lambda v: v.property["color"])
+                        if other == mine:
+                            ok = False
+            return ncolors, ctx.allreduce_rmi(ok, lambda a, b: a and b)
+        out = run(prog, nlocs=4)
+        ncolors, proper = out[0]
+        assert proper and 2 <= ncolors <= 5
+
+    def test_histogram(self):
+        def prog(ctx):
+            g = _mesh_graph(ctx, 2, 3)
+            return out_degree_histogram(g, buckets=4)
+        hist = run(prog, nlocs=2)[0]
+        assert sum(hist) == 6
+
+
+class TestEulerTour:
+    @pytest.mark.parametrize("maker,n", [
+        (binary_tree_edges, 7),
+        (binary_tree_edges, 15),
+        (lambda n: random_tree_edges(n, seed=3), 12),
+        (caterpillar_tree_edges, 9),
+    ])
+    def test_rooting_matches_bfs_parents(self, maker, n):
+        edges = maker(n)
+
+        def prog(ctx):
+            tour = EulerTour(ctx, edges, n, root=0)
+            tour.rank()
+            parent = tree_rooting(tour)
+            return [parent.get_element(v) for v in range(n)]
+        got = run(prog, nlocs=4)[0]
+        assert got == tree_parents(edges, n, 0)
+
+    def test_positions_are_permutation(self):
+        n = 9
+        edges = binary_tree_edges(n)
+
+        def prog(ctx):
+            tour = EulerTour(ctx, edges, n, root=0)
+            pos = tour.rank()
+            return sorted(pos.get_element(a) for a in range(tour.num_arcs))
+        assert run(prog, nlocs=2)[0] == list(range(2 * (n - 1)))
+
+    def test_levels_preorder_sizes(self):
+        n = 7
+        edges = binary_tree_edges(n)
+
+        def prog(ctx):
+            tour = EulerTour(ctx, edges, n, root=0)
+            tour.rank()
+            parent = tree_rooting(tour)
+            lv = vertex_levels(tour, parent)
+            pre = preorder_numbering(tour, parent)
+            sz = subtree_sizes(tour, parent)
+            return ([lv.get_element(v) for v in range(n)],
+                    [pre.get_element(v) for v in range(n)],
+                    [sz.get_element(v) for v in range(n)])
+        levels, pre, sizes = run(prog, nlocs=2)[0]
+        assert levels == [0, 1, 1, 2, 2, 2, 2]
+        assert sorted(pre) == list(range(n)) and pre[0] == 0
+        assert sizes == [7, 3, 3, 1, 1, 1, 1]
+
+    def test_nonzero_root(self):
+        n = 7
+        edges = binary_tree_edges(n)
+
+        def prog(ctx):
+            tour = EulerTour(ctx, edges, n, root=3)
+            tour.rank()
+            parent = tree_rooting(tour)
+            return [parent.get_element(v) for v in range(n)]
+        assert run(prog, nlocs=2)[0] == tree_parents(edges, n, 3)
+
+
+class TestMapReduce:
+    def test_word_count_total(self):
+        def prog(ctx):
+            docs = [f"w{ctx.id} common", "common"]
+            out = word_count(ctx, docs)
+            return out.to_dict()
+        d = run(prog, nlocs=3)[0]
+        assert d["common"] == 6
+        assert d["w0"] == d["w1"] == d["w2"] == 1
+
+    def test_combiner_equivalence(self):
+        def prog(ctx, combine):
+            docs = ["a a b", "b c"]
+            out = word_count(ctx, docs, combine_locally=combine)
+            return out.to_dict()
+        with_c = run(prog, nlocs=2, args=(True,))[0]
+        without = run(prog, nlocs=2, args=(False,))[0]
+        assert with_c == without == {"a": 4, "b": 4, "c": 2}
+
+    def test_generic_map_reduce(self):
+        def prog(ctx):
+            items = range(ctx.id * 10, ctx.id * 10 + 10)
+            out = map_reduce(ctx, items,
+                             lambda x: [("even" if x % 2 == 0 else "odd", 1)])
+            return out.to_dict()
+        assert run(prog, nlocs=2)[0] == {"even": 10, "odd": 10}
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("nlocs", [1, 2, 4])
+    def test_sorts_permutation(self, nlocs):
+        def prog(ctx):
+            pa = PArray(ctx, 32, dtype=int)
+            v = Array1DView(pa)
+            from repro.algorithms.generic import p_generate
+
+            p_generate(v, lambda i: (i * 13) % 32,
+                       vector=lambda g: (g * 13) % 32)
+            p_sample_sort(v)
+            return p_is_sorted(v), pa.to_list()
+        ok, data = run(prog, nlocs=nlocs)[0]
+        assert ok and data == list(range(32))
+
+    def test_sorts_with_duplicates(self):
+        def prog(ctx):
+            pa = PArray(ctx, 24, dtype=int)
+            v = Array1DView(pa)
+            from repro.algorithms.generic import p_generate
+
+            p_generate(v, lambda i: i % 5, vector=lambda g: g % 5)
+            p_sample_sort(v)
+            return pa.to_list()
+        assert run(prog, nlocs=3)[0] == sorted(i % 5 for i in range(24))
+
+    def test_is_sorted_detects_disorder(self):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int)
+            v = Array1DView(pa)
+            from repro.algorithms.generic import p_generate
+
+            p_generate(v, lambda i: -i, vector=lambda g: -g)
+            return p_is_sorted(v)
+        assert run(prog, nlocs=2) == [False, False]

@@ -1,0 +1,125 @@
+"""Matrix pAlgorithm and column-view tests."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    p_col_sums,
+    p_frobenius_norm,
+    p_matrix_fill,
+    p_matvec,
+    p_row_sums,
+)
+from repro.containers.parray import PArray
+from repro.containers.pmatrix import PMatrix
+from repro.core import Matrix2DPartition
+from repro.views.matrix_views import MatrixColsView
+from tests.conftest import run
+
+
+def _filled(ctx, rows=4, cols=3, partition=None):
+    pm = PMatrix(ctx, rows, cols, dtype=float, partition=partition)
+    p_matrix_fill(pm, lambda r, c: r * 10.0 + c)
+    return pm
+
+
+class TestMatrixFill:
+    @pytest.mark.parametrize("partition_factory", [
+        lambda P: None,
+        lambda P: Matrix2DPartition(P, 1),
+        lambda P: Matrix2DPartition(1, P),
+    ])
+    def test_fill_all_layouts(self, partition_factory):
+        def prog(ctx):
+            pm = _filled(ctx, partition=partition_factory(ctx.nlocs))
+            return pm.to_nested()
+        out = run(prog, nlocs=2)
+        assert out[0] == [[r * 10.0 + c for c in range(3)] for r in range(4)]
+
+
+class TestMatVec:
+    def test_matches_numpy(self):
+        import numpy as np
+
+        def prog(ctx):
+            pm = _filled(ctx, 4, 3)
+            return p_matvec(pm, [1.0, 2.0, 3.0])
+        got = run(prog, nlocs=4)[0]
+        a = np.array([[r * 10.0 + c for c in range(3)] for r in range(4)])
+        assert got == pytest.approx((a @ [1.0, 2.0, 3.0]).tolist())
+
+    def test_writes_into_parray(self):
+        def prog(ctx):
+            pm = _filled(ctx, 4, 3, partition=Matrix2DPartition(ctx.nlocs, 1))
+            y = PArray(ctx, 4, dtype=float)
+            p_matvec(pm, [1.0, 1.0, 1.0], y_parray=y)
+            return y.to_list()
+        got = run(prog, nlocs=2)[0]
+        assert got == [3.0, 33.0, 63.0, 93.0]
+
+    def test_dimension_check(self):
+        def prog(ctx):
+            pm = _filled(ctx)
+            try:
+                p_matvec(pm, [1.0, 2.0])
+                return False
+            except ValueError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+
+class TestReductions:
+    def test_row_and_col_sums(self):
+        def prog(ctx):
+            pm = _filled(ctx, 3, 3)
+            return p_row_sums(pm), p_col_sums(pm)
+        rows, cols = run(prog, nlocs=3)[0]
+        assert rows == [3.0, 33.0, 63.0]
+        assert cols == [30.0, 33.0, 36.0]
+
+    def test_frobenius(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 2, 2, dtype=float)
+            p_matrix_fill(pm, lambda r, c: 2.0)
+            return p_frobenius_norm(pm)
+        assert run(prog, nlocs=2)[0] == pytest.approx(math.sqrt(16.0))
+
+
+class TestColsView:
+    def test_local_when_column_partitioned(self):
+        def prog(ctx):
+            pm = _filled(ctx, 3, 4, partition=Matrix2DPartition(1, ctx.nlocs))
+            cv = MatrixColsView(pm)
+            names = [type(ch).__name__ for ch in cv.local_chunks()]
+            return names, cv.read(2)
+        names, col2 = run(prog, nlocs=2)[0]
+        assert names == ["_LocalColsChunk"]
+        assert col2 == [2.0, 12.0, 22.0]
+
+    def test_col_write(self):
+        def prog(ctx):
+            pm = _filled(ctx, 3, 4, partition=Matrix2DPartition(1, ctx.nlocs))
+            cv = MatrixColsView(pm)
+            for ch in cv.local_chunks():
+                for c in ch.gids():
+                    ch.write(c, [float(c)] * 3)
+            ctx.rmi_fence()
+            return pm.get_col(3)
+        assert run(prog, nlocs=2)[0] == [3.0, 3.0, 3.0]
+
+    def test_col_reduce(self):
+        import numpy as np
+
+        def prog(ctx):
+            pm = _filled(ctx, 3, 4, partition=Matrix2DPartition(1, ctx.nlocs))
+            cv = MatrixColsView(pm)
+            out = {}
+            for ch in cv.local_chunks():
+                out.update(dict(ch.col_reduce(np.max)))
+            gathered = ctx.allgather_rmi(out)
+            merged = {}
+            for d in gathered:
+                merged.update(d)
+            return [merged[c] for c in range(4)]
+        assert run(prog, nlocs=2)[0] == [20.0, 21.0, 22.0, 23.0]

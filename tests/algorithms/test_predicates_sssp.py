@@ -1,0 +1,150 @@
+"""Tests for the predicate/mutating algorithms and SSSP."""
+
+import pytest
+
+from repro.algorithms import (
+    distances_of,
+    p_all_of,
+    p_any_of,
+    p_generate,
+    p_histogram,
+    p_iota,
+    p_mismatch,
+    p_none_of,
+    p_replace,
+    p_replace_if,
+    p_swap_ranges,
+    p_unique_count,
+    sssp,
+)
+from repro.containers.parray import PArray
+from repro.containers.pgraph import PGraph
+from repro.views import Array1DView
+from repro.workloads.meshes import local_mesh_edges
+from tests.conftest import run
+
+
+def _iota_view(ctx, n=16):
+    pa = PArray(ctx, n, dtype=int)
+    v = Array1DView(pa)
+    p_iota(v)
+    return v
+
+
+class TestPredicates:
+    def test_all_any_none(self):
+        def prog(ctx):
+            v = _iota_view(ctx)
+            return (p_all_of(v, lambda x: x >= 0),
+                    p_all_of(v, lambda x: x > 0),
+                    p_any_of(v, lambda x: x == 7),
+                    p_any_of(v, lambda x: x > 100),
+                    p_none_of(v, lambda x: x < 0))
+        assert run(prog, nlocs=4) == [(True, False, True, False, True)] * 4
+
+    def test_iota_with_start_step(self):
+        def prog(ctx):
+            pa = PArray(ctx, 6, dtype=int)
+            v = Array1DView(pa)
+            p_iota(v, start=10, step=3)
+            return pa.to_list()
+        assert run(prog, nlocs=2)[0] == [10, 13, 16, 19, 22, 25]
+
+    def test_replace(self):
+        def prog(ctx):
+            pa = PArray(ctx, 12, dtype=int)
+            v = Array1DView(pa)
+            p_generate(v, lambda i: i % 3, vector=lambda g: g % 3)
+            n = p_replace(v, 2, -1)
+            return n, pa.to_list()
+        n, data = run(prog, nlocs=3)[0]
+        assert n == 4 and data.count(-1) == 4 and 2 not in data
+
+    def test_replace_if(self):
+        def prog(ctx):
+            v = _iota_view(ctx, 10)
+            n = p_replace_if(v, lambda x: x >= 5, 0)
+            return n, sum(v.container.to_list())
+        assert run(prog, nlocs=2)[0] == (5, 10)
+
+    def test_mismatch(self):
+        def prog(ctx):
+            a = _iota_view(ctx, 10)
+            b = _iota_view(ctx, 10)
+            none = p_mismatch(a, b)
+            if ctx.id == 0:
+                b.container.set_element(6, -1)
+            ctx.rmi_fence()
+            found = p_mismatch(a, b)
+            return none, found
+        assert run(prog, nlocs=2) == [(None, 6)] * 2
+
+    def test_swap_ranges(self):
+        def prog(ctx):
+            a = _iota_view(ctx, 8)
+            b = Array1DView(PArray(ctx, 8, value=-1, dtype=int))
+            p_swap_ranges(a, b)
+            return a.container.to_list(), b.container.to_list()
+        av, bv = run(prog, nlocs=4)[0]
+        assert av == [-1] * 8 and bv == list(range(8))
+
+    def test_swap_size_mismatch(self):
+        def prog(ctx):
+            a = _iota_view(ctx, 4)
+            b = _iota_view(ctx, 6)
+            try:
+                p_swap_ranges(a, b)
+                return False
+            except ValueError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+    def test_histogram(self):
+        def prog(ctx):
+            v = _iota_view(ctx, 16)
+            return p_histogram(v, buckets=4, lo=0, hi=16)
+        assert run(prog, nlocs=4)[0] == [4, 4, 4, 4]
+
+    def test_unique_count(self):
+        def prog(ctx):
+            pa = PArray(ctx, 20, dtype=int)
+            v = Array1DView(pa)
+            p_generate(v, lambda i: i % 7, vector=lambda g: g % 7)
+            return p_unique_count(v)
+        assert run(prog, nlocs=4) == [7] * 4
+
+
+class TestSSSP:
+    def test_unweighted_mesh_matches_bfs_distance(self):
+        def prog(ctx):
+            rows, cols = 3, 4
+            g = PGraph(ctx, rows * cols, default_property=0)
+            for (u, v) in local_mesh_edges(rows, cols, ctx.id, ctx.nlocs):
+                g.add_edge_async(u, v)
+            ctx.rmi_fence()
+            sssp(g, 0)
+            return distances_of(g, [0, 3, 11])
+        # manhattan distances on the mesh
+        assert run(prog, nlocs=4)[0] == [0.0, 3.0, 5.0]
+
+    def test_weighted_edges(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4, default_property=0)
+            if ctx.id == 0:
+                g.add_edge_async(0, 1, 10.0)   # heavy direct edge
+                g.add_edge_async(0, 2, 1.0)    # cheap detour
+                g.add_edge_async(2, 1, 2.0)
+            ctx.rmi_fence()
+            sssp(g, 0)
+            return distances_of(g, [1, 2, 3])
+        d1, d2, d3 = run(prog, nlocs=2)[0]
+        assert d1 == 3.0 and d2 == 1.0 and d3 == float("inf")
+
+    def test_unreachable_is_inf(self):
+        def prog(ctx):
+            g = PGraph(ctx, 3, default_property=0)
+            ctx.rmi_fence()
+            rounds = sssp(g, 0)
+            return rounds, distances_of(g, [0, 1, 2])
+        rounds, dists = run(prog, nlocs=2)[0]
+        assert dists == [0.0, float("inf"), float("inf")]

@@ -1,0 +1,26 @@
+"""Shared helpers for the test suite."""
+
+import pytest
+
+from repro.runtime import spmd_run, spmd_run_detailed
+
+
+def run(prog, nlocs=4, machine="smp", args=(), placement="packed"):
+    """Run an SPMD program, returning per-location results."""
+    return spmd_run(prog, nlocs=nlocs, machine=machine, args=args,
+                    placement=placement)
+
+
+def run_detailed(prog, nlocs=4, machine="smp", args=(), placement="packed"):
+    return spmd_run_detailed(prog, nlocs=nlocs, machine=machine, args=args,
+                             placement=placement)
+
+
+@pytest.fixture
+def spmd():
+    return run
+
+
+@pytest.fixture
+def spmd_detailed():
+    return run_detailed

@@ -1,0 +1,216 @@
+"""Associative pContainer tests (Ch. XII)."""
+
+import pytest
+
+from repro.containers.associative import (
+    PHashMap,
+    PHashSet,
+    PMap,
+    PMultiMap,
+    PMultiSet,
+    PSet,
+)
+from tests.conftest import run
+
+
+class TestPHashMap:
+    def test_insert_find(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            hm.insert(f"key{ctx.id}", ctx.id)
+            ctx.rmi_fence()
+            return [hm.find(f"key{j}") for j in range(ctx.nlocs)]
+        assert run(prog, nlocs=4)[0] == [0, 1, 2, 3]
+
+    def test_insert_does_not_overwrite(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            if ctx.id == 0:
+                assert hm.insert_sync("k", 1)
+                assert not hm.insert_sync("k", 2)
+            ctx.rmi_fence()
+            return hm.find("k")
+        assert run(prog, nlocs=2) == [1, 1]
+
+    def test_set_element_overwrites(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            if ctx.id == 0:
+                hm.insert_sync("k", 1)
+                hm.set_element("k", 9)
+            ctx.rmi_fence()
+            return hm.find("k")
+        assert run(prog, nlocs=2) == [9, 9]
+
+    def test_find_missing_raises(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            ctx.rmi_fence()
+            with pytest.raises(KeyError):
+                hm.find("nope")
+            return hm.find_val("nope")
+        assert run(prog, nlocs=2) == [(None, False)] * 2
+
+    def test_split_phase_find(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            if ctx.id == 0:
+                hm.insert_sync("x", 3)
+            ctx.rmi_fence()
+            f = hm.split_phase_find("x")
+            return f.get()
+        assert run(prog, nlocs=2) == [(3, True)] * 2
+
+    def test_erase_and_contains(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            if ctx.id == 0:
+                hm.insert_sync("a", 1)
+            ctx.rmi_fence()
+            had = "a" in hm
+            ctx.rmi_fence()
+            if ctx.id == 1:
+                n = hm.erase("a")
+                assert n == 1
+            ctx.rmi_fence()
+            return had, hm.contains("a")
+        assert run(prog, nlocs=2) == [(True, False)] * 2
+
+    def test_accumulate_combining(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            for _ in range(3):
+                hm.accumulate("count", 1)
+            ctx.rmi_fence()
+            return hm.find("count")
+        assert run(prog, nlocs=4) == [12] * 4
+
+    def test_update_size(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            hm.insert(ctx.id, ctx.id)
+            ctx.rmi_fence()
+            return hm.update_size()
+        assert run(prog, nlocs=4) == [4] * 4
+
+    def test_to_dict(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            hm.insert(ctx.id, ctx.id * 2)
+            ctx.rmi_fence()
+            return hm.to_dict()
+        assert run(prog, nlocs=3)[0] == {0: 0, 1: 2, 2: 4}
+
+    def test_apply_set(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            if ctx.id == 0:
+                hm.insert_sync("k", 10)
+                hm.apply_set("k", lambda v: v + 5)
+            ctx.rmi_fence()
+            return hm.apply_get("k", lambda v: v)
+        assert run(prog, nlocs=2) == [15, 15]
+
+
+class TestPMap:
+    def test_range_partition_sorted_enumeration(self):
+        def prog(ctx):
+            pm = PMap(ctx, splitters=[8, 16])
+            for k in range(ctx.id, 24, ctx.nlocs):
+                pm.insert(k, -k)
+            ctx.rmi_fence()
+            return pm.sorted_items()
+        items = run(prog, nlocs=3)[0]
+        assert [k for k, _ in items] == list(range(24))
+        assert items[5] == (5, -5)
+
+    def test_range_partition_routing(self):
+        def prog(ctx):
+            pm = PMap(ctx, splitters=[10])
+            if ctx.id == 0:
+                pm.insert_sync(5, "low")
+                pm.insert_sync(15, "high")
+            ctx.rmi_fence()
+            return pm.lookup(5), pm.lookup(15)
+        lo, hi = run(prog, nlocs=2)[0]
+        assert lo == 0 and hi == 1
+
+    def test_default_hash_fallback(self):
+        def prog(ctx):
+            pm = PMap(ctx)
+            pm.insert(ctx.id, str(ctx.id))
+            ctx.rmi_fence()
+            return sorted(pm.to_dict().items())
+        assert run(prog, nlocs=2)[0] == [(0, "0"), (1, "1")]
+
+
+class TestSets:
+    def test_pset_unique(self):
+        def prog(ctx):
+            ps = PSet(ctx)
+            ps.insert(ctx.id % 2)
+            ps.insert(ctx.id % 2)
+            ctx.rmi_fence()
+            return ps.update_size(), ps.count(0), ps.count(1)
+        assert run(prog, nlocs=4) == [(2, 1, 1)] * 4
+
+    def test_pmultiset_counts(self):
+        def prog(ctx):
+            ms = PMultiSet(ctx)
+            ms.insert("dup")
+            ctx.rmi_fence()
+            return ms.count("dup"), ms.update_size()
+        assert run(prog, nlocs=3) == [(3, 3)] * 3
+
+    def test_phashset(self):
+        def prog(ctx):
+            hs = PHashSet(ctx)
+            hs.insert(ctx.id * 100)
+            ctx.rmi_fence()
+            return sorted(k for k, _ in hs.to_dict().items())
+        assert run(prog, nlocs=3)[0] == [0, 100, 200]
+
+    def test_pmultimap(self):
+        def prog(ctx):
+            mm = PMultiMap(ctx)
+            mm.insert("k", ctx.id)
+            ctx.rmi_fence()
+            return mm.count("k"), sorted(mm.find("k"))
+        assert run(prog, nlocs=3) == [(3, [0, 1, 2])] * 3
+
+    def test_set_view_rejects_writes(self):
+        from repro.views.map_views import SetView
+
+        def prog(ctx):
+            ps = PSet(ctx)
+            ps.insert(1)
+            ctx.rmi_fence()
+            view = SetView(ps)
+            try:
+                view.write(1, 2)
+                return False
+            except TypeError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+
+class TestClearAndErase:
+    def test_clear(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            hm.insert(ctx.id, 1)
+            ctx.rmi_fence()
+            hm.update_size()
+            hm.clear()
+            return hm.size(), hm.local_size()
+        assert run(prog, nlocs=2) == [(0, 0)] * 2
+
+    def test_erase_async(self):
+        def prog(ctx):
+            hm = PHashMap(ctx)
+            hm.insert(ctx.id, 1)
+            ctx.rmi_fence()
+            hm.erase_async(ctx.id)
+            ctx.rmi_fence()
+            return hm.update_size()
+        assert run(prog, nlocs=4) == [0] * 4

@@ -1,0 +1,141 @@
+"""Composition tests (Ch. IV.C, XIII)."""
+
+from repro.containers.composition import (
+    NestedRef,
+    compose_parray_of_parrays,
+    compose_plist_of_parrays,
+    composed_domain,
+    composition_height,
+    make_nested,
+    nested_apply,
+    nested_get,
+    nested_set,
+)
+from repro.containers.parray import PArray
+from tests.conftest import run
+
+
+class TestComposedDomain:
+    def test_eq_4_2(self):
+        """The domain of Fig. 3's pArray of pArrays (Eq. 4.2)."""
+        dom = composed_domain(range(3), {0: range(2), 1: range(3), 2: range(4)})
+        assert dom.size() == 9
+        assert list(dom) == [(0, 0), (0, 1), (1, 0), (1, 1), (1, 2),
+                             (2, 0), (2, 1), (2, 2), (2, 3)]
+        assert (1, 2) in dom and (0, 3) not in dom
+
+    def test_ordering_lexicographic(self):
+        dom = composed_domain(range(2), {0: range(2), 1: range(1)})
+        assert dom.compare_less_gids((0, 1), (1, 0))
+
+
+class TestPArrayOfPArrays:
+    def test_fig3_shape(self):
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [2, 3, 4], value=0,
+                                              dtype=int)
+            rt = outer.runtime
+            sizes = {}
+            for bc in outer.local_bcontainers():
+                for i in bc.domain:
+                    sizes[i] = bc.get(i).resolve(rt).size()
+            gathered = ctx.allgather_rmi(sizes)
+            merged = {}
+            for d in gathered:
+                merged.update(d)
+            return merged
+        assert run(prog, nlocs=3)[0] == {0: 2, 1: 3, 2: 4}
+
+    def test_nested_get_set(self):
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [2, 2], value=1, dtype=int)
+            if ctx.id == 0:
+                nested_set(outer, 1, 0, 42)
+            ctx.rmi_fence()
+            return nested_get(outer, 1, 0), nested_get(outer, 0, 1)
+        assert run(prog, nlocs=2) == [(42, 1)] * 2
+
+    def test_height(self):
+        def prog(ctx):
+            flat = PArray(ctx, 4, dtype=int)
+            nested = compose_parray_of_parrays(ctx, [2, 2], dtype=int)
+            return composition_height(flat), composition_height(nested)
+        assert run(prog, nlocs=2) == [(1, 2)] * 2
+
+    def test_nested_apply_runs_at_owner(self):
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [3] * ctx.nlocs, value=2,
+                                              dtype=int)
+            total = nested_apply(
+                outer, (ctx.id + 1) % ctx.nlocs,
+                lambda inner: sum(inner.to_list()))
+            ctx.rmi_fence()
+            return total
+        assert run(prog, nlocs=3) == [6, 6, 6]
+
+    def test_nested_algorithm_invocation(self):
+        """Fig. 61: a pAlgorithm invoked on a nested container runs inline
+        on the owner's singleton group."""
+        from repro.algorithms.generic import p_accumulate
+        from repro.views.array_views import Array1DView
+
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [4] * ctx.nlocs, value=3,
+                                              dtype=int)
+            results = []
+            rt = outer.runtime
+            for bc in outer.local_bcontainers():
+                for i in bc.domain:
+                    inner = bc.get(i).resolve(rt)
+                    results.append(p_accumulate(Array1DView(inner), 0))
+            return results
+        out = run(prog, nlocs=4)
+        assert all(r == [12] for r in out)
+
+
+class TestPListOfPArrays:
+    def test_sizes(self):
+        def prog(ctx):
+            outer = compose_plist_of_parrays(ctx, [2] * 6, value=5, dtype=int)
+            return outer.size(), outer.local_segment().size()
+        out = run(prog, nlocs=3)
+        assert all(o[0] == 6 for o in out)
+        assert sum(o[1] for o in out) == 6
+
+    def test_height(self):
+        def prog(ctx):
+            outer = compose_plist_of_parrays(ctx, [2, 2], dtype=int)
+            return composition_height(outer)
+        assert run(prog, nlocs=2) == [2, 2]
+
+
+class TestMakeNested:
+    def test_nested_ref_resolution(self):
+        def prog(ctx):
+            ref = make_nested(ctx, lambda c, g: PArray(c, 5, value=9,
+                                                       dtype=int, group=g))
+            assert isinstance(ref, NestedRef)
+            inner = ref.resolve(ctx.runtime)
+            return inner.size(), inner.get_element(2), ref.owner == ctx.id
+        assert run(prog, nlocs=2) == [(5, 9, True)] * 2
+
+    def test_three_level_composition(self):
+        """Arbitrary-depth composition (Fig. 4): pArray<pArray<pArray>>."""
+        def prog(ctx):
+            def inner_factory(c, g):
+                return PArray(c, 2, value=1, dtype=int, group=g)
+
+            def middle_factory(c, g):
+                mid = PArray(c, 2, value=0, dtype=object, group=g)
+                for bc in mid.local_bcontainers():
+                    for i in bc.domain:
+                        bc.set(i, make_nested(c, inner_factory))
+                return mid
+
+            outer = PArray(ctx, ctx.nlocs, value=0, dtype=object)
+            for bc in outer.local_bcontainers():
+                for i in bc.domain:
+                    bc.set(i, make_nested(ctx, middle_factory))
+            ctx.rmi_fence()
+            return composition_height(outer)
+        assert run(prog, nlocs=2) == [3, 3]

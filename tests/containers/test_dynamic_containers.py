@@ -1,0 +1,213 @@
+"""pVector and pList tests (Ch. V.F / X)."""
+
+import pytest
+
+from repro.containers.plist import PList
+from repro.containers.pvector import PVector
+from tests.conftest import run, run_detailed
+
+
+class TestPVector:
+    def test_indexed_access(self):
+        def prog(ctx):
+            pv = PVector(ctx, 8, value=0)
+            for i in range(ctx.id, 8, ctx.nlocs):
+                pv.set_element(i, i * 2)
+            ctx.rmi_fence()
+            return [pv.get_element(i) for i in range(8)]
+        assert run(prog, nlocs=4)[0] == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_insert_shifts_indices(self):
+        def prog(ctx):
+            pv = PVector(ctx, 6, value=0)
+            for i in range(ctx.id, 6, ctx.nlocs):
+                pv.set_element(i, i)
+            ctx.rmi_fence()
+            if ctx.id == 0:
+                pv.insert_element(3, 99)
+            ctx.rmi_fence()
+            return pv.to_list(), pv.size()
+        out = run(prog, nlocs=3)
+        assert out[0] == ([0, 1, 2, 99, 3, 4, 5], 7)
+
+    def test_erase_returns_value(self):
+        def prog(ctx):
+            pv = PVector(ctx, 4, value=0)
+            if ctx.id == 0:
+                pv.set_element(1, 42)
+            ctx.rmi_fence()
+            got = pv.erase_element(1) if ctx.id == ctx.nlocs - 1 else None
+            ctx.rmi_fence()
+            return got, pv.size()
+        out = run(prog, nlocs=2)
+        assert out[1] == (42, 3)
+        assert out[0] == (None, 3)
+
+    def test_push_back_targets_last_block(self):
+        def prog(ctx):
+            pv = PVector(ctx, 4, value=0)
+            pv.push_back(ctx.id + 10)
+            ctx.rmi_fence()
+            return pv.to_list()
+        out = run(prog, nlocs=2)
+        assert sorted(out[0][4:]) == [10, 11]
+
+    def test_pop_back(self):
+        def prog(ctx):
+            pv = PVector(ctx, 4, value=5)
+            got = pv.pop_back() if ctx.id == 0 else None
+            ctx.rmi_fence()
+            return got, pv.size()
+        out = run(prog, nlocs=2)
+        assert out[0] == (5, 3)
+
+    def test_push_anywhere_is_local(self):
+        def prog(ctx):
+            pv = PVector(ctx, 0)
+            pv.push_anywhere(ctx.id)
+            ctx.rmi_fence()
+            return pv.size()
+        rep = run_detailed(prog, nlocs=4)
+        assert rep.results == [4, 4, 4, 4]
+
+    def test_apply(self):
+        def prog(ctx):
+            pv = PVector(ctx, 4, value=3)
+            if ctx.id == 0:
+                pv.apply_set(0, lambda v: v * 7)
+            ctx.rmi_fence()
+            return pv.apply_get(0, lambda v: v + 1)
+        assert run(prog, nlocs=2) == [22, 22]
+
+    def test_insert_cost_scales_with_shift(self):
+        """pVector insert is linear: inserting at the front of a big block
+        costs more virtual time than at the back (Ch. V.F trade-off)."""
+        def prog(ctx, front):
+            pv = PVector(ctx, 512 * ctx.nlocs, value=0)
+            ctx.rmi_fence()
+            t0 = ctx.start_timer()
+            if ctx.id == 0:
+                idx = 0 if front else 511
+                for _ in range(10):
+                    pv.insert_element(idx, 1)
+            ctx.rmi_fence()
+            return ctx.stop_timer(t0)
+        front = max(run(prog, nlocs=2, machine="cray4", args=(True,)))
+        back = max(run(prog, nlocs=2, machine="cray4", args=(False,)))
+        assert front > back
+
+
+class TestPList:
+    def test_constructor_balanced(self):
+        def prog(ctx):
+            pl = PList(ctx, 10, value=1)
+            return pl.local_segment().size()
+        assert run(prog, nlocs=4) == [3, 3, 2, 2]
+
+    def test_push_back_front_order(self):
+        def prog(ctx):
+            pl = PList(ctx, 0)
+            if ctx.id == 1:
+                pl.push_back("end")
+                pl.push_front("start")
+            ctx.rmi_fence()
+            return pl.to_list()
+        assert run(prog, nlocs=3)[0] == ["start", "end"]
+
+    def test_stable_gids(self):
+        def prog(ctx):
+            pl = PList(ctx, 0)
+            gid = pl.push_anywhere(ctx.id * 5)
+            ctx.rmi_fence()
+            # everyone reads everyone's element through gathered gids
+            gids = ctx.allgather_rmi(gid)
+            return [pl.get_element(g) for g in gids]
+        assert run(prog, nlocs=4)[0] == [0, 5, 10, 15]
+
+    def test_insert_before_erase(self):
+        def prog(ctx):
+            pl = PList(ctx, 0)
+            a = pl.push_anywhere("a")
+            c_gid = pl.push_anywhere("c")
+            b_gid = pl.insert_element(c_gid, "b")
+            vals = pl.local_segment().values()
+            pl.erase_element(b_gid)
+            vals2 = pl.local_segment().values()
+            ctx.rmi_fence()
+            return vals, vals2
+        out = run(prog, nlocs=2)
+        assert out[0] == (["a", "b", "c"], ["a", "c"])
+
+    def test_pop_back_front(self):
+        def prog(ctx):
+            pl = PList(ctx, 0)
+            if ctx.id == 0:
+                pl.push_back(1)
+                pl.push_back(2)
+            ctx.rmi_fence()
+            out = (pl.pop_front(), pl.pop_back()) if ctx.id == 1 else None
+            ctx.rmi_fence()
+            return out
+        # elements live in the first/last segments
+        out = run(prog, nlocs=2)
+        assert out[1] is not None
+
+    def test_get_anywhere(self):
+        def prog(ctx):
+            pl = PList(ctx, 0)
+            if ctx.id == 1:
+                pl.push_anywhere(77)
+            ctx.rmi_fence()
+            return pl.get_anywhere()
+        assert run(prog, nlocs=2) == [77, 77]
+
+    def test_get_anywhere_empty_raises(self):
+        def prog(ctx):
+            pl = PList(ctx, 0)
+            ctx.rmi_fence()
+            try:
+                pl.get_anywhere()
+                return False
+            except IndexError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+    def test_update_size_lazy(self):
+        def prog(ctx):
+            pl = PList(ctx, 4)
+            pl.push_anywhere(1)
+            stale = pl.size()
+            ctx.rmi_fence()
+            fresh = pl.update_size()
+            return stale, fresh
+        out = run(prog, nlocs=2)
+        assert out[0] == (4, 6)
+
+    def test_splice(self):
+        def prog(ctx):
+            a = PList(ctx, 0)
+            b = PList(ctx, 0)
+            b.push_anywhere(ctx.id)
+            ctx.rmi_fence()
+            a.splice_from(b)
+            a.update_size()
+            b.update_size()
+            return a.size(), b.size()
+        assert run(prog, nlocs=3) == [(3, 0)] * 3
+
+    def test_clear(self):
+        def prog(ctx):
+            pl = PList(ctx, 8)
+            pl.clear()
+            return pl.size(), pl.local_segment().size()
+        assert run(prog, nlocs=2) == [(0, 0)] * 2
+
+    def test_apply_set_via_gid(self):
+        def prog(ctx):
+            pl = PList(ctx, 0)
+            gid = pl.push_anywhere(5)
+            pl.apply_set(gid, lambda v: v * 3)
+            got = pl.apply_get(gid, lambda v: v)
+            ctx.rmi_fence()
+            return got
+        assert run(prog, nlocs=2) == [15, 15]

@@ -1,0 +1,57 @@
+"""Vertex/edge reference tests (Tables XXV/XXVI)."""
+
+import pytest
+
+from repro.containers import EdgeRef, PGraph, VertexRef
+from tests.conftest import run
+
+
+class TestVertexRef:
+    def test_property_roundtrip(self):
+        def prog(ctx):
+            g = PGraph(ctx, 6, default_property="init")
+            ref = g.vertex_ref(4)
+            before = ref.property
+            ctx.rmi_fence()
+            if ctx.id == 0:
+                ref.property = "updated"
+            ctx.rmi_fence()
+            return before, ref.property, ref.descriptor()
+        assert run(prog, nlocs=3) == [("init", "updated", 4)] * 3
+
+    def test_edges_and_degree(self):
+        def prog(ctx):
+            g = PGraph(ctx, 5)
+            if ctx.id == 0:
+                g.add_edge(1, 2, "a")
+                g.add_edge(1, 3, "b")
+            ctx.rmi_fence()
+            ref = g.vertex_ref(1)
+            edges = ref.edges()
+            return (ref.out_degree(), sorted(ref.adjacents()),
+                    sorted(e.descriptor() for e in edges),
+                    sorted(e.property for e in edges))
+        out = run(prog, nlocs=2)
+        assert out[0] == (2, [2, 3], [(1, 2), (1, 3)], ["a", "b"])
+
+    def test_unknown_vertex_raises(self):
+        def prog(ctx):
+            g = PGraph(ctx, 3)
+            try:
+                g.vertex_ref(99)
+                return False
+            except KeyError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+
+class TestEdgeRef:
+    def test_opposite(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4)
+            if ctx.id == 0:
+                g.add_edge(0, 3, 2.5)
+            ctx.rmi_fence()
+            e = g.vertex_ref(0).edges()[0]
+            return e.opposite(0), e.opposite(3), e.property
+        assert run(prog, nlocs=2) == [(3, 0, 2.5)] * 2

@@ -1,0 +1,146 @@
+"""pArray tests (Ch. IX)."""
+
+import pytest
+
+from repro.containers.parray import PArray
+from repro.core import (
+    BlockCyclicPartition,
+    BlockedPartition,
+    ExplicitPartition,
+    RangeDomain,
+)
+from repro.runtime import LocationGroup
+from tests.conftest import run
+
+
+class TestConstruction:
+    def test_default_balanced(self):
+        def prog(ctx):
+            pa = PArray(ctx, 12, dtype=int)
+            return [bc.size() for bc in pa.local_bcontainers()]
+        assert run(prog, nlocs=4) == [[3], [3], [3], [3]]
+
+    def test_initial_value(self):
+        def prog(ctx):
+            pa = PArray(ctx, 6, value=7, dtype=int)
+            return pa.to_list()
+        assert run(prog, nlocs=2)[0] == [7] * 6
+
+    def test_domain_argument(self):
+        def prog(ctx):
+            pa = PArray(ctx, RangeDomain(5, 12), dtype=int)
+            pa.set_element(5, 1) if ctx.id == 0 else None
+            ctx.rmi_fence()
+            return pa.size(), pa.get_element(5)
+        assert run(prog, nlocs=2) == [(7, 1), (7, 1)]
+
+    def test_size_and_empty(self):
+        def prog(ctx):
+            pa = PArray(ctx, 10, dtype=int)
+            eb = PArray(ctx, 0, dtype=int)
+            return len(pa), pa.empty(), eb.empty()
+        assert run(prog, nlocs=2) == [(10, False, True)] * 2
+
+    @pytest.mark.parametrize("partition_factory,nparts", [
+        (lambda P: BlockedPartition(2), None),
+        (lambda P: BlockCyclicPartition(P, 1), None),
+        (lambda P: ExplicitPartition([5, 1, 1, 1]), 4),
+    ])
+    def test_custom_partitions_content(self, partition_factory, nparts):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int,
+                        partition=partition_factory(ctx.nlocs))
+            for i in range(ctx.id, 8, ctx.nlocs):
+                pa.set_element(i, i + 1)
+            ctx.rmi_fence()
+            return pa.to_list()
+        assert run(prog, nlocs=4)[0] == [i + 1 for i in range(8)]
+
+
+class TestElementMethods:
+    def test_set_get_roundtrip_all_elements(self):
+        def prog(ctx):
+            pa = PArray(ctx, 16, dtype=int)
+            for i in range(ctx.id, 16, ctx.nlocs):
+                pa.set_element(i, i * 3)
+            ctx.rmi_fence()
+            return [pa.get_element(i) for i in range(16)]
+        out = run(prog, nlocs=4)
+        assert all(o == [i * 3 for i in range(16)] for o in out)
+
+    def test_operator_brackets(self):
+        def prog(ctx):
+            pa = PArray(ctx, 4, dtype=int)
+            if ctx.id == 0:
+                pa[2] = 5
+            ctx.rmi_fence()
+            return pa[2]
+        assert run(prog, nlocs=2) == [5, 5]
+
+    def test_split_phase(self):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int)
+            if ctx.id == 0:
+                for i in range(8):
+                    pa.set_element(i, i)
+            ctx.rmi_fence()
+            futs = [pa.split_phase_get_element(i) for i in range(8)]
+            return [f.get() for f in futs]
+        assert run(prog, nlocs=4)[0] == list(range(8))
+
+    def test_apply_get_set(self):
+        def prog(ctx):
+            pa = PArray(ctx, 4, value=10, dtype=int)
+            if ctx.id == 0:
+                pa.apply_set(3, lambda v: v * 2)
+            ctx.rmi_fence()
+            return pa.apply_get(3, lambda v: v + 1)
+        assert run(prog, nlocs=2) == [21, 21]
+
+    def test_is_local_and_lookup(self):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int)
+            block = 8 // ctx.nlocs
+            mine = ctx.id * block
+            return (pa.is_local(mine), pa.lookup(mine) == ctx.id,
+                    pa.is_local((mine + block) % 8))
+        out = run(prog, nlocs=4)
+        assert all(o == (True, True, False) for o in out)
+
+    def test_same_element_program_order(self):
+        """Ch. VII condition 4: async write then sync read of the same
+        element from the same location must see the write."""
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int)
+            remote = (ctx.id + 1) % ctx.nlocs * 2
+            pa.set_element(remote, ctx.id + 100)
+            got = pa.get_element(remote)
+            ctx.rmi_fence()
+            return got == ctx.id + 100
+        assert all(run(prog, nlocs=4))
+
+
+class TestGroups:
+    def test_parray_on_subgroup(self):
+        def prog(ctx):
+            if ctx.id < 2:
+                g = LocationGroup([0, 1])
+                pa = PArray(ctx, 8, dtype=int, group=g)
+                pa.set_element(ctx.id, ctx.id + 1)
+                ctx.rmi_fence(g)
+                return pa.get_element(0) + pa.get_element(1)
+            return None
+        out = run(prog, nlocs=4)
+        assert out[:2] == [3, 3] and out[2:] == [None, None]
+
+
+class TestRedistributionInterface:
+    def test_to_list_after_block_cyclic(self):
+        def prog(ctx):
+            pa = PArray(ctx, 9, dtype=int,
+                        partition=BlockCyclicPartition(ctx.nlocs, 1))
+            for i in range(ctx.id, 9, ctx.nlocs):
+                pa.set_element(i, i)
+            ctx.rmi_fence()
+            return pa.to_list()
+        assert run(prog, nlocs=3)[0] == list(range(9))

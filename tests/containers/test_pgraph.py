@@ -1,0 +1,231 @@
+"""pGraph tests (Ch. XI)."""
+
+import pytest
+
+from repro.containers.pgraph import DIRECTED, UNDIRECTED, PGraph
+from tests.conftest import run, run_detailed
+
+
+class TestStaticGraph:
+    def test_vertices_preallocated(self):
+        def prog(ctx):
+            g = PGraph(ctx, 10)
+            return g.get_num_vertices(), g.local_size()
+        out = run(prog, nlocs=2)
+        assert out[0][0] == 10
+        assert sum(o[1] for o in out) == 10
+
+    def test_add_vertex_asserts(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4)
+            try:
+                g.add_vertex()
+                return False
+            except AssertionError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+    def test_edges(self):
+        def prog(ctx):
+            g = PGraph(ctx, 8)
+            if ctx.id == 0:
+                for v in range(7):
+                    g.add_edge_async(v, v + 1)
+            ctx.rmi_fence()
+            return (g.get_num_edges(), g.has_edge(3, 4), g.has_edge(4, 3),
+                    g.out_degree(0), g.adjacents(6))
+        out = run(prog, nlocs=4)
+        assert out[0] == (7, True, False, 1, [7])
+
+    def test_sync_add_edge_duplicate_detection(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4, multi_edges=False)
+            out = None
+            if ctx.id == 0:
+                out = (g.add_edge(0, 1), g.add_edge(0, 1))
+            ctx.rmi_fence()
+            return out
+        assert run(prog, nlocs=2)[0] == (True, False)
+
+    def test_multi_edges(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4, multi_edges=True)
+            if ctx.id == 0:
+                g.add_edge(0, 1)
+                g.add_edge(0, 1)
+            ctx.rmi_fence()
+            return g.out_degree(0), len(g.find_edge(0, 1))
+        assert run(prog, nlocs=2)[0] == (2, 2)
+
+    def test_delete_edge(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4)
+            if ctx.id == 0:
+                g.add_edge(0, 1)
+                g.delete_edge(0, 1)
+            ctx.rmi_fence()
+            return g.has_edge(0, 1)
+        assert run(prog, nlocs=2) == [False, False]
+
+    def test_properties_and_visitors(self):
+        def prog(ctx):
+            g = PGraph(ctx, 6, default_property=0)
+            g.apply_vertex(3, lambda v: setattr(v, "property", v.property + 1))
+            ctx.rmi_fence()
+            return g.vertex_property(3)
+        assert run(prog, nlocs=3) == [3, 3, 3]
+
+    def test_find_vertex(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4, default_property="p")
+            if ctx.id == 0:
+                g.add_edge(2, 3)
+            ctx.rmi_fence()
+            return g.find_vertex(2)
+        assert run(prog, nlocs=2)[0] == ("p", [3])
+
+    def test_edges_of(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4)
+            if ctx.id == 0:
+                g.add_edge(1, 2, "weight")
+            ctx.rmi_fence()
+            return g.edges_of(1)
+        assert run(prog, nlocs=2)[0] == [(1, 2, "weight")]
+
+
+class TestUndirectedGraph:
+    def test_symmetric_edges(self):
+        def prog(ctx):
+            g = PGraph(ctx, 6, directed=UNDIRECTED)
+            if ctx.id == 0:
+                g.add_edge(0, 5)
+            ctx.rmi_fence()
+            return g.has_edge(0, 5), g.has_edge(5, 0), g.get_num_edges()
+        assert run(prog, nlocs=3)[0] == (True, True, 2)
+
+    def test_self_loop_not_doubled(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4, directed=UNDIRECTED)
+            if ctx.id == 0:
+                g.add_edge(1, 1)
+            ctx.rmi_fence()
+            return g.get_num_edges()
+        assert run(prog, nlocs=2)[0] == 1
+
+    def test_undirected_delete_both_arcs(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4, directed=UNDIRECTED)
+            if ctx.id == 0:
+                g.add_edge(0, 3)
+                g.delete_edge(0, 3)
+            ctx.rmi_fence()
+            return g.has_edge(0, 3), g.has_edge(3, 0)
+        assert run(prog, nlocs=2)[0] == (False, False)
+
+
+class TestDynamicGraph:
+    @pytest.mark.parametrize("forwarding", [True, False])
+    def test_add_vertex_unique_descriptors(self, forwarding):
+        def prog(ctx):
+            g = PGraph(ctx, 0, dynamic=True, forwarding=forwarding)
+            vds = [g.add_vertex() for _ in range(3)]
+            ctx.rmi_fence()
+            all_vds = ctx.allgather_rmi(vds)
+            flat = [v for chunk in all_vds for v in chunk]
+            return len(flat) == len(set(flat)), g.num_vertices_sync()
+        out = run(prog, nlocs=4)
+        assert all(o == (True, 12) for o in out)
+
+    def test_vertex_with_explicit_descriptor(self):
+        def prog(ctx):
+            g = PGraph(ctx, 0, dynamic=True)
+            if ctx.id == 1:
+                g.add_vertex_with(777, "prop")
+            ctx.rmi_fence()
+            return g.has_vertex(777), g.vertex_property(777)
+        assert run(prog, nlocs=2) == [(True, "prop")] * 2
+
+    def test_remote_edges_via_directory(self):
+        def prog(ctx):
+            g = PGraph(ctx, 12, dynamic=True, default_property=0)
+            # every location adds edges touching vertices it does not own
+            for v in range(12):
+                g.add_edge_async(v, (v + 1) % 12)
+            ctx.rmi_fence()
+            return g.get_num_edges()
+        assert run(prog, nlocs=4)[0] == 48
+
+    def test_forwarding_generates_forward_traffic(self):
+        def prog(ctx):
+            g = PGraph(ctx, 16, dynamic=True, forwarding=True,
+                       default_property=0)
+            for v in range(16):
+                g.add_edge_async(v, (v + 1) % 16)
+            ctx.rmi_fence()
+        rep = run_detailed(prog, nlocs=4, machine="cray4")
+        assert rep.stats.total.forwarded > 0
+
+    def test_no_forwarding_uses_sync_lookups(self):
+        def prog(ctx):
+            g = PGraph(ctx, 16, dynamic=True, forwarding=False,
+                       default_property=0)
+            for v in range(16):
+                g.add_edge_async(v, (v + 1) % 16)
+            ctx.rmi_fence()
+        rep = run_detailed(prog, nlocs=4, machine="cray4")
+        assert rep.stats.total.sync_rmi_sent > 0
+        assert rep.stats.total.forwarded == 0
+
+    def test_delete_vertex(self):
+        def prog(ctx):
+            g = PGraph(ctx, 0, dynamic=True)
+            vd = g.add_vertex()
+            ctx.rmi_fence()
+            g.delete_vertex(vd)
+            ctx.rmi_fence()
+            return g.num_vertices_sync(), g.has_vertex(vd)
+        assert run(prog, nlocs=3) == [(0, False)] * 3
+
+    def test_missing_vertex_raises(self):
+        def prog(ctx):
+            g = PGraph(ctx, 4, dynamic=True)
+            ctx.rmi_fence()
+            try:
+                g.out_degree(999)
+                return False
+            except KeyError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+
+class TestGraphViews:
+    def test_native_and_region_views(self):
+        from repro.views.graph_views import GraphView, RegionView
+
+        def prog(ctx):
+            g = PGraph(ctx, 8, default_property=1)
+            view = GraphView(g)
+            total = sum(ch.size() for ch in view.local_chunks())
+            region = RegionView(g, [0, 1, 2])
+            rsize = sum(ch.size() for ch in region.local_chunks())
+            all_total = ctx.allreduce_rmi(total)
+            all_region = ctx.allreduce_rmi(rsize)
+            return all_total, all_region
+        assert run(prog, nlocs=4)[0] == (8, 3)
+
+    def test_inner_boundary_partition_vertices(self):
+        from repro.views.graph_views import BoundaryView, InnerView
+
+        def prog(ctx):
+            g = PGraph(ctx, 8, default_property=0)
+            if ctx.id == 0:
+                for v in range(7):
+                    g.add_edge_async(v, v + 1)  # chain crosses boundaries
+            ctx.rmi_fence()
+            inner = sum(ch.size() for ch in InnerView(g).local_chunks())
+            boundary = sum(ch.size() for ch in BoundaryView(g).local_chunks())
+            return ctx.allreduce_rmi(inner), ctx.allreduce_rmi(boundary)
+        total_inner, total_boundary = run(prog, nlocs=4)[0]
+        assert total_inner + total_boundary == 8
+        assert total_boundary >= 3  # chain crosses 3 location boundaries

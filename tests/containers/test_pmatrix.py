@@ -1,0 +1,80 @@
+"""pMatrix tests."""
+
+import pytest
+
+from repro.containers.pmatrix import PMatrix, default_grid
+from repro.core import Matrix2DPartition
+from tests.conftest import run
+
+
+class TestGrid:
+    @pytest.mark.parametrize("p,expected", [
+        (1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (6, (2, 3)), (8, (2, 4)),
+    ])
+    def test_default_grid(self, p, expected):
+        assert default_grid(p) == expected
+
+
+class TestPMatrix:
+    def test_set_get_2d(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 4, 4, dtype=int)
+            for r in range(ctx.id, 4, ctx.nlocs):
+                for c in range(4):
+                    pm.set_element((r, c), r * 4 + c)
+            ctx.rmi_fence()
+            return pm.get_element((2, 3))
+        assert run(prog, nlocs=4) == [11] * 4
+
+    def test_shape(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 3, 5)
+            return pm.rows, pm.cols, pm.size()
+        assert run(prog, nlocs=2) == [(3, 5, 15)] * 2
+
+    def test_row_col_gather(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 4, 4, dtype=int)
+            for r in range(ctx.id, 4, ctx.nlocs):
+                for c in range(4):
+                    pm.set_element((r, c), r * 10 + c)
+            ctx.rmi_fence()
+            return pm.get_row(1), pm.get_col(2)
+        row, col = run(prog, nlocs=4)[0]
+        assert row == [10, 11, 12, 13]
+        assert col == [2, 12, 22, 32]
+
+    def test_row_partition_keeps_rows_local(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 8, 4, partition=Matrix2DPartition(ctx.nlocs, 1))
+            bc = pm.local_bcontainers()[0]
+            return bc.domain.cols == 4
+        assert all(run(prog, nlocs=4))
+
+    def test_to_nested(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 2, 3, value=1.5)
+            return pm.to_nested()
+        assert run(prog, nlocs=2)[0] == [[1.5] * 3] * 2
+
+    def test_apply(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 2, 2, value=4, dtype=int)
+            if ctx.id == 0:
+                pm.apply_set((1, 1), lambda v: v + 1)
+            ctx.rmi_fence()
+            return pm.apply_get((1, 1), lambda v: v * 2)
+        assert run(prog, nlocs=2) == [10, 10]
+
+    def test_redistribute_matrix(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 4, 4, dtype=int,
+                         partition=Matrix2DPartition(1, ctx.nlocs))
+            for r in range(ctx.id, 4, ctx.nlocs):
+                for c in range(4):
+                    pm.set_element((r, c), r * 4 + c)
+            ctx.rmi_fence()
+            pm.redistribute(Matrix2DPartition(ctx.nlocs, 1))
+            return pm.to_nested()
+        out = run(prog, nlocs=2)
+        assert out[0] == [[r * 4 + c for c in range(4)] for r in range(4)]

@@ -1,0 +1,288 @@
+"""bContainer tests (Ch. V.C.1, Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base_containers import (
+    ArrayBC,
+    GraphBC,
+    ListBC,
+    MapBC,
+    Matrix2DBC,
+    MultiMapBC,
+    SetBC,
+    VectorBC,
+)
+from repro.core.domains import Range2DDomain, RangeDomain, UniverseDomain
+
+
+class TestArrayBC:
+    def test_get_set(self):
+        bc = ArrayBC(RangeDomain(10, 14), 0, fill=1, dtype=int)
+        assert bc.size() == 4
+        bc.set(12, 9)
+        assert bc.get(12) == 9
+        assert bc.get(10) == 1
+        assert isinstance(bc.get(12), int)  # python scalar, not np.generic
+
+    def test_apply(self):
+        bc = ArrayBC(RangeDomain(0, 3), 0, fill=2, dtype=int)
+        assert bc.apply(1, lambda v: v * 10) == 20
+        bc.apply_set(1, lambda v: v + 1)
+        assert bc.get(1) == 3
+
+    def test_bulk_ops(self):
+        bc = ArrayBC(RangeDomain(0, 4), 0, dtype=float)
+        bc.bulk_fill(2.0)
+        bc.bulk_map(lambda a: a * 3)
+        assert bc.values().tolist() == [6.0] * 4
+        assert bc.bulk_reduce(np.sum) == 24.0
+
+    def test_object_dtype(self):
+        bc = ArrayBC(RangeDomain(0, 2), 0, fill=None, dtype=object)
+        bc.set(0, {"a": 1})
+        assert bc.get(0) == {"a": 1}
+
+    def test_pack_unpack(self):
+        bc = ArrayBC(RangeDomain(0, 3), 0, fill=5, dtype=int)
+        payload = bc.pack()
+        clone = ArrayBC.unpack(RangeDomain(0, 3), 0, payload)
+        assert clone.values().tolist() == [5, 5, 5]
+
+    def test_memory_split(self):
+        bc = ArrayBC(RangeDomain(0, 100), 0, dtype=np.float64)
+        meta, data = bc.memory_size()
+        assert data == 800 and meta > 0
+
+    def test_clear_and_bcid(self):
+        bc = ArrayBC(RangeDomain(0, 3), 7, fill=4, dtype=int)
+        assert bc.get_bcid() == 7
+        bc.clear()
+        assert bc.values().tolist() == [0, 0, 0]
+
+    def test_data_length_check(self):
+        with pytest.raises(ValueError):
+            ArrayBC(RangeDomain(0, 3), 0, data=[1, 2])
+
+
+class TestMatrix2DBC:
+    def test_block_addressing(self):
+        dom = Range2DDomain((2, 4), (4, 7))
+        bc = Matrix2DBC(dom, 0, fill=0.0)
+        bc.set((3, 5), 7.5)
+        assert bc.get((3, 5)) == 7.5
+        assert bc.size() == 6
+
+    def test_slices(self):
+        dom = Range2DDomain((0, 0), (2, 3))
+        bc = Matrix2DBC(dom, 0, data=np.arange(6.0))
+        assert bc.row_slice(1).tolist() == [3.0, 4.0, 5.0]
+        assert bc.col_slice(2).tolist() == [2.0, 5.0]
+
+    def test_pack_roundtrip(self):
+        dom = Range2DDomain((0, 0), (2, 2))
+        bc = Matrix2DBC(dom, 0, fill=3.0)
+        clone = Matrix2DBC.unpack(dom, 0, bc.pack())
+        assert clone.get((1, 1)) == 3.0
+
+
+class TestVectorBC:
+    def test_dynamic_ops(self):
+        bc = VectorBC(RangeDomain(0, 3), 0, fill=0)
+        bc.insert(1, 99)
+        assert bc.values() == [0, 99, 0, 0]
+        assert bc.erase(1) == 99
+        bc.push_back(5)
+        assert bc.pop_back() == 5
+        assert bc.size() == 3
+
+    def test_apply(self):
+        bc = VectorBC(RangeDomain(0, 2), 0, fill=1)
+        bc.apply_set(0, lambda v: v + 9)
+        assert bc.apply(0, lambda v: v) == 10
+
+    def test_pack(self):
+        bc = VectorBC(RangeDomain(0, 2), 0, data=[7, 8])
+        assert VectorBC.unpack(RangeDomain(0, 2), 0, bc.pack()).values() == [7, 8]
+
+
+class TestListBC:
+    def _bc(self):
+        return ListBC(UniverseDomain(), 0)
+
+    def test_push_pop_order(self):
+        bc = self._bc()
+        bc.push_back(1)
+        bc.push_back(2)
+        bc.push_front(0)
+        assert bc.values() == [0, 1, 2]
+        assert bc.pop_front() == 0
+        assert bc.pop_back() == 2
+        assert bc.values() == [1]
+
+    def test_stable_handles_across_inserts(self):
+        bc = self._bc()
+        s1 = bc.push_back("a")
+        s2 = bc.push_back("c")
+        s_mid = bc.insert_before(s2, "b")
+        assert bc.values() == ["a", "b", "c"]
+        assert bc.get(s1) == "a" and bc.get(s_mid) == "b"
+        bc.erase(s_mid)
+        assert bc.values() == ["a", "c"]
+        assert bc.get(s2) == "c"  # handle survives neighbours' erasure
+
+    def test_traversal_helpers(self):
+        bc = self._bc()
+        seqs = [bc.push_back(v) for v in "xyz"]
+        assert bc.first_seq() == seqs[0]
+        assert bc.last_seq() == seqs[2]
+        assert bc.next_seq(seqs[0]) == seqs[1]
+        assert bc.prev_seq(seqs[2]) == seqs[1]
+        assert bc.next_seq(seqs[2]) is None
+        assert bc.seqs() == seqs
+
+    def test_erase_head_tail(self):
+        bc = self._bc()
+        a = bc.push_back(1)
+        b = bc.push_back(2)
+        bc.erase(a)
+        assert bc.first_seq() == b
+        bc.erase(b)
+        assert bc.first_seq() is None and bc.last_seq() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            self._bc().pop_back()
+        with pytest.raises(IndexError):
+            self._bc().pop_front()
+
+    def test_pack_preserves_order(self):
+        bc = self._bc()
+        for v in (3, 1, 2):
+            bc.push_back(v)
+        clone = ListBC.unpack(UniverseDomain(), 0, bc.pack())
+        assert clone.values() == [3, 1, 2]
+
+    def test_metadata_dominates_memory(self):
+        bc = self._bc()
+        for v in range(10):
+            bc.push_back(v)
+        meta, data = bc.memory_size()
+        assert meta > data  # node headers > payload
+
+
+class TestMapBC:
+    def test_insert_no_overwrite(self):
+        bc = MapBC(UniverseDomain(), 0)
+        assert bc.insert("k", 1)
+        assert not bc.insert("k", 2)  # STL map insert semantics
+        assert bc.get("k") == 1
+        bc.set("k", 2)
+        assert bc.get("k") == 2
+
+    def test_find_erase(self):
+        bc = MapBC(UniverseDomain(), 0)
+        bc.insert("a", 1)
+        assert bc.find("a") == (1, True)
+        assert bc.find("b") == (None, False)
+        assert bc.erase("a") == 1
+        assert bc.erase("a") == 0
+
+    def test_sorted_iteration(self):
+        bc = MapBC(UniverseDomain(), 0, sorted_order=True)
+        for k in (3, 1, 2):
+            bc.insert(k, k * 10)
+        assert bc.keys() == [1, 2, 3]
+        assert bc.items() == [(1, 10), (2, 20), (3, 30)]
+
+    def test_accumulate(self):
+        bc = MapBC(UniverseDomain(), 0)
+        bc.accumulate("w", 1)
+        bc.accumulate("w", 2)
+        assert bc.get("w") == 3
+
+
+class TestMultiMapBC:
+    def test_duplicate_keys(self):
+        bc = MultiMapBC(UniverseDomain(), 0)
+        bc.insert("k", 1)
+        bc.insert("k", 2)
+        assert bc.count("k") == 2
+        assert bc.erase("k") == 2
+        assert bc.count("k") == 0
+
+
+class TestSetBC:
+    def test_unique(self):
+        bc = SetBC(UniverseDomain(), 0)
+        assert bc.insert(5)
+        assert not bc.insert(5)
+        assert bc.size() == 1
+        assert bc.contains(5)
+
+    def test_multi(self):
+        bc = SetBC(UniverseDomain(), 0, multi=True)
+        bc.insert(5)
+        bc.insert(5)
+        assert bc.count(5) == 2
+        assert bc.size() == 2
+        assert bc.values() == [5, 5]
+
+    def test_sorted_keys(self):
+        bc = SetBC(UniverseDomain(), 0, sorted_order=True)
+        for k in (3, 1, 2):
+            bc.insert(k)
+        assert bc.keys() == [1, 2, 3]
+
+
+class TestGraphBC:
+    def test_vertices_edges(self):
+        bc = GraphBC(UniverseDomain(), 0)
+        assert bc.add_vertex(0, "p0")
+        assert not bc.add_vertex(0)
+        bc.add_vertex(1)
+        bc.add_edge(0, 1, "e")
+        assert bc.has_edge(0, 1)
+        assert bc.out_degree(0) == 1
+        assert bc.adjacents(0) == [1]
+        assert bc.edges_of(0) == [(0, 1, "e")]
+        assert bc.num_edges() == 1
+
+    def test_multi_edges_flag(self):
+        multi = GraphBC(UniverseDomain(), 0, multi_edges=True)
+        multi.add_vertex(0)
+        assert multi.add_edge(0, 0) and multi.add_edge(0, 0)
+        assert multi.out_degree(0) == 2
+        simple = GraphBC(UniverseDomain(), 0, multi_edges=False)
+        simple.add_vertex(0)
+        assert simple.add_edge(0, 0)
+        assert not simple.add_edge(0, 0)
+
+    def test_delete(self):
+        bc = GraphBC(UniverseDomain(), 0)
+        bc.add_vertex(0)
+        bc.add_vertex(1)
+        bc.add_edge(0, 1)
+        assert bc.delete_edge(0, 1)
+        assert not bc.delete_edge(0, 1)
+        assert bc.delete_vertex(1)
+        assert not bc.has_vertex(1)
+        assert bc.num_edges() == 0
+
+    def test_properties(self):
+        bc = GraphBC(UniverseDomain(), 0)
+        bc.add_vertex(3, "x")
+        assert bc.vertex_property(3) == "x"
+        bc.set_vertex_property(3, "y")
+        assert bc.vertex_property(3) == "y"
+        assert bc.apply_vertex(3, lambda v: v.property) == "y"
+
+    def test_pack_roundtrip(self):
+        bc = GraphBC(UniverseDomain(), 0)
+        bc.add_vertex(0, "a")
+        bc.add_vertex(1)
+        bc.add_edge(0, 1, 5)
+        clone = GraphBC.unpack(UniverseDomain(), 0, bc.pack())
+        assert clone.has_edge(0, 1)
+        assert clone.vertex_property(0) == "a"
+        assert clone.num_edges() == 1

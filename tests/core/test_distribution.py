@@ -1,0 +1,242 @@
+"""Distribution-manager, thread-safety and redistribution tests
+(Ch. V.C.6, VI, V.G)."""
+
+import pytest
+
+from repro.containers.parray import PArray
+from repro.containers.pgraph import PGraph
+from repro.core import (
+    BlockCyclicPartition,
+    BlockedMapper,
+    ConsistencyMode,
+    GeneralMapper,
+    HashedLockManager,
+    NoLockManager,
+    Traits,
+)
+from repro.core.memory import measure_memory
+from tests.conftest import run, run_detailed
+
+
+class TestInvokeFlavours:
+    def test_sequential_traits_make_async_synchronous(self):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int,
+                        traits=Traits(consistency=ConsistencyMode.SEQUENTIAL))
+            tgt = (ctx.id + 1) % ctx.nlocs * 2  # remote element
+            pa.set_element(tgt, 5)
+            # no fence: under SC traits the write has already completed
+            val = ctx.sync_rmi(pa.lookup(tgt), pa.handle,
+                               "_invoke_handler_ret", "get_element", tgt, ())
+            ctx.rmi_fence()
+            return val
+        assert run(prog, nlocs=4) == [5] * 4
+
+    def test_sequential_split_phase_preresolved(self):
+        def prog(ctx):
+            pa = PArray(ctx, 4, dtype=int,
+                        traits=Traits(consistency=ConsistencyMode.SEQUENTIAL))
+            f = pa.split_phase_get_element(0)
+            ready = f.test()
+            ctx.rmi_fence()
+            return ready, f.get()
+        assert run(prog, nlocs=2) == [(True, 0)] * 2
+
+    def test_local_vs_remote_counted(self):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int)
+            block = 8 // ctx.nlocs
+            pa.get_element(ctx.id * block)            # local
+            pa.get_element((ctx.id + 1) % ctx.nlocs * block)  # remote
+            ctx.rmi_fence()
+        rep = run_detailed(prog, nlocs=4)
+        assert rep.stats.total.local_invocations >= 4
+        assert rep.stats.total.remote_invocations == 4
+
+
+class TestCustomModules:
+    def test_custom_mapper_via_traits(self):
+        def prog(ctx):
+            traits = Traits(mapper_factory=BlockedMapper)
+            pa = PArray(ctx, 8, dtype=int,
+                        partition=BlockCyclicPartition(4, 1), traits=traits)
+            return pa.lookup(0), pa.lookup(1)
+        out = run(prog, nlocs=2)
+        # 4 sub-domains blocked onto 2 locations: bcids {0,1}->0, {2,3}->1
+        assert out[0] == (0, 0)
+
+    def test_general_mapper(self):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int)
+            pa.redistribute(BlockCyclicPartition(2, 2),
+                            GeneralMapper([1, 0]))
+            return pa.lookup(0)
+        assert run(prog, nlocs=2) == [1, 1]
+
+    def test_custom_bcontainer_factory(self):
+        from repro.core.base_containers import ArrayBC
+
+        made = []
+
+        def factory(sub, bcid):
+            made.append(bcid)
+            return ArrayBC(sub, bcid, fill=7, dtype=int)
+
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int,
+                        traits=Traits(bcontainer_factory=factory))
+            return pa.get_element(0)
+        assert run(prog, nlocs=2) == [7, 7]
+        assert made
+
+
+class TestThreadSafety:
+    def test_default_manager_counts_locks(self):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int)
+            for i in range(4):
+                pa.set_element(i % 8, 1)
+            ctx.rmi_fence()
+            return pa._dist.ths_manager.element_locks
+        out = run(prog, nlocs=2)
+        assert sum(out) >= 8  # each execution locked at element granularity
+
+    def test_no_lock_manager(self):
+        def prog(ctx):
+            traits = Traits(ths_manager_factory=NoLockManager)
+            pa = PArray(ctx, 8, dtype=int, traits=traits)
+            pa.set_element(0, 1)
+            ctx.rmi_fence()
+            return ctx.stats.lock_acquires
+        assert run(prog, nlocs=2) == [0, 0]
+
+    def test_hashed_lock_manager_distributes(self):
+        def prog(ctx):
+            traits = Traits(ths_manager_factory=lambda: HashedLockManager(k=8))
+            pa = PArray(ctx, 64, dtype=int, traits=traits)
+            block = 64 // ctx.nlocs
+            for i in range(block):
+                pa.set_element(ctx.id * block + i, 1)
+            ctx.rmi_fence()
+            mgr = pa._dist.ths_manager
+            return sum(1 for c in mgr.per_lock if c), sum(mgr.per_lock)
+        out = run(prog, nlocs=2)
+        used, total = out[0]
+        assert used > 1 and total == 32
+
+    def test_thread_safe_bcontainer_skips_locking(self):
+        def prog(ctx):
+            traits = Traits(bcontainer_thread_safe=True)
+            pa = PArray(ctx, 8, dtype=int, traits=traits)
+            pa.set_element(0, 1)
+            ctx.rmi_fence()
+            return pa._dist.ths_manager.element_locks
+        assert run(prog, nlocs=2) == [0, 0]
+
+    def test_locking_policy_table(self):
+        def prog(ctx):
+            pa = PArray(ctx, 4, dtype=int)
+            pol = pa._dist.partition.locking_policy
+            return pol.get_locking_policy("set_element")[0].value
+        assert run(prog, nlocs=1) == ["element"]
+
+    def test_lock_cost_charged(self):
+        def prog(ctx, use_locks):
+            traits = None if use_locks else Traits(
+                ths_manager_factory=NoLockManager)
+            pa = PArray(ctx, 8, dtype=int, traits=traits)
+            ctx.rmi_fence()
+            t0 = ctx.start_timer()
+            for _ in range(50):
+                pa.set_element(ctx.id, 1)
+            ctx.rmi_fence()
+            return ctx.stop_timer(t0)
+        locked = max(run(prog, nlocs=2, machine="cray4", args=(True,)))
+        unlocked = max(run(prog, nlocs=2, machine="cray4", args=(False,)))
+        assert locked > unlocked
+
+
+class TestRedistribution:
+    def test_redistribute_requires_proxy(self):
+        def prog(ctx):
+            traits = Traits(use_partition_proxy=False)
+            pa = PArray(ctx, 8, dtype=int, traits=traits)
+            try:
+                pa.redistribute(BlockCyclicPartition(ctx.nlocs, 1))
+                return False
+            except TypeError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+    def test_redistribute_preserves_content(self):
+        def prog(ctx):
+            pa = PArray(ctx, 16, dtype=int)
+            for i in range(ctx.id, 16, ctx.nlocs):
+                pa.set_element(i, i * i)
+            ctx.rmi_fence()
+            pa.redistribute(BlockCyclicPartition(ctx.nlocs, 1))
+            return pa.to_list()
+        out = run(prog, nlocs=4)
+        assert out[0] == [i * i for i in range(16)]
+
+    def test_rotate_moves_ownership(self):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int)
+            before = pa.lookup(0)
+            pa.rotate(1)
+            after = pa.lookup(0)
+            return before, after
+        out = run(prog, nlocs=4)
+        assert out[0] == (0, 1)
+
+    def test_rebalance_after_skew(self):
+        def prog(ctx):
+            from repro.core import ExplicitPartition
+
+            pa = PArray(ctx, 12, dtype=int,
+                        partition=ExplicitPartition([12, 0, 0, 0]))
+            for i in range(ctx.id, 12, ctx.nlocs):
+                pa.set_element(i, i)
+            ctx.rmi_fence()
+            pa.rebalance()
+            sizes = [bc.size() for bc in pa.local_bcontainers()]
+            return sum(sizes), pa.to_list()
+        out = run(prog, nlocs=4)
+        assert [s for s, _ in out] == [3, 3, 3, 3]
+        assert out[0][1] == list(range(12))
+
+
+class TestMemoryAccounting:
+    def test_collective_memory_size(self):
+        def prog(ctx):
+            pa = PArray(ctx, 128, dtype=float)
+            return pa.memory_size()
+        out = run(prog, nlocs=4)
+        meta, data = out[0]
+        assert data == 128 * 8
+        assert all(o == out[0] for o in out)
+
+    def test_measure_memory_report(self):
+        def prog(ctx):
+            pa = PArray(ctx, 64, dtype=float)
+            rep = measure_memory(pa)
+            return rep.data, rep.metadata, rep.overhead_ratio
+        data, meta, ratio = run(prog, nlocs=2)[0]
+        assert data == 512 and meta > 0 and ratio == meta / data
+
+    def test_graph_memory_includes_edges(self):
+        def prog(ctx):
+            g = PGraph(ctx, 8)
+            if ctx.id == 0:
+                for v in range(7):
+                    g.add_edge_async(v, v + 1)
+            ctx.rmi_fence()
+            return g.memory_size()
+        meta_with_edges, _ = run(prog, nlocs=2)[0]
+
+        def prog_empty(ctx):
+            g = PGraph(ctx, 8)
+            ctx.rmi_fence()
+            return g.memory_size()
+        meta_empty, _ = run(prog_empty, nlocs=2)[0]
+        assert meta_with_edges > meta_empty

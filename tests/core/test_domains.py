@@ -1,0 +1,199 @@
+"""Domain tests (Ch. IV.B / Tables V-VI)."""
+
+import pytest
+
+from repro.core.domains import (
+    INVALID_GID,
+    CartesianDomain,
+    EnumeratedDomain,
+    FilteredDomain,
+    OpenDomain,
+    Range2DDomain,
+    RangeDomain,
+    UniverseDomain,
+    domain_difference,
+    domain_intersection,
+    domain_union,
+    linearization,
+)
+
+
+class TestRangeDomain:
+    def test_basics(self):
+        d = RangeDomain(3, 10)
+        assert d.size() == 7
+        assert d.get_first_gid() == 3
+        assert d.get_last_gid() == 10  # one past the end, not a member
+        assert 3 in d and 9 in d and 10 not in d and 2 not in d
+
+    def test_iteration_is_linearization(self):
+        d = RangeDomain(0, 5)
+        assert linearization(d) == [0, 1, 2, 3, 4]
+
+    def test_next_prev_advance_offset(self):
+        d = RangeDomain(5, 12)
+        assert d.get_next_gid(5) == 6
+        assert d.get_prev_gid(6) == 5
+        assert d.advance(5, 4) == 9
+        assert d.offset(9) == 4
+        assert d.gid_at(4) == 9
+
+    def test_empty(self):
+        d = RangeDomain(4, 4)
+        assert d.size() == 0
+        assert list(d) == []
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeDomain(5, 4)
+
+    def test_split_at(self):
+        a, b = RangeDomain(0, 10).split_at(4)
+        assert (a.lo, a.hi, b.lo, b.hi) == (0, 4, 4, 10)
+
+    def test_compare(self):
+        d = RangeDomain(0, 3)
+        assert d.compare_less_gids(0, 2)
+        assert not d.compare_less_gids(2, 0)
+
+    def test_non_int_not_contained(self):
+        assert "x" not in RangeDomain(0, 3)
+
+
+class TestEnumeratedDomain:
+    def test_order_is_enumeration_order(self):
+        d = EnumeratedDomain(["red", "blue", "black"])
+        assert list(d) == ["red", "blue", "black"]
+        assert d.compare_less_gids("red", "black")
+        assert d.offset("blue") == 1
+        assert d.gid_at(2) == "black"
+
+    def test_last_is_sentinel(self):
+        d = EnumeratedDomain([1, 3, 2])
+        last = d.get_last_gid()
+        assert last is INVALID_GID
+        assert d.get_next_gid(2) is last
+        assert d.get_prev_gid(last) == 2
+        assert d.compare_less_gids(3, last)
+        assert not d.compare_less_gids(last, 3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            EnumeratedDomain([1, 1])
+
+    def test_unhashable_probe(self):
+        assert [1] not in EnumeratedDomain([1, 2])
+
+    def test_advance(self):
+        d = EnumeratedDomain([5, 7, 9])
+        assert d.advance(5, 2) == 9
+
+
+class TestRange2DDomain:
+    def test_row_major(self):
+        d = Range2DDomain((0, 0), (2, 3), order="row")
+        assert d.size() == 6
+        assert list(d) == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        assert d.offset((1, 1)) == 4
+        assert d.gid_at(4) == (1, 1)
+
+    def test_column_major(self):
+        d = Range2DDomain((0, 0), (2, 3), order="column")
+        assert list(d) == [(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+        assert d.compare_less_gids((1, 0), (0, 1))
+
+    def test_contains(self):
+        d = Range2DDomain((1, 1), (3, 3))
+        assert (2, 2) in d and (0, 0) not in d and (3, 1) not in d
+        assert "nope" not in d
+
+    def test_next_wraps_rows(self):
+        d = Range2DDomain((0, 0), (2, 2))
+        assert d.get_next_gid((0, 1)) == (1, 0)
+        assert d.get_next_gid((1, 1)) == d.get_last_gid()
+        assert d.get_prev_gid(d.get_last_gid()) == (1, 1)
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            Range2DDomain((0, 0), (1, 1), order="diag")
+
+
+class TestOpenAndUniverse:
+    def test_open_domain_bounds(self):
+        d = OpenDomain("a", "c")
+        assert "a" in d and "b" in d and "ba" in d
+        assert "c" not in d and "d" not in d
+        assert not d.is_finite
+
+    def test_open_domain_unbounded(self):
+        d = OpenDomain(None, None)
+        assert "anything" in d and 42 in d
+
+    def test_open_domain_type_mismatch(self):
+        assert 3 not in OpenDomain("a", "c")
+
+    def test_universe(self):
+        u = UniverseDomain()
+        assert 1 in u and "x" in u and (1, 2) in u
+        assert not u.is_finite
+
+    def test_universe_with_predicate(self):
+        u = UniverseDomain(lambda g: g % 2 == 0)
+        assert 4 in u and 3 not in u
+
+
+class TestCartesianDomain:
+    def test_lexicographic(self):
+        d = CartesianDomain([RangeDomain(0, 2), RangeDomain(0, 3)])
+        assert d.size() == 6
+        assert list(d)[:4] == [(0, 0), (0, 1), (0, 2), (1, 0)]
+        assert d.offset((1, 2)) == 5
+        assert d.gid_at(5) == (1, 2)
+        assert d.compare_less_gids((0, 2), (1, 0))
+
+    def test_contains(self):
+        d = CartesianDomain([RangeDomain(0, 2), RangeDomain(0, 2)])
+        assert (1, 1) in d and (2, 0) not in d and 7 not in d
+
+    def test_mixed_factors(self):
+        d = CartesianDomain([EnumeratedDomain(["a", "b"]), RangeDomain(0, 2)])
+        assert list(d) == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+
+class TestFilteredDomain:
+    def test_every_second(self):
+        d = FilteredDomain(RangeDomain(0, 10), lambda g: g % 2 == 0)
+        assert list(d) == [0, 2, 4, 6, 8]
+        assert d.size() == 5
+        assert 4 in d and 3 not in d
+        assert d.get_next_gid(4) == 6
+        assert d.offset(6) == 3
+
+
+class TestSetOperations:
+    def test_union_ranges(self):
+        u = domain_union(RangeDomain(0, 5), RangeDomain(3, 8))
+        assert isinstance(u, RangeDomain)
+        assert (u.lo, u.hi) == (0, 8)
+
+    def test_union_disjoint(self):
+        u = domain_union(RangeDomain(0, 2), RangeDomain(5, 7))
+        assert list(u) == [0, 1, 5, 6]
+
+    def test_intersection(self):
+        i = domain_intersection(RangeDomain(0, 5), RangeDomain(3, 9))
+        assert list(i) == [3, 4]
+
+    def test_intersection_empty(self):
+        i = domain_intersection(RangeDomain(0, 2), RangeDomain(5, 7))
+        assert i.size() == 0
+
+    def test_difference(self):
+        d = domain_difference(RangeDomain(0, 5), RangeDomain(2, 4))
+        assert list(d) == [0, 1, 4]
+
+    def test_enumerated_ops(self):
+        a = EnumeratedDomain([1, 2, 3])
+        b = EnumeratedDomain([3, 4])
+        assert list(domain_intersection(a, b)) == [3]
+        assert list(domain_difference(a, b)) == [1, 2]

@@ -1,0 +1,255 @@
+"""Partition and mapper tests (Ch. IV.B.4-5, V.C.4-5)."""
+
+import pytest
+
+from repro.core.domains import Range2DDomain, RangeDomain
+from repro.core.mappers import BlockedMapper, CyclicMapper, GeneralMapper
+from repro.core.partitions import (
+    BalancedPartition,
+    BlockCyclicPartition,
+    BlockedPartition,
+    DirectoryPartition,
+    ExplicitPartition,
+    HashPartition,
+    ListPartition,
+    Matrix2DPartition,
+    RangePartition,
+    UnbalancedBlockedPartition,
+    balanced_sizes,
+    split_domain,
+    stable_hash,
+)
+
+
+def _partition_invariants(part, domain):
+    """Def. 9: sub-domains are disjoint and their union is the domain."""
+    seen = {}
+    for bcid in range(part.size()):
+        sub = part.get_sub_domain(bcid)
+        for gid in sub:
+            assert gid not in seen, f"{gid} in both {seen.get(gid)} and {bcid}"
+            seen[gid] = bcid
+    assert set(seen) == set(domain)
+    # find() agrees with sub-domain membership
+    for gid in domain:
+        assert part.find(gid).bcid == seen[gid]
+
+
+class TestSplitHelpers:
+    def test_balanced_sizes(self):
+        assert balanced_sizes(10, 3) == [4, 3, 3]
+        assert balanced_sizes(2, 4) == [1, 1, 0, 0]
+        assert sum(balanced_sizes(17, 5)) == 17
+
+    def test_split_domain_ranges(self):
+        parts = split_domain(RangeDomain(0, 10), [4, 3, 3])
+        assert [(p.lo, p.hi) for p in parts] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_split_domain_size_mismatch(self):
+        with pytest.raises(ValueError):
+            split_domain(RangeDomain(0, 10), [4, 4])
+
+
+class TestBalancedPartition:
+    def test_paper_example(self):
+        # partition_balanced(domain, 2) over [1..10]: {0..5, 6..10}
+        p = BalancedPartition(2)
+        p.set_domain(RangeDomain(0, 10))
+        assert p.get_sub_domain_sizes() == [5, 5]
+        _partition_invariants(p, RangeDomain(0, 10))
+
+    def test_uneven(self):
+        p = BalancedPartition(4)
+        p.set_domain(RangeDomain(0, 10))
+        assert p.get_sub_domain_sizes() == [3, 3, 2, 2]
+        _partition_invariants(p, RangeDomain(0, 10))
+
+    def test_fewer_elements_than_parts(self):
+        p = BalancedPartition(8)
+        p.set_domain(RangeDomain(0, 3))
+        assert p.size() == 3
+        _partition_invariants(p, RangeDomain(0, 3))
+
+    def test_ordered_partition_interface(self):
+        p = BalancedPartition(3)
+        p.set_domain(RangeDomain(0, 9))
+        assert p.get_first() == 0
+        assert p.get_last() == 3
+        assert p.get_next(0) == 1 and p.get_prev(2) == 1
+
+
+class TestBlockedPartition:
+    def test_paper_example(self):
+        # partition_blocked(domain, 3) over 11 elements
+        p = BlockedPartition(3)
+        p.set_domain(RangeDomain(0, 11))
+        assert p.get_sub_domain_sizes() == [3, 3, 3, 2]
+        _partition_invariants(p, RangeDomain(0, 11))
+
+    def test_bad_block(self):
+        with pytest.raises(ValueError):
+            BlockedPartition(0)
+
+
+class TestBlockCyclicPartition:
+    def test_block_one(self):
+        p = BlockCyclicPartition(2, 1)
+        p.set_domain(RangeDomain(0, 11))
+        assert list(p.get_sub_domain(0)) == [0, 2, 4, 6, 8, 10]
+        assert list(p.get_sub_domain(1)) == [1, 3, 5, 7, 9]
+        _partition_invariants(p, RangeDomain(0, 11))
+
+    def test_block_three(self):
+        p = BlockCyclicPartition(2, 3)
+        p.set_domain(RangeDomain(0, 11))
+        assert list(p.get_sub_domain(0)) == [0, 1, 2, 6, 7, 8]
+        _partition_invariants(p, RangeDomain(0, 11))
+
+
+class TestExplicitPartition:
+    def test_paper_example(self):
+        p = ExplicitPartition([3, 4, 4])
+        p.set_domain(RangeDomain(0, 11))
+        assert [(d.lo, d.hi) for d in p.get_sub_domains()] == [
+            (0, 3), (3, 7), (7, 11)]
+        _partition_invariants(p, RangeDomain(0, 11))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ExplicitPartition([])
+
+
+class TestMatrix2DPartition:
+    def test_grid(self):
+        p = Matrix2DPartition(2, 2)
+        dom = Range2DDomain((0, 0), (4, 6))
+        p.set_domain(dom)
+        assert p.size() == 4
+        _partition_invariants(p, dom)
+        assert p.block_coords(3) == (1, 1)
+
+    def test_requires_2d(self):
+        with pytest.raises(TypeError):
+            Matrix2DPartition(2, 2).set_domain(RangeDomain(0, 4))
+
+
+class TestUnbalancedBlockedPartition:
+    def test_dynamic_resize(self):
+        p = UnbalancedBlockedPartition(3)
+        p.set_domain(RangeDomain(0, 9))
+        assert p.find(4).bcid == 1
+        p.grow(0)  # insert into block 0
+        assert p.total_size() == 10
+        assert p.find(3).bcid == 0        # boundary shifted
+        assert p.local_offset(3, 0) == 3
+        p.shrink(0, 2)
+        assert p.total_size() == 8
+        assert p.find(3).bcid == 1
+
+    def test_out_of_range(self):
+        p = UnbalancedBlockedPartition(2)
+        p.set_domain(RangeDomain(0, 4))
+        with pytest.raises(IndexError):
+            p.find(4)
+
+    def test_negative_shrink_rejected(self):
+        p = UnbalancedBlockedPartition(2)
+        p.set_domain(RangeDomain(0, 2))
+        with pytest.raises(ValueError):
+            p.shrink(0, 5)
+
+
+class TestAssociativePartitions:
+    def test_hash_partition_stable(self):
+        p = HashPartition(4)
+        p.set_domain(None)
+        a = p.find("key").bcid
+        assert a == p.find("key").bcid
+        assert 0 <= a < 4
+
+    def test_range_partition(self):
+        p = RangePartition([10, 20, 30])
+        p.set_domain(None)
+        assert p.size() == 4
+        assert p.find(5).bcid == 0
+        assert p.find(10).bcid == 1
+        assert p.find(25).bcid == 2
+        assert p.find(99).bcid == 3
+
+    def test_list_partition_reads_gid(self):
+        p = ListPartition(4)
+        p.set_domain(None)
+        assert p.find((2, 77)).bcid == 2
+
+
+class TestDirectoryPartition:
+    def test_register_lookup(self):
+        p = DirectoryPartition(4)
+        p.set_domain(None)
+        p.register_gid(42, 3)
+        assert p.lookup(42) == 3
+        assert p.find(42).bcid == 3
+        p.unregister_gid(42)
+        assert p.lookup(42) is None
+        with pytest.raises(KeyError):
+            p.find(42)
+
+    def test_home_is_stable(self):
+        p = DirectoryPartition(4)
+        assert p.home_bcid(7) == p.home_bcid(7)
+
+    def test_home_spreads_consecutive_ids(self):
+        p = DirectoryPartition(4)
+        homes = {p.home_bcid(v) for v in range(64)}
+        assert len(homes) == 4  # the mixed hash hits every sub-domain
+
+
+class TestStableHash:
+    def test_deterministic_across_types(self):
+        assert stable_hash(42) == stable_hash(42)
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+        assert stable_hash(3.5) == stable_hash(3.5)
+
+    def test_low_bits_mixed(self):
+        # consecutive ints must not all share low bits (regression test for
+        # the directory-home == owner bug)
+        mods = {stable_hash(i) % 4 for i in range(32)}
+        assert len(mods) == 4
+
+
+class TestMappers:
+    def test_cyclic(self):
+        m = CyclicMapper()
+        m.init(6, (0, 1, 2))
+        assert [m.map(b) for b in range(6)] == [0, 1, 2, 0, 1, 2]
+        assert m.get_local_cids(1) == [1, 4]
+        assert m.is_local(4, 1)
+
+    def test_blocked(self):
+        m = BlockedMapper()
+        m.init(6, (0, 1, 2))
+        assert [m.map(b) for b in range(6)] == [0, 0, 1, 1, 2, 2]
+        assert m.get_local_cids(2) == [4, 5]
+
+    def test_blocked_uneven(self):
+        m = BlockedMapper()
+        m.init(5, (0, 1))
+        assert [m.map(b) for b in range(5)] == [0, 0, 0, 1, 1]
+
+    def test_general(self):
+        m = GeneralMapper([2, 0, 2, 1])
+        m.init(4, (0, 1, 2))
+        assert m.map(0) == 2 and m.map(3) == 1
+        assert m.get_local_cids(2) == [0, 2]
+
+    def test_general_validates(self):
+        with pytest.raises(ValueError):
+            GeneralMapper([0, 5]).init(2, (0, 1))
+        with pytest.raises(ValueError):
+            GeneralMapper([0]).init(2, (0, 1))
+
+    def test_cyclic_nonmember(self):
+        m = CyclicMapper()
+        m.init(4, (1, 3))
+        assert m.get_local_cids(0) == []

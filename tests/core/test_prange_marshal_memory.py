@@ -1,0 +1,154 @@
+"""Tests for pRange/executor, marshaling and the memory/harness helpers."""
+
+import pytest
+
+from repro.algorithms.prange import Executor, PRange, Task, run_map
+from repro.containers.parray import PArray
+from repro.core.marshal import Typer, marshal_size
+from repro.core.memory import theoretical_parray_memory, theoretical_plist_memory
+from repro.evaluation.harness import ExperimentResult, method_kernel, run_spmd_timed
+from repro.views import Array1DView
+from tests.conftest import run
+
+
+class TestPRange:
+    def test_map_over_creates_task_per_chunk(self):
+        def prog(ctx):
+            pa = PArray(ctx, 12, dtype=int)
+            view = Array1DView(pa)
+            pr = PRange.map_over(view, lambda ch: ch.size())
+            results = Executor().run(pr)
+            return sum(results)
+        out = run(prog, nlocs=3)
+        assert sum(out) == 12
+
+    def test_dependencies_respected(self):
+        def prog(ctx):
+            order = []
+            pr = PRange([])
+            t1 = pr.add_task(lambda _c: order.append("first"))
+            t2 = pr.add_task(lambda _c: order.append("second"), deps=(t1,))
+            t3 = pr.add_task(lambda _c: order.append("third"), deps=(t2,))
+            Executor(fence=False).run(pr)
+            return order
+        assert run(prog, nlocs=1) == [["first", "second", "third"]]
+
+    def test_cycle_detected(self):
+        def prog(ctx):
+            pr = PRange([])
+            t1 = Task(lambda _c: None, None)
+            t2 = Task(lambda _c: None, None, deps=(t1,))
+            t1.deps = (t2,)
+            pr.tasks = [t1, t2]
+            try:
+                Executor(fence=False).run(pr)
+                return False
+            except RuntimeError:
+                return True
+        assert all(run(prog, nlocs=1))
+
+    def test_run_map_with_fence(self):
+        def prog(ctx):
+            pa = PArray(ctx, 8, dtype=int)
+            view = Array1DView(pa)
+            # tasks write remotely; run_map's closing fence completes them
+            def action(chunk):
+                for gid in chunk.gids():
+                    pa.set_element((gid + 1) % 8, 1)
+            run_map(view, action)
+            return pa.to_list()
+        assert run(prog, nlocs=2)[0] == [1] * 8
+
+    def test_task_result_stored(self):
+        t = Task(lambda c: c * 2, 21)
+        assert t.run() == 42 and t.done and t.result == 42
+
+
+class TestMarshal:
+    def test_typer_accumulates(self):
+        t = Typer()
+        t.member(1).member("abcd").member(2.0, count=3)
+        assert t.size == 8 + (16 + 4) + 24
+
+    def test_marshal_size_respects_define_type(self):
+        class WithDT:
+            def define_type(self, typer):
+                typer.member(0, count=10)
+
+        assert marshal_size(WithDT()) == 80
+
+    def test_marshal_size_fallback(self):
+        assert marshal_size([1, 2, 3]) > 0
+        assert marshal_size("hello") == 21
+
+    def test_estimate_size_families(self):
+        import numpy as np
+
+        from repro.runtime.comm import estimate_size
+
+        assert estimate_size(None) == 8
+        assert estimate_size(7) == 8
+        assert estimate_size("ab") == 18
+        assert estimate_size((1, 2)) == 16 + 16
+        assert estimate_size({}) == 16
+        assert estimate_size(np.zeros(10)) == 64 + 80
+        # long lists are sampled, not walked
+        assert estimate_size(list(range(10_000))) >= 8 * 10_000
+
+    def test_estimate_size_vt_hook(self):
+        from repro.runtime.comm import estimate_size
+
+        class Sized:
+            def _vt_size_(self):
+                return 123
+
+        assert estimate_size(Sized()) == 123
+
+
+class TestTheoreticalMemory:
+    def test_parray_model_fields(self):
+        m = theoretical_parray_memory(1000, 4)
+        assert m["data"] == 8000
+        assert m["total"] == m["data"] + m["metadata"]
+        assert m["per_location_metadata"] == m["metadata"] / 4
+
+    def test_parray_metadata_independent_of_n(self):
+        a = theoretical_parray_memory(1_000, 4)
+        b = theoretical_parray_memory(1_000_000, 4)
+        assert a["metadata"] == b["metadata"]
+
+    def test_plist_metadata_linear_in_n(self):
+        a = theoretical_plist_memory(1_000, 4)
+        b = theoretical_plist_memory(2_000, 4)
+        assert b["metadata"] - a["metadata"] == 32 * 1000
+
+
+class TestHarness:
+    def test_experiment_result_columns(self):
+        res = ExperimentResult("t", ["a", "b"])
+        res.add(1, 2.5)
+        res.add(3, 4.5)
+        assert res.column("b") == [2.5, 4.5]
+        text = res.format_table()
+        assert "== t ==" in text and "4.50" in text
+
+    def test_method_kernel_counts_ops(self):
+        calls = []
+
+        def op(container, ctx, i):
+            calls.append((ctx.id, i))
+            container.set_element(i % container.size(), i)
+
+        prog = method_kernel(lambda ctx: PArray(ctx, 8, dtype=int), op, 5)
+        results, clock, stats = run_spmd_timed(prog, 2, "smp")
+        assert len(calls) == 10
+        assert all(t >= 0 for t in results)
+        assert clock > 0
+
+    def test_run_spmd_timed_stats(self):
+        def prog(ctx):
+            ctx.rmi_fence()
+            return 1
+        results, clock, stats = run_spmd_timed(prog, 4, "cray4")
+        assert results == [1, 1, 1, 1]
+        assert stats.fences == 4

@@ -1,0 +1,126 @@
+"""Hypothesis properties over containers: associative model conformance,
+graph invariants, redistribution preservation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.containers.associative import PHashMap, PMultiSet
+from repro.containers.parray import PArray
+from repro.containers.pgraph import UNDIRECTED, PGraph
+from repro.core import BlockCyclicPartition, BlockedPartition, ExplicitPartition
+from repro.core.partitions import balanced_sizes
+from repro.runtime import spmd_run
+
+_KEYS = st.one_of(st.integers(-50, 50), st.text(max_size=6))
+
+
+@settings(max_examples=12, deadline=None)
+@given(items=st.lists(st.tuples(_KEYS, st.integers(-9, 9)), max_size=30),
+       nlocs=st.sampled_from([1, 2, 4]))
+def test_phashmap_matches_dict_model(items, nlocs):
+    """Insert-then-overwrite streams give dict semantics after a fence."""
+    def prog(ctx):
+        hm = PHashMap(ctx)
+        if ctx.id == 0:
+            for k, v in items:
+                hm.set_element(k, v)
+        ctx.rmi_fence()
+        return hm.to_dict()
+    expected = {}
+    for k, v in items:
+        expected[k] = v
+    out = spmd_run(prog, nlocs=nlocs)
+    assert all(o == expected for o in out)
+
+
+@settings(max_examples=10, deadline=None)
+@given(keys=st.lists(st.integers(0, 20), max_size=30))
+def test_pmultiset_counts_match_counter(keys):
+    from collections import Counter
+
+    def prog(ctx):
+        ms = PMultiSet(ctx)
+        if ctx.id == 0:
+            for k in keys:
+                ms.insert(k)
+        ctx.rmi_fence()
+        return {k: ms.count(k) for k in set(keys)}
+    out = spmd_run(prog, nlocs=2)
+    assert out[0] == dict(Counter(keys))
+
+
+@settings(max_examples=10, deadline=None)
+@given(edges=st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=40),
+    dynamic=st.booleans())
+def test_pgraph_edge_count_invariant(edges, dynamic):
+    """Total edges equals the number of (deduplicated) insertions on a
+    no-multi graph, regardless of partition type."""
+    def prog(ctx):
+        g = PGraph(ctx, 12, multi_edges=False, dynamic=dynamic,
+                   default_property=0)
+        if ctx.id == 0:
+            for u, v in edges:
+                g.add_edge_async(u, v)
+        ctx.rmi_fence()
+        return g.get_num_edges()
+    out = spmd_run(prog, nlocs=3)
+    assert out[0] == len(set(edges))
+
+
+@settings(max_examples=10, deadline=None)
+@given(edges=st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(lambda e: e[0] != e[1]),
+    max_size=30))
+def test_undirected_symmetry_invariant(edges):
+    def prog(ctx):
+        g = PGraph(ctx, 10, directed=UNDIRECTED, multi_edges=False,
+                   default_property=0)
+        if ctx.id == 0:
+            for u, v in edges:
+                g.add_edge_async(u, v)
+        ctx.rmi_fence()
+        ok = True
+        for bc in g.local_bcontainers():
+            for vd in bc.vertices():
+                for t in bc.adjacents(vd):
+                    if not g.has_edge(t, vd):
+                        ok = False
+        return ctx.allreduce_rmi(ok, lambda a, b: a and b)
+    assert all(spmd_run(prog, nlocs=2))
+
+
+_NEW_PARTS = st.one_of(
+    st.integers(1, 6).map(BlockedPartition),
+    st.tuples(st.integers(1, 4), st.integers(1, 3)).map(
+        lambda t: BlockCyclicPartition(*t)),
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.lists(st.integers(-99, 99), min_size=1, max_size=24),
+       part=_NEW_PARTS)
+def test_redistribution_preserves_content(data, part):
+    def prog(ctx):
+        pa = PArray(ctx, len(data), dtype=int)
+        for i in range(ctx.id, len(data), ctx.nlocs):
+            pa.set_element(i, data[i])
+        ctx.rmi_fence()
+        pa.redistribute(part)
+        after = pa.to_list()
+        pa.rebalance()
+        return after, pa.to_list()
+    out = spmd_run(prog, nlocs=3)
+    assert out[0][0] == data and out[0][1] == data
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(1, 60), nlocs=st.sampled_from([1, 2, 4, 8]))
+def test_rebalance_invariant_sizes(n, nlocs):
+    def prog(ctx):
+        sizes = [n] + [0] * (ctx.nlocs - 1)
+        pa = PArray(ctx, n, dtype=int, partition=ExplicitPartition(sizes))
+        pa.rebalance()
+        return sum(bc.size() for bc in pa.local_bcontainers())
+    out = spmd_run(prog, nlocs=nlocs)
+    assert sorted(out, reverse=True) == balanced_sizes(n, nlocs)

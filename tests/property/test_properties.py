@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domains import EnumeratedDomain, Range2DDomain, RangeDomain
+from repro.core.mappers import BlockedMapper, CyclicMapper
+from repro.core.partitions import (
+    BalancedPartition,
+    BlockCyclicPartition,
+    BlockedPartition,
+    ExplicitPartition,
+    balanced_sizes,
+    stable_hash,
+)
+
+# ---------------------------------------------------------------------------
+# domains
+# ---------------------------------------------------------------------------
+
+
+@given(lo=st.integers(-1000, 1000), size=st.integers(0, 500))
+def test_range_domain_offset_gid_roundtrip(lo, size):
+    d = RangeDomain(lo, lo + size)
+    for off in range(0, size, max(1, size // 7)):
+        assert d.offset(d.gid_at(off)) == off
+
+
+@given(st.lists(st.integers(), unique=True, min_size=1, max_size=60))
+def test_enumerated_domain_linearization_unique(gids):
+    d = EnumeratedDomain(gids)
+    assert list(d) == gids
+    # the order relation is total and matches the enumeration
+    for i in range(len(gids) - 1):
+        assert d.compare_less_gids(gids[i], gids[i + 1])
+        assert not d.compare_less_gids(gids[i + 1], gids[i])
+
+
+@given(rows=st.integers(1, 20), cols=st.integers(1, 20),
+       order=st.sampled_from(["row", "column"]))
+def test_range2d_enumeration_is_bijection(rows, cols, order):
+    d = Range2DDomain((0, 0), (rows, cols), order=order)
+    seen = list(d)
+    assert len(seen) == rows * cols == len(set(seen))
+    for off, gid in enumerate(seen):
+        assert d.offset(gid) == off
+        assert d.gid_at(off) == gid
+
+
+# ---------------------------------------------------------------------------
+# partitions (Def. 9: disjoint cover)
+# ---------------------------------------------------------------------------
+
+_PARTITIONS = st.one_of(
+    st.integers(1, 9).map(BalancedPartition),
+    st.integers(1, 9).map(BlockedPartition),
+    st.tuples(st.integers(1, 5), st.integers(1, 4)).map(
+        lambda t: BlockCyclicPartition(*t)),
+)
+
+
+@given(part=_PARTITIONS, n=st.integers(0, 120))
+def test_partition_disjoint_cover(part, n):
+    if n == 0 and not isinstance(part, BalancedPartition):
+        n = 1
+    domain = RangeDomain(0, n)
+    part.set_domain(domain)
+    seen = {}
+    for bcid in range(part.size()):
+        for gid in part.get_sub_domain(bcid):
+            assert gid not in seen
+            seen[gid] = bcid
+    assert set(seen) == set(domain)
+    for gid in domain:
+        assert part.find(gid).bcid == seen[gid]
+
+
+@given(sizes=st.lists(st.integers(0, 20), min_size=1, max_size=8))
+def test_explicit_partition_matches_sizes(sizes):
+    n = sum(sizes)
+    p = ExplicitPartition(sizes)
+    p.set_domain(RangeDomain(0, n))
+    assert p.get_sub_domain_sizes() == sizes
+    for gid in range(n):
+        bcid = p.find(gid).bcid
+        assert gid in set(p.get_sub_domain(bcid))
+
+
+@given(n=st.integers(0, 10_000), parts=st.integers(1, 64))
+def test_balanced_sizes_invariants(n, parts):
+    sizes = balanced_sizes(n, parts)
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(m=st.integers(1, 40), locs=st.lists(st.integers(0, 63), unique=True,
+                                           min_size=1, max_size=8))
+def test_mappers_cover_all_bcids(m, locs):
+    for mapper in (CyclicMapper(), BlockedMapper()):
+        mapper.init(m, sorted(locs))
+        owned = []
+        for lid in sorted(locs):
+            owned.extend(mapper.get_local_cids(lid))
+        assert sorted(owned) == list(range(m))
+        for b in range(m):
+            assert mapper.map(b) in locs
+
+
+@given(st.one_of(st.integers(), st.text(max_size=20),
+                 st.tuples(st.integers(), st.text(max_size=5))))
+def test_stable_hash_deterministic_nonnegative(x):
+    assert stable_hash(x) == stable_hash(x)
+    assert stable_hash(x) >= 0
+
+
+# ---------------------------------------------------------------------------
+# SPMD invariants (smaller example counts: each example is a full run)
+# ---------------------------------------------------------------------------
+
+from repro.algorithms.generic import p_accumulate, p_partial_sum  # noqa: E402
+from repro.algorithms.sorting import p_is_sorted, p_sample_sort  # noqa: E402
+from repro.containers.parray import PArray  # noqa: E402
+from repro.containers.plist import PList  # noqa: E402
+from repro.runtime import spmd_run  # noqa: E402
+from repro.views import Array1DView  # noqa: E402
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.lists(st.integers(-50, 50), min_size=1, max_size=40),
+       nlocs=st.sampled_from([1, 2, 3, 4]))
+def test_parray_matches_list_model(data, nlocs):
+    def prog(ctx):
+        pa = PArray(ctx, len(data), dtype=int)
+        for i in range(ctx.id, len(data), ctx.nlocs):
+            pa.set_element(i, data[i])
+        ctx.rmi_fence()
+        return pa.to_list()
+    out = spmd_run(prog, nlocs=nlocs)
+    assert all(o == data for o in out)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.lists(st.integers(0, 100), min_size=1, max_size=40),
+       nlocs=st.sampled_from([1, 2, 4]))
+def test_sample_sort_matches_sorted(data, nlocs):
+    def prog(ctx):
+        pa = PArray(ctx, len(data), dtype=int)
+        for i in range(ctx.id, len(data), ctx.nlocs):
+            pa.set_element(i, data[i])
+        ctx.rmi_fence()
+        v = Array1DView(pa)
+        p_sample_sort(v)
+        return p_is_sorted(v), pa.to_list()
+    out = spmd_run(prog, nlocs=nlocs)
+    ok, result = out[0]
+    assert ok and result == sorted(data)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.lists(st.integers(-20, 20), min_size=1, max_size=30),
+       nlocs=st.sampled_from([1, 2, 4]))
+def test_partial_sum_matches_itertools(data, nlocs):
+    import itertools
+
+    def prog(ctx):
+        a = PArray(ctx, len(data), dtype=int)
+        b = PArray(ctx, len(data), dtype=int)
+        for i in range(ctx.id, len(data), ctx.nlocs):
+            a.set_element(i, data[i])
+        ctx.rmi_fence()
+        p_partial_sum(Array1DView(a), Array1DView(b))
+        return b.to_list()
+    out = spmd_run(prog, nlocs=nlocs)
+    assert out[0] == list(itertools.accumulate(data))
+
+
+@settings(max_examples=10, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["push_back", "push_front", "pop_back",
+                               "pop_front"]),
+              st.integers(0, 99)),
+    max_size=25))
+def test_plist_sequence_matches_deque_model(ops):
+    from collections import deque
+
+    model = deque()
+
+    def prog(ctx):
+        pl = PList(ctx, 0)
+        if ctx.id == 0:
+            for op, val in ops:
+                if op == "push_back":
+                    pl.push_back(val)
+                elif op == "push_front":
+                    pl.push_front(val)
+                elif op == "pop_back":
+                    try:
+                        pl.pop_back()
+                    except IndexError:
+                        pass
+                else:
+                    try:
+                        pl.pop_front()
+                    except IndexError:
+                        pass
+        ctx.rmi_fence()
+        return pl.to_list()
+
+    for op, val in ops:
+        if op == "push_back":
+            model.append(val)
+        elif op == "push_front":
+            model.appendleft(val)
+        elif op == "pop_back" and model:
+            model.pop()
+        elif op == "pop_front" and model:
+            model.popleft()
+    out = spmd_run(prog, nlocs=2)
+    assert out[0] == list(model)
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+def test_accumulate_matches_sum_any_distribution(data):
+    from repro.core import BlockCyclicPartition
+
+    def prog(ctx):
+        pa = PArray(ctx, len(data), dtype=int,
+                    partition=BlockCyclicPartition(ctx.nlocs, 2))
+        for i in range(ctx.id, len(data), ctx.nlocs):
+            pa.set_element(i, data[i])
+        ctx.rmi_fence()
+        return p_accumulate(Array1DView(pa), 0, operator.add)
+    assert spmd_run(prog, nlocs=3)[0] == sum(data)

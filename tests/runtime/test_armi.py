@@ -1,0 +1,256 @@
+"""ARMI primitive tests: RMI flavours, ordering guarantees, fences,
+aggregation and p_object registration (Ch. III.B / VII.B)."""
+
+import pytest
+
+from repro.runtime import Future, PObject, SpmdError
+from tests.conftest import run, run_detailed
+
+
+class Cell(PObject):
+    """Minimal shared object used to exercise the RMI layer."""
+
+    def __init__(self, ctx, group=None):
+        super().__init__(ctx, group)
+        self.value = 0
+        self.log = []
+        ctx.barrier(self.group)  # collective-constructor epilogue
+
+    def put(self, v):
+        self.here.charge_access()
+        self.log.append(v)
+        self.value = v
+
+    def get(self):
+        self.here.charge_access()
+        return self.value
+
+    def add(self, v):
+        self.value += v
+        return self.value
+
+
+class TestAsyncRMI:
+    def test_buffered_until_fence(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            if ctx.id == 1:
+                c._async(0, "put", 99)
+            before = c.value if ctx.id == 0 else None
+            ctx.rmi_fence()
+            after = c.value if ctx.id == 0 else None
+            return before, after
+        out = run(prog, nlocs=2)
+        assert out[0] == (0, 99)  # invisible before the fence, visible after
+
+    def test_source_fifo_ordering(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            if ctx.id == 1:
+                for v in range(5):
+                    c._async(0, "put", v)
+            ctx.rmi_fence()
+            return c.log if ctx.id == 0 else None
+        out = run(prog, nlocs=2)
+        assert out[0] == [0, 1, 2, 3, 4]
+
+    def test_async_to_self_deferred(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            ctx.async_rmi(ctx.id, c.handle, "put", 5)
+            before = c.value
+            ctx.rmi_fence()
+            return before, c.value
+        assert run(prog, nlocs=1) == [(0, 5)]
+
+
+class TestSyncRMI:
+    def test_returns_value(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            if ctx.id == 0:
+                c._async(1, "put", 7)
+                got = c._sync(1, "get")
+            else:
+                got = None
+            ctx.rmi_fence()
+            return got
+        # sync to same dst flushes the pending async first (source FIFO)
+        assert run(prog, nlocs=2)[0] == 7
+
+    def test_sync_costs_round_trip(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            ctx.rmi_fence()
+            t0 = ctx.start_timer()
+            if ctx.id == 0:
+                c._sync(1, "get")
+            t = ctx.stop_timer(t0)
+            ctx.rmi_fence()
+            return t
+        from repro.runtime.machine import CRAY4
+
+        times = run(prog, nlocs=2, machine="cray4")
+        # at least two one-way (intra-node: 2 locations share a node) hops
+        assert times[0] > 2 * CRAY4.latency_intra
+
+    def test_sync_rmi_executes_on_target_state(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            c.value = ctx.id * 100
+            ctx.barrier()
+            peer = (ctx.id + 1) % ctx.nlocs
+            got = c._sync(peer, "get")
+            ctx.rmi_fence()
+            return got
+        assert run(prog, nlocs=3) == [100, 200, 0]
+
+
+class TestSplitPhase:
+    def test_future_resolves(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            c.value = ctx.id
+            ctx.barrier()
+            f = c._opaque((ctx.id + 1) % ctx.nlocs, "get")
+            assert isinstance(f, Future)
+            return f.get()
+        assert run(prog, nlocs=4) == [1, 2, 3, 0]
+
+    def test_future_test_and_fence_resolution(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            out = None
+            if ctx.id == 0:
+                f = c._opaque(1, "get")
+                assert not f.test()
+                ctx.os_fence()  # one-sided completion
+                out = (f.test(), f.get())
+            ctx.rmi_fence()
+            return out
+        assert run(prog, nlocs=2)[0] == (True, 0)
+
+    def test_split_phase_overlap_cheaper_than_sync(self):
+        def prog(ctx, split):
+            c = Cell(ctx)
+            ctx.rmi_fence()
+            t0 = ctx.start_timer()
+            peer = (ctx.id + 1) % ctx.nlocs
+            if split:
+                futs = [c._opaque(peer, "get") for _ in range(20)]
+                vals = [f.get() for f in futs]
+            else:
+                vals = [c._sync(peer, "get") for _ in range(20)]
+            t = ctx.stop_timer(t0)
+            ctx.rmi_fence()
+            return t
+        t_split = max(run(prog, nlocs=2, machine="cray4", args=(True,)))
+        t_sync = max(run(prog, nlocs=2, machine="cray4", args=(False,)))
+        assert t_split < t_sync
+
+
+class TestFences:
+    def test_fence_drains_forwarding_chains(self):
+        class Hopper(PObject):
+            def __init__(self, ctx):
+                super().__init__(ctx)
+                self.hits = 0
+                ctx.barrier(self.group)
+
+            def hop(self, remaining):
+                if remaining == 0:
+                    self.hits += 1
+                else:
+                    nxt = (self.here.id + 1) % self.get_num_locations()
+                    self._async(nxt, "hop", remaining - 1)
+
+        def prog(ctx):
+            h = Hopper(ctx)
+            if ctx.id == 0:
+                h._async(1, "hop", 5)
+            ctx.rmi_fence()
+            return h.hits
+        assert sum(run(prog, nlocs=3)) == 1
+
+    def test_os_fence_completes_own_traffic_only(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            ctx.barrier()
+            if ctx.id == 0:
+                c._async(2, "put", 1)
+                ctx.os_fence()
+                done_mine = ctx.sync_rmi(2, c.handle, "get")
+            else:
+                done_mine = None
+            ctx.rmi_fence()
+            return done_mine
+        assert run(prog, nlocs=3)[0] == 1
+
+
+class TestAggregation:
+    def test_aggregation_reduces_physical_messages(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            if ctx.id == 0:
+                for i in range(128):
+                    c._async(1, "put", i)
+            ctx.rmi_fence()
+
+        rep_agg = run_detailed(prog, nlocs=2, machine="cray4")
+        total = rep_agg.stats.total
+        assert total.async_rmi_sent == 128
+        # 128 RMIs, aggregation 64 -> 2 physical messages
+        assert total.physical_messages == 2
+
+    def test_aggregation_lowers_cost(self):
+        from repro.runtime.machine import CRAY4
+
+        def prog(ctx):
+            c = Cell(ctx)
+            t0 = ctx.start_timer()
+            if ctx.id == 0:
+                for i in range(100):
+                    c._async(1, "put", i)
+            ctx.rmi_fence()
+            return ctx.stop_timer(t0)
+
+        slow = max(run(prog, nlocs=2, machine=CRAY4.with_(aggregation=1)))
+        fast = max(run(prog, nlocs=2, machine=CRAY4))
+        assert fast < slow
+
+
+class TestPObjects:
+    def test_handles_agree_across_locations(self):
+        def prog(ctx):
+            a = Cell(ctx)
+            b = Cell(ctx)
+            return (a.handle, b.handle)
+        out = run(prog, nlocs=4)
+        assert len({h for h, _ in out}) == 1
+        assert len({h for _, h in out}) == 1
+        assert out[0][0] != out[0][1]
+
+    def test_destroy_unregisters(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            h = c.handle
+            c.destroy()
+            try:
+                ctx.sync_rmi(0, h, "get")
+                return False
+            except SpmdError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+    def test_handler_cannot_block(self):
+        class Bad(PObject):
+            def blocker(self):
+                self.here.rmi_fence()
+
+        def prog(ctx):
+            b = Bad(ctx)
+            if ctx.id == 0:
+                b._sync(1, "blocker")
+            ctx.rmi_fence()
+        with pytest.raises(SpmdError, match="handler"):
+            run(prog, nlocs=2)

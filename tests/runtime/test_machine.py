@@ -1,0 +1,98 @@
+"""Machine-model tests: placement, latency asymmetry, collective costs."""
+
+import math
+
+import pytest
+
+from repro.runtime.machine import (
+    CRAY4,
+    CRAY5,
+    MACHINES,
+    P5_CLUSTER,
+    SMP,
+    MachineModel,
+    get_machine,
+)
+
+
+class TestGetMachine:
+    def test_by_name(self):
+        assert get_machine("cray4") is CRAY4
+        assert get_machine("CRAY4") is CRAY4
+        assert get_machine("p5cluster") is P5_CLUSTER
+
+    def test_by_instance(self):
+        assert get_machine(CRAY4) is CRAY4
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            get_machine("bluegene")
+
+    def test_registry_complete(self):
+        assert set(MACHINES) == {"cray4", "cray5", "p5cluster", "smp"}
+
+
+class TestPlacement:
+    def test_packed_fills_nodes(self):
+        # cray4 has 4 cores per node
+        assert CRAY4.node_of(0, 8, "packed") == 0
+        assert CRAY4.node_of(3, 8, "packed") == 0
+        assert CRAY4.node_of(4, 8, "packed") == 1
+
+    def test_spread_one_location_per_node(self):
+        for loc in range(8):
+            assert CRAY4.node_of(loc, 8, "spread") == loc
+
+    def test_same_node(self):
+        assert CRAY4.same_node(0, 3, 8, "packed")
+        assert not CRAY4.same_node(0, 4, 8, "packed")
+        assert not CRAY4.same_node(0, 1, 8, "spread")
+
+    def test_p5_wide_nodes(self):
+        assert P5_CLUSTER.same_node(0, 15, 32, "packed")
+        assert not P5_CLUSTER.same_node(0, 16, 32, "packed")
+
+
+class TestLatency:
+    def test_self_latency_zero(self):
+        assert CRAY4.latency(2, 2, 8, "packed") == 0.0
+        assert CRAY4.byte_cost(2, 2, 8, "packed") == 0.0
+
+    def test_intra_cheaper_than_inter(self):
+        intra = P5_CLUSTER.latency(0, 1, 32, "packed")
+        inter = P5_CLUSTER.latency(0, 16, 32, "packed")
+        assert intra < inter
+
+    def test_spread_forces_inter_node(self):
+        packed = P5_CLUSTER.latency(0, 1, 4, "packed")
+        spread = P5_CLUSTER.latency(0, 1, 4, "spread")
+        assert spread > packed
+
+    def test_all_machines_positive_costs(self):
+        for m in MACHINES.values():
+            assert m.t_access > 0 and m.o_send > 0 and m.o_recv > 0
+            assert m.latency_inter >= m.latency_intra
+
+
+class TestCollectiveCost:
+    def test_log_growth(self):
+        c2 = CRAY4.collective_cost(2)
+        c8 = CRAY4.collective_cost(8)
+        assert c8 > c2
+        assert c8 == pytest.approx(
+            CRAY4.coll_alpha * math.ceil(math.log2(8)) + CRAY4.coll_beta)
+
+    def test_singleton_cost_is_beta(self):
+        assert CRAY4.collective_cost(1) == CRAY4.coll_beta
+
+
+class TestOverride:
+    def test_with_override(self):
+        m = CRAY4.with_(aggregation=1)
+        assert m.aggregation == 1
+        assert m.o_send == CRAY4.o_send
+        assert isinstance(m, MachineModel)
+
+    def test_original_unchanged(self):
+        CRAY4.with_(aggregation=1)
+        assert CRAY4.aggregation == 64

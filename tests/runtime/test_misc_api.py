@@ -1,0 +1,105 @@
+"""Coverage for smaller public APIs: poll, charges, machine cray5, chunks."""
+
+from repro.algorithms import p_accumulate, p_generate, p_reduce
+from repro.containers.parray import PArray
+from repro.containers.pgraph import PGraph
+from repro.runtime import CRAY5, PObject
+from repro.views import Array1DView, StridedView, Workfunction
+from tests.conftest import run
+
+
+class _Inbox(PObject):
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.got = []
+        ctx.barrier(self.group)
+
+    def deliver(self, v):
+        self.got.append(v)
+
+
+class TestPoll:
+    def test_poll_executes_incoming(self):
+        def prog(ctx):
+            box = _Inbox(ctx)
+            peer = (ctx.id + 1) % ctx.nlocs
+            box._async(peer, "deliver", ctx.id)
+            ctx.barrier()          # everyone has sent; nothing delivered yet
+            before = len(box.got)
+            n = ctx.poll()
+            after = len(box.got)
+            ctx.rmi_fence()
+            return before, n, after
+        out = run(prog, nlocs=3)
+        assert all(o == (0, 1, 1) for o in out)
+
+
+class TestCharges:
+    def test_charge_helpers_advance_clock(self):
+        def prog(ctx):
+            t0 = ctx.clock
+            ctx.charge_access(3)
+            ctx.charge_lookup(2)
+            ctx.charge_lock()
+            m = ctx.machine
+            expected = 3 * m.t_access + 2 * m.t_lookup + m.t_lock
+            return abs((ctx.clock - t0) - expected) < 1e-12
+        assert all(run(prog, nlocs=2, machine="cray4"))
+
+    def test_lock_stat_counted(self):
+        def prog(ctx):
+            ctx.charge_lock(5)
+            return ctx.stats.lock_acquires
+        assert run(prog, nlocs=1) == [5]
+
+
+class TestCray5:
+    def test_runs_on_cray5(self):
+        def prog(ctx):
+            pa = PArray(ctx, 16, dtype=int)
+            v = Array1DView(pa)
+            p_generate(v, lambda i: i, vector=lambda g: g)
+            return p_accumulate(v, 0)
+        assert run(prog, nlocs=8, machine=CRAY5) == [120] * 8
+
+
+class TestMiscViews:
+    def test_strided_chunks_cover(self):
+        def prog(ctx):
+            pa = PArray(ctx, 20, dtype=int)
+            v = Array1DView(pa)
+            p_generate(v, lambda i: i, vector=lambda g: g)
+            sv = StridedView(v, stride=2)
+            return p_accumulate(sv, 0)
+        assert run(prog, nlocs=4) == [sum(range(0, 20, 2))] * 4
+
+    def test_p_reduce_alias(self):
+        assert p_reduce is p_accumulate
+
+    def test_workfunction_cost_charged(self):
+        def prog(ctx, cost):
+            pa = PArray(ctx, 400, dtype=float)
+            v = Array1DView(pa)
+            ctx.rmi_fence()
+            t0 = ctx.start_timer()
+            from repro.algorithms import p_for_each
+
+            p_for_each(v, lambda x: x, vector=lambda a: a, cost=cost)
+            return ctx.stop_timer(t0)
+        cheap = max(run(prog, nlocs=2, machine="cray4", args=(0.01,)))
+        pricey = max(run(prog, nlocs=2, machine="cray4", args=(5.0,)))
+        assert pricey > cheap * 5
+
+
+class TestGraphLocalHelpers:
+    def test_local_edges_and_vertices(self):
+        def prog(ctx):
+            g = PGraph(ctx, 8)
+            if ctx.id == 0:
+                for v in range(7):
+                    g.add_edge_async(v, v + 1)
+            ctx.rmi_fence()
+            nv = len(g.local_vertices())
+            ne = len(g.local_edges())
+            return ctx.allreduce_rmi(nv), ctx.allreduce_rmi(ne)
+        assert run(prog, nlocs=4)[0] == (8, 7)

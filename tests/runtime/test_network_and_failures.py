@@ -1,0 +1,123 @@
+"""Network internals, failure injection, and large-P robustness."""
+
+import pytest
+
+from repro.runtime import PObject, SpmdError
+from repro.runtime.comm import Message, Network
+from tests.conftest import run, run_detailed
+
+
+class TestNetwork:
+    def _msg(self, src, dst, i=0):
+        return Message(src, dst, 0, "m", (i,), 32, 0.0, src)
+
+    def test_fifo_per_channel(self):
+        net = Network(4, aggregation=8)
+        for i in range(5):
+            net.enqueue(self._msg(0, 1, i))
+        popped = [net.pop(0, 1).args[0] for _ in range(5)]
+        assert popped == [0, 1, 2, 3, 4]
+        assert net.pop(0, 1) is None
+
+    def test_aggregation_boundary_accounting(self):
+        net = Network(2, aggregation=3)
+        starts = [net.enqueue(self._msg(0, 1, i)) for i in range(7)]
+        # new physical message every 3 RMIs
+        assert starts == [True, False, False, True, False, False, True]
+
+    def test_aggregation_resets_on_drain(self):
+        net = Network(2, aggregation=4)
+        net.enqueue(self._msg(0, 1))
+        net.pop(0, 1)  # channel empty -> next enqueue starts a new packet
+        assert net.enqueue(self._msg(0, 1)) is True
+
+    def test_pending_queries(self):
+        net = Network(3, aggregation=8)
+        net.enqueue(self._msg(0, 2))
+        net.enqueue(self._msg(1, 2))
+        assert net.total_pending == 2
+        assert len(net.pending_to(2)) == 2
+        assert net.has_pending(0, 2) and not net.has_pending(2, 0)
+        assert len(net.pending_among({0, 2})) == 1
+        assert len(net.pending_among({0, 1, 2})) == 2
+
+
+class _Failing(PObject):
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        ctx.barrier(self.group)
+
+    def boom(self):
+        raise RuntimeError("handler exploded")
+
+
+class TestFailureInjection:
+    def test_handler_exception_propagates_from_sync(self):
+        def prog(ctx):
+            f = _Failing(ctx)
+            if ctx.id == 0:
+                f._sync(1, "boom")
+            ctx.rmi_fence()
+        with pytest.raises(SpmdError, match="handler exploded"):
+            run(prog, nlocs=2)
+
+    def test_handler_exception_propagates_from_fence_drain(self):
+        def prog(ctx):
+            f = _Failing(ctx)
+            if ctx.id == 0:
+                f._async(1, "boom")
+            ctx.rmi_fence()
+        with pytest.raises(SpmdError, match="handler exploded"):
+            run(prog, nlocs=2)
+
+    def test_unknown_handle_rejected(self):
+        def prog(ctx):
+            ctx.sync_rmi(0, 99999, "whatever")
+        with pytest.raises(SpmdError, match="unknown p_object"):
+            run(prog, nlocs=2)
+
+    def test_failure_in_one_location_unwinds_all(self):
+        def prog(ctx):
+            if ctx.id == 3:
+                raise KeyError("late failure")
+            for _ in range(3):
+                ctx.rmi_fence()
+            return "done"
+        with pytest.raises(SpmdError, match="location 3"):
+            run(prog, nlocs=4)
+
+    def test_runtime_reusable_after_failed_run(self):
+        def bad(ctx):
+            raise ValueError("x")
+        with pytest.raises(SpmdError):
+            run(bad, nlocs=2)
+        assert run(lambda ctx: ctx.id, nlocs=2) == [0, 1]
+
+
+class TestScale:
+    def test_sixty_four_locations(self):
+        def prog(ctx):
+            total = ctx.allreduce_rmi(1)
+            ctx.rmi_fence()
+            return total
+        assert run(prog, nlocs=64) == [64] * 64
+
+    def test_container_on_many_locations(self):
+        from repro.containers.parray import PArray
+
+        def prog(ctx):
+            pa = PArray(ctx, 128, dtype=int)
+            pa.set_element((ctx.id * 7) % 128, ctx.id)
+            ctx.rmi_fence()
+            return pa.local_size()
+        out = run(prog, nlocs=32)
+        assert sum(out) == 128
+
+    def test_clock_monotone_through_collectives(self):
+        def prog(ctx):
+            clocks = [ctx.clock]
+            for _ in range(4):
+                ctx.allreduce_rmi(1)
+                clocks.append(ctx.clock)
+            return all(b >= a for a, b in zip(clocks, clocks[1:]))
+        assert all(run(prog, nlocs=8))

@@ -1,0 +1,144 @@
+"""Memory-consistency model tests (Ch. VII).
+
+These verify the *specified* guarantees and the *specified* relaxations:
+the default pContainer MCM keeps per-element program order and source FIFO,
+completes asyncs at fences, and is neither sequentially nor processor
+consistent; the SEQUENTIAL traits restore SC (Claim 3).
+"""
+
+from repro.containers.parray import PArray
+from repro.core import ConsistencyMode, Traits
+from repro.evaluation.consistency_figs import mcm_demonstrations
+from tests.conftest import run, run_detailed
+
+
+class TestCompletionGuarantees:
+    def test_async_completes_at_fence(self):
+        def prog(ctx):
+            pa = PArray(ctx, 4, dtype=int)
+            if ctx.id == 1:
+                pa.set_element(0, 5)  # remote for location 1
+            pending_before = ctx.runtime.network.total_pending
+            ctx.rmi_fence()
+            pending_after = ctx.runtime.network.total_pending
+            return pending_before, pending_after, pa.get_element(0)
+        out = run(prog, nlocs=2)
+        assert out[1][0] >= 1          # write was buffered at loc 1
+        assert all(o[1] == 0 and o[2] == 5 for o in out)
+
+    def test_sync_on_same_element_forces_async(self):
+        """Ch. VII.B: a sync method on x forces completion of pending async
+        methods on x from the same location."""
+        def prog(ctx):
+            pa = PArray(ctx, 4, dtype=int)
+            remote = (ctx.id + 1) % ctx.nlocs
+            pa.set_element(remote, 7)
+            got = pa.get_element(remote)   # same element -> sees the write
+            ctx.rmi_fence()
+            return got
+        assert run(prog, nlocs=4) == [7] * 4
+
+    def test_future_get_forces_completion(self):
+        def prog(ctx):
+            pa = PArray(ctx, 4, dtype=int)
+            remote = (ctx.id + 1) % ctx.nlocs
+            pa.set_element(remote, 9)
+            f = pa.split_phase_get_element(remote)
+            got = f.get()                   # source FIFO: write first
+            ctx.rmi_fence()
+            return got
+        assert run(prog, nlocs=2) == [9, 9]
+
+    def test_async_ordering_same_element_same_source(self):
+        """Condition 4: two asyncs on the same element from one location
+        complete in invocation order."""
+        def prog(ctx):
+            pa = PArray(ctx, 2, dtype=int)
+            if ctx.id == 1:
+                pa.set_element(0, 1)
+                pa.set_element(0, 2)
+            ctx.rmi_fence()
+            return pa.get_element(0)
+        assert run(prog, nlocs=2) == [2, 2]
+
+    def test_post_fence_agreement(self):
+        """After a fence, all locations read the same value (Ch. VII.C)."""
+        def prog(ctx):
+            pa = PArray(ctx, 4, dtype=int)
+            pa.set_element(2, ctx.id)  # racing writes to one element
+            ctx.rmi_fence()
+            return pa.get_element(2)
+        out = run(prog, nlocs=4)
+        assert len(set(out)) == 1  # some winner, agreed by everyone
+
+
+class TestRelaxations:
+    def test_not_sequentially_consistent(self):
+        """Dekker outcome (0, 0) is observable under the default MCM."""
+        def prog(ctx):
+            flags = PArray(ctx, 2, value=0, dtype=int)
+            mine, theirs = (1, 0) if ctx.id == 0 else (0, 1)
+            flags.set_element(mine, 1)      # remote buffered write
+            seen = flags.get_element(theirs)  # local read
+            ctx.rmi_fence()
+            return seen
+        assert run(prog, nlocs=2) == [0, 0]
+
+    def test_sequential_traits_restore_sc(self):
+        """Claim 3: with sync-only methods Dekker cannot read both zeros."""
+        def prog(ctx):
+            traits = Traits(consistency=ConsistencyMode.SEQUENTIAL)
+            flags = PArray(ctx, 2, value=0, dtype=int, traits=traits)
+            mine, theirs = (1, 0) if ctx.id == 0 else (0, 1)
+            flags.set_element(mine, 1)
+            seen = flags.get_element(theirs)
+            ctx.rmi_fence()
+            return seen
+        out = run(prog, nlocs=2)
+        assert out != [0, 0]
+
+    def test_not_processor_consistent(self):
+        """Fig. 23: an observer sees the later write without the earlier."""
+        def prog(ctx):
+            pa = PArray(ctx, 2, value=0, dtype=int)
+            if ctx.id == 0:
+                pa.set_element(1, 7)  # first in program order, remote
+                pa.set_element(0, 7)  # second, local (completes first)
+            obs = (pa.get_element(0), pa.get_element(1)) if ctx.id == 1 else None
+            ctx.rmi_fence()
+            return obs
+        assert run(prog, nlocs=2)[1] == (7, 0)
+
+    def test_mcm_demonstration_table(self):
+        res = mcm_demonstrations()
+        rows = {r[0]: r[1] for r in res.rows}
+        assert rows["same-element program order"] is True
+        assert rows["Dekker: both flags read 0 (default MCM)"] is True
+        assert rows["Dekker: both flags read 0 (SEQUENTIAL traits)"] is False
+        assert rows["L1 sees (x=7 before y=7) inverted"] is True
+
+
+class TestLiveness:
+    def test_every_async_eventually_acknowledged(self):
+        """Liveness: after the closing fence no requests remain anywhere."""
+        def prog(ctx):
+            pa = PArray(ctx, 64, dtype=int)
+            for i in range(32):
+                pa.set_element((ctx.id * 7 + i * 3) % 64, i)
+            ctx.rmi_fence()
+        rep = run_detailed(prog, nlocs=4)
+        assert rep.runtime.network.total_pending == 0
+
+    def test_size_resynchronised_by_post_execute(self):
+        from repro.containers.plist import PList
+        from repro.views.list_views import StaticListView
+
+        def prog(ctx):
+            pl = PList(ctx, 4)
+            pl.push_anywhere(1)
+            stale = pl.size()
+            view = StaticListView(pl)
+            view.post_execute()  # executor's automatic sync point (Ch. VII.H)
+            return stale, pl.size()
+        out = run(prog, nlocs=2)
+        assert out[0] == (4, 6)

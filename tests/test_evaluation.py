@@ -1,0 +1,172 @@
+"""Evaluation-driver tests: every figure driver runs and reproduces the
+paper's qualitative shape (who wins, which way curves bend)."""
+
+import pytest
+
+import repro.evaluation as ev
+
+
+class TestPArrayFigures:
+    def test_fig27_constructor_grows_with_size(self):
+        res = ev.fig27_constructor(nlocs_list=(2,), sizes=(1024, 8192),
+                                   machines=("cray4",))
+        times = res.column("time_us")
+        assert times[1] > times[0]
+
+    def test_fig28_flat_in_container_size(self):
+        res = ev.fig28_local_methods(sizes=(512, 8192), n_per_loc=100)
+        per_op = res.column("per_op_us")
+        # closed-form translation: cost independent of N (within 5%)
+        assert abs(per_op[0] - per_op[3]) / per_op[0] < 0.05
+
+    def test_fig29_weak_scaling_flat(self):
+        res = ev.fig29_methods_weak(nlocs_list=(1, 4), n_per_loc=100)
+        sets = [r for r in res.rows if r[1] == "set_element"]
+        assert sets[1][3] < sets[0][3] * 2.0  # near-flat, not linear in P
+
+    def test_fig30_flavour_ordering(self):
+        res = ev.fig30_method_flavours(n_per_loc=150)
+        t = {r[0]: r[1] for r in res.rows}
+        assert (t["set_element"] < t["split_phase_get_element"]
+                < t["get_element"])
+
+    def test_fig31_remote_fraction_monotone(self):
+        res = ev.fig31_remote_fraction(n_per_loc=100,
+                                       fractions=(0.0, 0.5, 1.0))
+        gets = [r[2] for r in res.rows if r[1] == "get_element"]
+        assert gets[0] < gets[1] < gets[2]
+
+    def test_fig32_runs(self):
+        res = ev.fig32_local_remote_sizes(sizes=(512,), n_per_loc=80)
+        assert len(res.rows) == 2
+
+    def test_fig33_weak_scaling(self):
+        res = ev.fig33_generic_algorithms(nlocs_list=(1, 4), n_per_loc=2000)
+        gen = [r[2] for r in res.rows if r[1] == "p_generate"]
+        assert gen[1] < gen[0] * 1.5  # flat-ish weak scaling
+
+
+class TestMemoryFigure:
+    def test_fig34_theory_tracks_measurement(self):
+        res = ev.fig34_memory_study(sizes=(1024,))
+        for row in res.rows:
+            _, _, mdata, mmeta, tdata, tmeta, _ = row
+            assert mdata == tdata
+            assert abs(mmeta - tmeta) / tmeta < 0.25
+
+    def test_fig34_plist_overhead_larger(self):
+        res = ev.fig34_memory_study(sizes=(2048,))
+        ratios = {r[0]: r[6] for r in res.rows}
+        assert ratios["plist"] > ratios["parray"] * 5
+
+
+class TestPListFigures:
+    def test_fig39_push_anywhere_fastest(self):
+        res = ev.fig39_plist_methods(n_per_loc=150)
+        t = {r[0]: r[1] for r in res.rows}
+        assert t["push_anywhere"] < t["push_back"]
+        assert t["push_anywhere"] < t["push_front"]
+
+    def test_fig40_parray_cheaper_than_plist(self):
+        res = ev.fig40_parray_vs_plist(nlocs_list=(2,), n_per_loc=1000)
+        t = {(r[1], r[2]): r[3] for r in res.rows}
+        assert t[("parray", "p_for_each")] < t[("plist", "p_for_each")]
+
+    def test_fig41_packed_beats_spread(self):
+        res = ev.fig41_placement(nlocs_list=(8,), n_per_loc=1000)
+        t = {r[1]: r[2] for r in res.rows}
+        assert t["packed"] < t["spread"]
+
+    def test_fig42_crossover(self):
+        res = ev.fig42_plist_vs_pvector(num_ops=300)
+        t = {(r[0], r[1]): r[2] for r in res.rows}
+        # insert/delete-heavy: pList wins decisively
+        assert (t[("insert_delete_heavy", "plist")]
+                < t[("insert_delete_heavy", "pvector")])
+        # read-heavy: pVector is at least competitive (paper: wins)
+        assert (t[("read_heavy", "pvector")]
+                <= t[("read_heavy", "plist")] * 1.1)
+
+    def test_fig43_returns_series(self):
+        res = ev.fig43_euler_tour_weak(nlocs_list=(2,), verts_per_loc=16)
+        assert res.rows and res.rows[0][2] > 0
+
+    def test_fig44_phases(self):
+        res = ev.fig44_euler_applications(P=2, sizes=(15,))
+        phases = {r[1] for r in res.rows}
+        assert phases == {"tour+rank", "rooting", "levels", "preorder",
+                          "subtree_sizes"}
+
+
+class TestPGraphFigures:
+    def test_fig49_static_cheaper_than_dynamic(self):
+        res = ev.fig49_50_pgraph_methods(machines=("cray4",), P=4, n=96)
+        t = {(r[1], r[2]): r[4] for r in res.rows}
+        assert t[("static", "add_edge")] < t[("dynamic", "add_edge")]
+
+    def test_fig51_partition_ordering(self):
+        res = ev.fig51_find_sources(P=4, n=96)
+        t = {r[0]: r[1] for r in res.rows}
+        assert t["static"] < t["dynamic_fwd"] < t["dynamic_nofwd"]
+        fw = {r[0]: r[2] for r in res.rows}
+        assert fw["dynamic_fwd"] > 0 and fw["dynamic_nofwd"] == 0
+
+    def test_fig52_runs(self):
+        res = ev.fig52_partition_comparison(P=2, n=64)
+        t = {r[0]: r[1] for r in res.rows}
+        assert t["static_blocked"] < t["dynamic_nofwd"]
+
+    def test_fig53_55_all_algorithms(self):
+        res = ev.fig53_55_graph_algorithms(machines=("cray4",), P=2, n=64)
+        algos = {r[1] for r in res.rows}
+        assert algos == {"bfs", "connected_components", "coloring",
+                         "degree_stats"}
+
+    def test_fig56_mesh_shapes_differ(self):
+        res = ev.fig56_pagerank_meshes(P=4, cells=256, iterations=2)
+        assert len(res.rows) == 2
+        assert res.rows[0][1] == pytest.approx(res.rows[1][1], rel=0.2)
+
+
+class TestAssocAndComposition:
+    def test_fig59_weak_scaling(self):
+        res = ev.fig59_mapreduce_wordcount(nlocs_list=(1, 2), tokens_per_loc=800)
+        assert res.rows[1][1] == 2 * res.rows[0][1]
+        assert res.rows[0][3] > 0
+
+    def test_fig60_runs(self):
+        res = ev.fig60_assoc_algorithms(nlocs_list=(2,), n_per_loc=400)
+        assert len(res.rows) == 3
+
+    def test_fig62_ordering(self):
+        res = ev.fig62_row_min(P=2, rows=24, cols=12)
+        t = {r[0]: r[1] for r in res.rows}
+        assert t["pmatrix"] < t["parray<parray>"] <= t["plist<parray>"]
+
+
+class TestAblations:
+    def test_aggregation_monotone(self):
+        res = ev.ablation_aggregation(n_per_loc=150, levels=(1, 64))
+        assert res.rows[0][1] > res.rows[1][1]
+        assert res.rows[0][2] > res.rows[1][2]
+
+    def test_view_alignment(self):
+        res = ev.ablation_view_alignment(n_per_loc=400)
+        t = {r[0]: r[1] for r in res.rows}
+        assert t["native_aligned"] <= t["balanced_over_blocked"]
+        assert t["balanced_over_blocked"] < t["balanced_over_cyclic"]
+
+    def test_consistency_mode_price(self):
+        res = ev.ablation_consistency_mode(n_per_loc=100)
+        t = {r[0]: r[1] for r in res.rows}
+        assert t["default"] < t["sequential"]
+
+    def test_lazy_size_cheaper(self):
+        res = ev.ablation_lazy_size(reps=40)
+        t = {r[0]: r[1] for r in res.rows}
+        assert t["lazy_replicated"] < t["collective_sync"]
+
+    def test_table_formatting(self):
+        res = ev.ablation_lazy_size(reps=5)
+        text = res.format_table()
+        assert "lazy_replicated" in text and "==" in text

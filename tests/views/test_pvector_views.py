@@ -1,0 +1,46 @@
+"""1D views over pVector: element-interface chunks, correct after inserts."""
+
+from repro.algorithms import p_accumulate, p_for_each, p_generate, p_partial_sum
+from repro.containers.parray import PArray
+from repro.containers.pvector import PVector
+from repro.views import Array1DView
+from tests.conftest import run
+
+
+class TestPVectorViews:
+    def test_generate_and_accumulate(self):
+        def prog(ctx):
+            pv = PVector(ctx, 12)
+            v = Array1DView(pv)
+            p_generate(v, lambda i: i * 2)
+            total = p_accumulate(v, 0)
+            return total, pv.to_list()
+        total, data = run(prog, nlocs=3)[0]
+        assert total == sum(i * 2 for i in range(12))
+        assert data == [i * 2 for i in range(12)]
+
+    def test_for_each(self):
+        def prog(ctx):
+            pv = PVector(ctx, 8, value=1)
+            v = Array1DView(pv)
+            p_for_each(v, lambda x: x + 4)
+            return pv.to_list()
+        assert run(prog, nlocs=2)[0] == [5] * 8
+
+    def test_view_tracks_inserts(self):
+        def prog(ctx):
+            pv = PVector(ctx, 6, value=1)
+            if ctx.id == 0:
+                pv.insert_element(3, 10)
+            ctx.rmi_fence()
+            v = Array1DView(pv)
+            return v.size(), p_accumulate(v, 0)
+        assert run(prog, nlocs=3)[0] == (7, 16)
+
+    def test_partial_sum_vector_to_array(self):
+        def prog(ctx):
+            pv = PVector(ctx, 9, value=1)
+            out = PArray(ctx, 9, dtype=int)
+            p_partial_sum(Array1DView(pv), Array1DView(out))
+            return out.to_list()
+        assert run(prog, nlocs=3)[0] == list(range(1, 10))

@@ -1,0 +1,251 @@
+"""pView tests (Ch. III.A, Table II)."""
+
+import pytest
+
+from repro.containers.parray import PArray
+from repro.containers.plist import PList
+from repro.containers.pmatrix import PMatrix
+from repro.core import BlockCyclicPartition, Matrix2DPartition
+from repro.views import (
+    Array1DROView,
+    Array1DView,
+    BalancedView,
+    ListView,
+    OverlapView,
+    StridedView,
+    TransformView,
+    native_view,
+)
+from repro.views.list_views import StaticListView
+from repro.views.matrix_views import MatrixLinearView, MatrixRowsView
+from tests.conftest import run
+
+
+def _iota_array(ctx, n=16, **kw):
+    pa = PArray(ctx, n, dtype=int, **kw)
+    for i in range(ctx.id, n, ctx.nlocs):
+        pa.set_element(i, i)
+    ctx.rmi_fence()
+    return pa
+
+
+class TestArray1DView:
+    def test_read_write(self):
+        def prog(ctx):
+            pa = _iota_array(ctx)
+            v = Array1DView(pa)
+            got = v[3]
+            ctx.rmi_fence()          # close the read phase
+            if ctx.id == 0:
+                v[3] = 99
+            ctx.rmi_fence()
+            return got, v.read(3), v.size()
+        assert run(prog, nlocs=2) == [(3, 99, 16)] * 2
+
+    def test_out_of_domain(self):
+        def prog(ctx):
+            v = Array1DView(_iota_array(ctx, 4))
+            try:
+                v.read(4)
+                return False
+            except IndexError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+    def test_native_chunks_cover_container(self):
+        def prog(ctx):
+            pa = _iota_array(ctx)
+            v = native_view(pa)
+            local = sum(ch.size() for ch in v.local_chunks())
+            return ctx.allreduce_rmi(local)
+        assert run(prog, nlocs=4)[0] == 16
+
+    def test_mapping_function(self):
+        def prog(ctx):
+            pa = _iota_array(ctx, 16)
+            # view of the even elements via F(i) = 2i
+            v = Array1DView(pa, domain=None, mapping=lambda i: (2 * i) % 16)
+            return v.read(3)
+        assert run(prog, nlocs=2) == [6, 6]
+
+    def test_read_only_view(self):
+        def prog(ctx):
+            v = Array1DROView(_iota_array(ctx, 4))
+            try:
+                v.write(0, 1)
+                return False
+            except TypeError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+
+class TestBalancedView:
+    def test_chunks_are_contiguous_slices(self):
+        def prog(ctx):
+            pa = _iota_array(ctx, 10)
+            bv = BalancedView(Array1DView(pa))
+            chunks = bv.local_chunks()
+            assert len(chunks) == 1
+            return list(chunks[0].gids())
+        out = run(prog, nlocs=4)
+        assert out[0] == [0, 1, 2]  # 10 over 4: sizes 3,3,2,2
+        assert out[3] == [8, 9]
+
+    def test_reads_follow_distribution(self):
+        def prog(ctx):
+            pa = _iota_array(ctx, 8, partition=BlockCyclicPartition(ctx.nlocs, 1))
+            bv = BalancedView(Array1DView(pa))
+            return [bv.read(i) for i in bv.balanced_slices()]
+        out = run(prog, nlocs=2)
+        assert out[0] == [0, 1, 2, 3] and out[1] == [4, 5, 6, 7]
+
+
+class TestStridedView:
+    def test_stride_mapping(self):
+        def prog(ctx):
+            v = StridedView(Array1DView(_iota_array(ctx)), stride=3, start=1)
+            return v.size(), [v.read(i) for i in range(v.size())]
+        size, vals = run(prog, nlocs=2)[0]
+        assert size == 5 and vals == [1, 4, 7, 10, 13]
+
+    def test_stride_write(self):
+        def prog(ctx):
+            pa = _iota_array(ctx, 8)
+            v = StridedView(Array1DView(pa), stride=2)
+            if ctx.id == 0:
+                v.write(1, -1)
+            ctx.rmi_fence()
+            return pa.get_element(2)
+        assert run(prog, nlocs=2) == [-1, -1]
+
+    def test_invalid_stride(self):
+        def prog(ctx):
+            with pytest.raises(ValueError):
+                StridedView(Array1DView(_iota_array(ctx, 4)), stride=0)
+            ctx.rmi_fence()
+        run(prog, nlocs=1)
+
+
+class TestTransformView:
+    def test_read_override(self):
+        def prog(ctx):
+            v = TransformView(Array1DView(_iota_array(ctx, 4)), lambda x: -x)
+            return [v.read(i) for i in range(4)]
+        assert run(prog, nlocs=2)[0] == [0, -1, -2, -3]
+
+    def test_write_rejected(self):
+        def prog(ctx):
+            v = TransformView(Array1DView(_iota_array(ctx, 4)), abs)
+            try:
+                v.write(0, 1)
+                return False
+            except TypeError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+    def test_chunked_reduction(self):
+        from repro.algorithms.generic import p_accumulate
+
+        def prog(ctx):
+            v = TransformView(Array1DView(_iota_array(ctx, 8)),
+                              lambda x: x * 2)
+            return p_accumulate(v, 0)
+        assert run(prog, nlocs=2) == [56, 56]
+
+
+class TestOverlapView:
+    def test_fig2_example(self):
+        """Fig. 2: A[0,10], c=2, l=2, r=1 -> elements A[2i, 2i+4]."""
+        def prog(ctx):
+            pa = _iota_array(ctx, 11)
+            ov = OverlapView(Array1DView(pa), c=2, l=2, r=1)
+            return ov.size(), ov.read(0), ov.read(3)
+        size, w0, w3 = run(prog, nlocs=2)[0]
+        assert size == 4
+        assert w0 == [0, 1, 2, 3, 4]
+        assert w3 == [6, 7, 8, 9, 10]
+
+    def test_windows_cover(self):
+        def prog(ctx):
+            pa = _iota_array(ctx, 10)
+            ov = OverlapView(Array1DView(pa), c=1, l=1, r=0)
+            return [ov.read(i) for i in range(ov.size())]
+        wins = run(prog, nlocs=2)[0]
+        assert wins[0] == [0, 1] and wins[-1] == [8, 9]
+
+    def test_bad_params(self):
+        def prog(ctx):
+            with pytest.raises(ValueError):
+                OverlapView(Array1DView(_iota_array(ctx, 4)), c=0)
+            ctx.rmi_fence()
+        run(prog, nlocs=1)
+
+    def test_read_only(self):
+        def prog(ctx):
+            ov = OverlapView(Array1DView(_iota_array(ctx, 6)), c=2)
+            try:
+                ov.write(0, [1, 2])
+                return False
+            except TypeError:
+                return True
+        assert all(run(prog, nlocs=2))
+
+
+class TestListViews:
+    def test_static_list_view_chunks(self):
+        def prog(ctx):
+            pl = PList(ctx, 8, value=2)
+            v = StaticListView(pl)
+            local = sum(ch.size() for ch in v.local_chunks())
+            return ctx.allreduce_rmi(local)
+        assert run(prog, nlocs=4)[0] == 8
+
+    def test_list_view_structural_ops(self):
+        def prog(ctx):
+            pl = PList(ctx, 0)
+            v = ListView(pl)
+            gid = v.insert_any(ctx.id)
+            got = pl.get_element(gid)
+            ctx.rmi_fence()
+            new_gid = v.insert(gid, -1)
+            assert pl.get_element(new_gid) == -1
+            v.erase(new_gid)
+            ctx.rmi_fence()
+            pl.update_size()
+            return got, pl.size()
+        assert run(prog, nlocs=3) == [(0, 3), (1, 3), (2, 3)]
+
+
+class TestMatrixViews:
+    def test_linear_view_row_major(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 3, 4, dtype=int)
+            for r in range(ctx.id, 3, ctx.nlocs):
+                for c in range(4):
+                    pm.set_element((r, c), r * 4 + c)
+            ctx.rmi_fence()
+            v = MatrixLinearView(pm)
+            return v.size(), [v.read(i) for i in range(12)]
+        size, vals = run(prog, nlocs=2)[0]
+        assert size == 12 and vals == list(range(12))
+
+    def test_rows_view_local_when_row_partitioned(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 4, 3, value=1.0,
+                         partition=Matrix2DPartition(ctx.nlocs, 1))
+            rv = MatrixRowsView(pm)
+            chunks = rv.local_chunks()
+            return [type(ch).__name__ for ch in chunks]
+        out = run(prog, nlocs=2)
+        assert all(names == ["_LocalRowsChunk"] for names in out)
+
+    def test_rows_view_read(self):
+        def prog(ctx):
+            pm = PMatrix(ctx, 2, 3, dtype=int,
+                         partition=Matrix2DPartition(ctx.nlocs, 1))
+            for r in range(ctx.id, 2, ctx.nlocs):
+                for c in range(3):
+                    pm.set_element((r, c), 10 * r + c)
+            ctx.rmi_fence()
+            return MatrixRowsView(pm).read(1)
+        assert run(prog, nlocs=2)[0] == [10, 11, 12]

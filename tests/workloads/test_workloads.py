@@ -1,0 +1,118 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro.workloads.corpus import generate_tokens, local_documents, vocabulary
+from repro.workloads.meshes import local_mesh_edges, mesh_edges, mesh_vertex
+from repro.workloads.opmix import STANDARD_MIXES, OpMix, generate_ops
+from repro.workloads.ssca2 import SSCA2Spec, generate_edges, local_edges
+from repro.workloads.trees import (
+    binary_tree_edges,
+    caterpillar_tree_edges,
+    random_tree_edges,
+    tree_parents,
+)
+
+
+class TestSSCA2:
+    def test_deterministic(self):
+        spec = SSCA2Spec(num_vertices=64, seed=5)
+        assert generate_edges(spec) == generate_edges(spec)
+
+    def test_vertices_in_range(self):
+        spec = SSCA2Spec(num_vertices=40)
+        for u, v in generate_edges(spec):
+            assert 0 <= u < 40 and 0 <= v < 40
+
+    def test_clustered_structure(self):
+        spec = SSCA2Spec(num_vertices=64, max_clique_size=4)
+        edges = generate_edges(spec)
+        # cliques generate both directions of every local pair
+        es = set(edges)
+        intra = sum(1 for (u, v) in es if (v, u) in es)
+        assert intra > len(es) // 2
+
+    def test_local_slices_partition_stream(self):
+        spec = SSCA2Spec(num_vertices=48)
+        full = generate_edges(spec)
+        parts = [local_edges(spec, lid, 4) for lid in range(4)]
+        assert sum(len(p) for p in parts) == len(full)
+        assert sorted(e for p in parts for e in p) == sorted(full)
+
+
+class TestMeshes:
+    def test_edge_count(self):
+        # 2*(r*(c-1) + c*(r-1)) directed edges when bidirectional
+        edges = mesh_edges(3, 4)
+        assert len(edges) == 2 * (3 * 3 + 4 * 2)
+
+    def test_vertex_numbering(self):
+        assert mesh_vertex(2, 3, 10) == 23
+
+    def test_local_edges_cover_all_sources(self):
+        rows, cols, P = 4, 5, 3
+        per_loc = [local_mesh_edges(rows, cols, lid, P) for lid in range(P)]
+        allv = {u for p in per_loc for (u, _) in p}
+        assert allv == set(range(rows * cols))
+        # bidirectional local lists cover every undirected adjacency twice
+        total = sum(len(p) for p in per_loc)
+        assert total == len(mesh_edges(rows, cols))
+
+
+class TestCorpus:
+    def test_zipf_skew(self):
+        toks = generate_tokens(5000, vocab_size=100, seed=1)
+        from collections import Counter
+
+        counts = Counter(toks)
+        top = counts.most_common(1)[0][1]
+        assert top > len(toks) / 100 * 3  # far above uniform share
+
+    def test_local_documents_differ_by_location(self):
+        d0 = local_documents(0, 4, 100)
+        d1 = local_documents(1, 4, 100)
+        assert d0 != d1
+        assert sum(len(d.split()) for d in d0) == 100
+
+    def test_vocabulary(self):
+        assert vocabulary(3) == ["w0", "w1", "w2"]
+
+
+class TestOpMix:
+    def test_ratios_validated(self):
+        with pytest.raises(ValueError):
+            OpMix(0.5, 0.5, 0.5, 0.5)
+
+    def test_standard_mixes_valid(self):
+        for mix in STANDARD_MIXES.values():
+            assert abs(mix.read + mix.write + mix.insert + mix.delete - 1) < 1e-9
+
+    def test_generate_ops_deterministic_and_distributed(self):
+        ops = generate_ops(1000, STANDARD_MIXES["read_heavy"], seed=3)
+        assert ops == generate_ops(1000, STANDARD_MIXES["read_heavy"], seed=3)
+        kinds = [k for k, _ in ops]
+        assert kinds.count("read") > 800
+        assert all(0 <= r < 1 for _, r in ops)
+
+
+class TestTrees:
+    @pytest.mark.parametrize("maker", [
+        binary_tree_edges,
+        caterpillar_tree_edges,
+        lambda n: random_tree_edges(n, seed=1),
+    ])
+    def test_is_spanning_tree(self, maker):
+        n = 17
+        edges = maker(n)
+        assert len(edges) == n - 1
+        parents = tree_parents(edges, n, 0)
+        assert all(p != -1 for p in parents)  # connected
+
+    def test_binary_tree_structure(self):
+        edges = binary_tree_edges(7)
+        assert (0, 1) in edges and (0, 2) in edges and (2, 6) in edges
+
+    def test_tree_parents_roots_anywhere(self):
+        edges = binary_tree_edges(7)
+        p = tree_parents(edges, 7, 6)
+        assert p[6] == 6 and p[2] == 6 and p[0] == 2
