@@ -41,3 +41,23 @@ def test_fig33_parray_algorithms(benchmark):
 def test_fig34_memory_study(benchmark):
     run_and_report(benchmark, ev.fig34_memory_study,
                    sizes=(1024, 8192, 65536))
+
+
+def test_bulk_transport_map_reduce(benchmark):
+    """Bulk slab transport vs per-element RMIs on a 120k-element map/reduce
+    over a 100%-remote balanced view: the bulk path must cut simulated
+    physical messages by at least 2x (it cuts them by ~10^4) and lower the
+    simulated wall-clock."""
+    res = run_and_report(benchmark, ev.bulk_transport_study,
+                         P=8, n_per_loc=15000)
+    rows = {(r[0], r[1]): r for r in res.rows}
+    for algo in ("map", "reduce"):
+        n = rows[(algo, "bulk")][2]
+        assert n >= 100_000
+        t_scalar, msgs_scalar = rows[(algo, "per_element")][3:5]
+        t_bulk, msgs_bulk = rows[(algo, "bulk")][3:5]
+        assert msgs_bulk * 2 <= msgs_scalar, (
+            f"{algo}: bulk path sent {msgs_bulk} physical messages vs "
+            f"{msgs_scalar} per-element — expected >=2x reduction")
+        assert t_bulk < t_scalar, (
+            f"{algo}: bulk path slower ({t_bulk} vs {t_scalar} us)")

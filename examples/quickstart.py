@@ -33,6 +33,12 @@ def stapl_main(ctx):
     local_work = sum(range(1000))          # ...useful work here
     v7 = fut.get()                         # ...then collect the result
 
+    # bulk element transport: whole ranges move as one slab per owner
+    if ctx.id == 0:
+        pa.set_range(50, [0] * 50)         # async slab write
+    ctx.rmi_fence()
+    head = pa.get_range(0, 10)             # sync slab read (NumPy array)
+
     # pViews + pAlgorithms (Fig. 26's p_generate)
     view = Array1DView(pa_blocked)
     p_generate(view, lambda i: i, vector=lambda gids: gids)

@@ -14,13 +14,42 @@ from __future__ import annotations
 
 import operator
 
+import numpy as np
+
 from ..core.domains import RangeDomain
-from ..views.base import GenericChunk, Workfunction, as_wf
+from ..views.base import (
+    GenericChunk,
+    Workfunction,
+    as_wf,
+    bulk_transport_enabled,
+)
 from .prange import Executor, PRange
 
 
 def _finish(view) -> None:
     view.post_execute()
+
+
+def _read_slab(view, dom: RangeDomain) -> list:
+    """Read ``[dom.lo, dom.hi)`` through the bulk transport when the view
+    supports it (one slab per owning location), else element-wise."""
+    rr = getattr(view, "read_range", None)
+    if bulk_transport_enabled() and rr is not None:
+        vals = rr(dom.lo, dom.hi)
+        if vals is not None:
+            return vals.tolist() if hasattr(vals, "tolist") else list(vals)
+    return [view.read(i) for i in dom]
+
+
+def _write_slab(view, lo: int, values) -> None:
+    """Write ``values`` at consecutive indices from ``lo``, bulk if
+    possible."""
+    wr = getattr(view, "write_range", None)
+    if bulk_transport_enabled() and wr is not None and len(values):
+        if wr(lo, values):
+            return
+    for k, v in enumerate(values):
+        view.write(lo + k, v)
 
 
 # ---------------------------------------------------------------------------
@@ -50,7 +79,8 @@ def p_visit(view, fn, cost=None) -> None:
 
 def p_fill(view, value) -> None:
     """Set every element to ``value``."""
-    wf = Workfunction(lambda _v: value, vector=None)
+    wf = Workfunction(lambda _v: value,
+                      vector=lambda a: np.full(len(a), value))
     for chunk in view.local_chunks():
         bc = getattr(chunk, "bc", None)
         if bc is not None and hasattr(bc, "bulk_fill"):
@@ -152,11 +182,8 @@ def p_equal(view_a, view_b) -> bool:
     if view_a.size() != view_b.size():
         view_a.ctx.rmi_fence(view_a.group)
         return False
-    ok = True
-    for i in view_a.balanced_slices():
-        if view_a.read(i) != view_b.read(i):
-            ok = False
-            break
+    sl = view_a.balanced_slices()
+    ok = _read_slab(view_a, sl) == _read_slab(view_b, sl)
     out = view_a.ctx.allreduce_rmi(ok, lambda a, b: a and b,
                                    group=view_a.group)
     _finish(view_a)
@@ -244,13 +271,15 @@ def p_adjacent_difference(src, dst) -> None:
     sl = src.balanced_slices()
     if sl.size():
         prev = src.read(sl.lo - 1) if sl.lo > 0 else None
-        vals = [src.read(i) for i in sl]
+        vals = _read_slab(src, sl)
+        out = []
         for k, i in enumerate(sl):
             if i == 0:
-                dst.write(0, vals[0])
+                out.append(vals[0])
             else:
                 left = vals[k - 1] if k > 0 else prev
-                dst.write(i, vals[k] - left)
+                out.append(vals[k] - left)
+        _write_slab(dst, sl.lo, out)
     _finish(dst)
 
 
@@ -260,7 +289,7 @@ def p_partial_sum(src, dst, op=operator.add, inclusive: bool = True) -> None:
     ctx = src.ctx
     m = ctx.machine
     sl = src.balanced_slices()
-    vals = [src.read(i) for i in sl]
+    vals = _read_slab(src, sl)
     ctx.charge(m.t_access * len(vals))
     prefix = []
     acc = None
@@ -278,15 +307,18 @@ def p_partial_sum(src, dst, op=operator.add, inclusive: bool = True) -> None:
 
     carry, _total = ctx.scan_rmi(local_total, scan_op, exclusive=True,
                                  group=src.group)
-    for k, i in enumerate(sl):
+    out = []
+    for k in range(len(vals)):
         if inclusive:
-            out = prefix[k] if carry is None else op(carry, prefix[k])
+            out.append(prefix[k] if carry is None else op(carry, prefix[k]))
+        elif k == 0:
+            out.append(carry)
         else:
-            if k == 0:
-                out = carry
-            else:
-                out = prefix[k - 1] if carry is None else op(carry, prefix[k - 1])
-        if not inclusive and out is None:
-            continue  # exclusive scan leaves dst[0] untouched
-        dst.write(i, out)
+            out.append(prefix[k - 1] if carry is None
+                       else op(carry, prefix[k - 1]))
+    if out and out[0] is None:
+        # exclusive scan leaves dst[0] untouched on the first location
+        _write_slab(dst, sl.lo + 1, out[1:])
+    elif out:
+        _write_slab(dst, sl.lo, out)
     _finish(dst)

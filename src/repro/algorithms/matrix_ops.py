@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.domains import RangeDomain
+from ..core.pcontainer import SLAB_ACCESS_FACTOR
+
 
 def p_matvec(pmatrix, x: list, y_parray=None):
     """y = A @ x (collective).
@@ -38,10 +41,17 @@ def p_matvec(pmatrix, x: list, y_parray=None):
             for k, v in enumerate(part):
                 y[r0 + k] += v
     if y_parray is not None:
+        yv = np.asarray(y)
         for bc in y_parray.local_bcontainers():
-            for gid in bc.domain:
-                bc.set(gid, y[gid])
-        ctx.charge_access(y_parray.local_size())
+            d = bc.domain
+            if isinstance(d, RangeDomain) and hasattr(bc, "set_range"):
+                # contiguous slab assignment (bulk storage path)
+                ctx.charge(m.t_access * SLAB_ACCESS_FACTOR * d.size())
+                bc.set_range(d.lo, yv[d.lo:d.hi])
+            else:
+                ctx.charge_access(bc.size())
+                for gid in d:
+                    bc.set(gid, y[gid])
         ctx.rmi_fence(y_parray.group)
     return y
 

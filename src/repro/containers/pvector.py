@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..core.base_containers import VectorBC
 from ..core.domains import RangeDomain
 from ..core.partitions import UnbalancedBlockedPartition
-from ..core.pcontainer import PContainerDynamic
+from ..core.pcontainer import SLAB_ACCESS_FACTOR, PContainerDynamic
 from ..core.thread_safety import ELEMENT, LOCAL, MDREAD, MDWRITE, READ, WRITE
 from ..core.traits import Traits
 
@@ -77,6 +77,71 @@ class PVector(PContainerDynamic):
 
     def apply_set(self, idx, fn) -> None:
         self._dist.invoke("apply_set", idx, fn)
+
+    # -- bulk element transport (index ranges -> local offsets) ------------
+    def get_range(self, lo: int, hi: int) -> list:
+        """Gather the index range ``[lo, hi)`` in order: one slab per owning
+        block (``bulk_get_range``) instead of one sync RMI per element."""
+        loc = self.here
+        part = self._dist.partition
+        if lo < 0 or hi > part.total_size():
+            raise IndexError(f"range [{lo}, {hi}) outside pVector of size "
+                             f"{part.total_size()}")
+        out = []
+        for bcid in range(part.size()):
+            sub = part.get_sub_domain(bcid)
+            s_lo, s_hi = max(lo, sub.lo), min(hi, sub.hi)
+            if s_lo >= s_hi:
+                continue
+            n = s_hi - s_lo
+            off = part.local_offset(s_lo, bcid)
+            owner = self._dist.mapper.map(bcid)
+            out.extend(self._piece_transfer(
+                owner, n,
+                lambda: self.location_manager.get_bcontainer(bcid)
+                            .get_range(off, off + n),
+                lambda: loc.bulk_get_range(
+                    owner, self.handle, "_bulk_get_range_off",
+                    bcid, off, n, nelems=n)))
+        return out
+
+    def set_range(self, lo: int, values) -> None:
+        """Scatter ``values`` over indices ``[lo, lo + len(values))``; remote
+        slabs are asynchronous (complete at the next fence)."""
+        values = list(values)
+        if not values:
+            return
+        hi = lo + len(values)
+        loc = self.here
+        part = self._dist.partition
+        if lo < 0 or hi > part.total_size():
+            raise IndexError(f"range [{lo}, {hi}) outside pVector of size "
+                             f"{part.total_size()}")
+        for bcid in range(part.size()):
+            sub = part.get_sub_domain(bcid)
+            s_lo, s_hi = max(lo, sub.lo), min(hi, sub.hi)
+            if s_lo >= s_hi:
+                continue
+            chunk = values[s_lo - lo:s_hi - lo]
+            off = part.local_offset(s_lo, bcid)
+            owner = self._dist.mapper.map(bcid)
+            self._piece_transfer(
+                owner, len(chunk),
+                lambda: self.location_manager.get_bcontainer(bcid)
+                            .set_range(off, chunk),
+                lambda: loc.bulk_set_range(
+                    owner, self.handle, "_bulk_set_range_off",
+                    bcid, off, chunk, nelems=len(chunk)))
+
+    def _bulk_get_range_off(self, bcid, off, n):
+        loc = self.here
+        loc.charge(loc.machine.t_access * SLAB_ACCESS_FACTOR * n)
+        return self.location_manager.get_bcontainer(bcid).get_range(off, off + n)
+
+    def _bulk_set_range_off(self, bcid, off, values) -> None:
+        loc = self.here
+        loc.charge(loc.machine.t_access * SLAB_ACCESS_FACTOR * len(values))
+        self.location_manager.get_bcontainer(bcid).set_range(off, values)
 
     # -- sequence interface (Table XVIII) ------------------------------------
     def insert_element(self, idx, value):

@@ -97,6 +97,17 @@ class ArrayBC(BaseContainer):
         self.data[off] = fn(self._to_py(self.data[off]))
 
     # -- bulk (vectorised) paths -----------------------------------------
+    def get_range(self, lo, hi) -> np.ndarray:
+        """Copy of the GID range ``[lo, hi)`` as a NumPy slab.  Only valid
+        when the sub-domain enumerates GIDs contiguously (RangeDomain)."""
+        off = self._domain.offset(lo)
+        return self.data[off:off + (hi - lo)].copy()
+
+    def set_range(self, lo, values) -> None:
+        """Overwrite the GID range starting at ``lo`` with a slab."""
+        off = self._domain.offset(lo)
+        self.data[off:off + len(values)] = values
+
     def bulk_fill(self, value) -> None:
         self.data[:] = value
 
@@ -155,6 +166,19 @@ class Matrix2DBC(BaseContainer):
     def apply_set(self, gid, fn) -> None:
         i = self._idx(gid)
         self.data[i] = fn(self.data[i].item())
+
+    def get_block(self, r0, r1, c0, c1) -> np.ndarray:
+        """Copy of the dense sub-block ``[r0, r1) x [c0, c1)`` (global
+        coordinates clipped by the caller to this bContainer's domain)."""
+        d = self._domain
+        return self.data[r0 - d.r0:r1 - d.r0, c0 - d.c0:c1 - d.c0].copy()
+
+    def set_block(self, r0, c0, block) -> None:
+        """Overwrite the sub-block whose top-left corner is ``(r0, c0)``."""
+        d = self._domain
+        block = np.asarray(block)
+        rr, cc = r0 - d.r0, c0 - d.c0
+        self.data[rr:rr + block.shape[0], cc:cc + block.shape[1]] = block
 
     def row_slice(self, r) -> np.ndarray:
         return self.data[r - self._domain.r0, :]
@@ -216,6 +240,16 @@ class VectorBC(BaseContainer):
 
     def pop_back(self):
         return self.data.pop()
+
+    # -- bulk (slab) paths: offsets, not GIDs ----------------------------
+    def get_range(self, lo, hi) -> list:
+        """Copy of the local offset range ``[lo, hi)``."""
+        return list(self.data[lo:hi])
+
+    def set_range(self, lo, values) -> None:
+        """Overwrite the local offset range starting at ``lo``."""
+        values = list(values)
+        self.data[lo:lo + len(values)] = values
 
     def values(self):
         return self.data

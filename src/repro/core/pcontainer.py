@@ -13,8 +13,11 @@ with their concrete containers in :mod:`repro.containers`.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..runtime.p_object import PObject
 from .distribution import DataDistributionManager
+from .domains import RangeDomain
 from .location_manager import LocationManager
 from .mappers import CyclicMapper
 from .thread_safety import (
@@ -29,6 +32,10 @@ from .thread_safety import (
     ThreadSafetyManager,
 )
 from .traits import DEFAULT_TRAITS, ConsistencyMode, Traits
+
+#: per-element cost factor of a vectorised slab sweep relative to
+#: ``t_access`` (matches the constructor's bulk-touch factor)
+SLAB_ACCESS_FACTOR = 0.25
 
 
 class PartitionProxy:
@@ -213,6 +220,21 @@ class PContainerBase(PObject):
     def local_bcontainers(self) -> list:
         return self.location_manager.ordered()
 
+    # -- bulk transfer accounting ------------------------------------------
+    def _piece_transfer(self, owner, nelems: int, local_fn, remote_fn):
+        """Shared cost/stats accounting for one piece of a bulk range
+        transfer: one lookup, then either a vectorised local sweep
+        (``SLAB_ACCESS_FACTOR`` per element) or the remote thunk, which is
+        expected to issue exactly one bulk RMI."""
+        loc = self.here
+        loc.charge_lookup()
+        if owner == loc.id:
+            loc.stats.local_invocations += 1
+            loc.charge(loc.machine.t_access * SLAB_ACCESS_FACTOR * nelems)
+            return local_fn()
+        loc.stats.remote_invocations += 1
+        return remote_fn()
+
 
 class PContainerStatic(PContainerBase):
     """Static container (Table XII): element count fixed at construction."""
@@ -323,8 +345,121 @@ class PContainerIndexed(PContainerStatic):
     def _local_apply_set(self, bc, gid, fn) -> None:
         bc.apply_set(gid, fn)
 
+    # -- bulk element transport (range accessors) --------------------------
+    # The coarse-grained counterpart of the Table XIV element methods: a
+    # whole GID range moves as one slab per owning location instead of one
+    # RMI per element (the aggregation story of Ch. III.B applied at the
+    # container interface).
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        """Reject ranges outside the container's domain — a silent partial
+        transfer would mask indexing bugs the element interface raises on.
+        Containers whose GIDs are not a 1D integer range (pMatrix) must use
+        their own block accessors instead."""
+        dom = self._dist.partition.get_domain()
+        if not isinstance(dom, RangeDomain):
+            raise TypeError(
+                f"{type(self).__name__} has a non-1D domain ({dom!r}); "
+                "use the container's block accessors")
+        if lo < dom.lo or hi > dom.hi:
+            raise IndexError(f"range [{lo}, {hi}) outside {dom}")
+
+    def _range_pieces(self, lo: int, hi: int):
+        """Split ``[lo, hi)`` into (bcid, lo, hi) pieces, one per owning
+        sub-domain, in GID order.  Returns None when ownership cannot be
+        enumerated in closed form (directory partitions, non-contiguous
+        sub-domains) — callers then fall back to the element interface."""
+        p = self._dist.partition
+        if getattr(p, "directory", False):
+            return None
+        pieces = []
+        for bcid in range(p.size()):
+            sub = p.get_sub_domain(bcid)
+            if not isinstance(sub, RangeDomain):
+                return None
+            s_lo, s_hi = max(lo, sub.lo), min(hi, sub.hi)
+            if s_lo < s_hi:
+                pieces.append((bcid, s_lo, s_hi))
+        pieces.sort(key=lambda t: t[1])
+        return pieces
+
+    def get_range(self, lo: int, hi: int) -> np.ndarray:
+        """Gather the GID range ``[lo, hi)`` as one NumPy slab.
+
+        Local pieces are vectorised copies; each remotely-owned piece costs
+        exactly one bulk round trip (``bulk_get_range``) regardless of its
+        element count."""
+        loc = self.here
+        if hi <= lo:
+            return np.empty(0)
+        self._check_range(lo, hi)
+        pieces = self._range_pieces(lo, hi)
+        if pieces is None:
+            return np.asarray([self.get_element(g) for g in range(lo, hi)])
+        mapper = self._dist.mapper
+        parts = []
+        for bcid, s_lo, s_hi in pieces:
+            owner = mapper.map(bcid)
+            n = s_hi - s_lo
+            parts.append(np.asarray(self._piece_transfer(
+                owner, n,
+                lambda: self.location_manager.get_bcontainer(bcid)
+                            .get_range(s_lo, s_hi),
+                lambda: loc.bulk_get_range(
+                    owner, self.handle, "_bulk_get_range",
+                    bcid, s_lo, s_hi, nelems=n))))
+        if not parts:
+            return np.empty(0)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def set_range(self, lo: int, values) -> None:
+        """Scatter ``values`` over the GID range starting at ``lo``.
+
+        Asynchronous like ``set_element``: remote slabs complete at the next
+        fence (source-FIFO ordered with scalar RMIs on the same channel)."""
+        values = np.asarray(values)
+        n = len(values)
+        if n == 0:
+            return
+        loc = self.here
+        self._check_range(lo, lo + n)
+        pieces = self._range_pieces(lo, lo + n)
+        if pieces is None:
+            for k in range(n):
+                self.set_element(lo + k, values[k])
+            return
+        mapper = self._dist.mapper
+        for bcid, s_lo, s_hi in pieces:
+            owner = mapper.map(bcid)
+            chunk = values[s_lo - lo:s_hi - lo]
+            self._piece_transfer(
+                owner, len(chunk),
+                lambda: self.location_manager.get_bcontainer(bcid)
+                            .set_range(s_lo, chunk),
+                lambda: loc.bulk_set_range(
+                    owner, self.handle, "_bulk_set_range",
+                    bcid, s_lo, chunk, nelems=len(chunk)))
+
+    # bulk handlers (executed on the owning location)
+    def _bulk_get_range(self, bcid, lo, hi):
+        if not self.location_manager.has_bcontainer(bcid):
+            # the sub-domain moved (redistribution): re-resolve
+            return self.get_range(lo, hi)
+        loc = self.here
+        loc.charge(loc.machine.t_access * SLAB_ACCESS_FACTOR * (hi - lo))
+        return self.location_manager.get_bcontainer(bcid).get_range(lo, hi)
+
+    def _bulk_set_range(self, bcid, lo, values) -> None:
+        if not self.location_manager.has_bcontainer(bcid):
+            self.set_range(lo, values)
+            return
+        loc = self.here
+        loc.charge(loc.machine.t_access * SLAB_ACCESS_FACTOR * len(values))
+        self.location_manager.get_bcontainer(bcid).set_range(lo, values)
+
 
 __all__ = [
+    "SLAB_ACCESS_FACTOR",
     "PartitionProxy",
     "PContainerBase",
     "PContainerStatic",

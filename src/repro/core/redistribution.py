@@ -5,13 +5,18 @@ The container's partition is held behind a :class:`PartitionProxy`
 (Ch. V.G "partition proxy"), so ``redistribute`` can swap the underlying
 partition object while the container stays alive.  Elements are packed per
 destination (the ``define_type`` marshaling path, Ch. V.G.1) and exchanged
-with one all-to-all.
+with one coarse-grained ``bulk_exchange`` — contiguous GID runs travel as
+NumPy slabs and 2D sub-blocks as dense blocks, so each (src, dst) pair pays
+for one physical message plus its payload bytes instead of one RMI per
+element.
 """
 
 from __future__ import annotations
 
-from .marshal import marshal_size
-from .pcontainer import PartitionProxy
+import numpy as np
+
+from .domains import Range2DDomain, RangeDomain
+from .pcontainer import SLAB_ACCESS_FACTOR, PartitionProxy
 
 
 class RedistributableMixin:
@@ -35,19 +40,52 @@ class RedistributableMixin:
         mapper = new_mapper if new_mapper is not None else self._make_mapper()
         mapper.init(new_partition.size(), members)
 
-        # pack every local element for its new owner
+        # pack local data per new owner: contiguous GID runs as NumPy slabs,
+        # 2D sub-blocks as dense blocks, anything else element-wise
         outgoing = [[] for _ in members]
         pos_of = {lid: i for i, lid in enumerate(members)}
+        moved = 0
         for bc in self.location_manager.ordered():
-            for gid in bc.domain:
-                value = bc.get(gid)
-                info = new_partition.find(gid)
-                dest = mapper.map(info.bcid)
-                outgoing[pos_of[dest]].append((gid, value))
-                ctx.charge_lookup()
-        for bucket in outgoing:
-            ctx.stats.bytes_sent += marshal_size(bucket)
-        incoming = ctx.alltoall_rmi(outgoing, group=group)
+            dom = bc.domain
+            if isinstance(dom, RangeDomain) and hasattr(bc, "get_range"):
+                gid = dom.lo
+                while gid < dom.hi:
+                    info = new_partition.find(gid)
+                    dest = mapper.map(info.bcid)
+                    sub = new_partition.get_sub_domain(info.bcid)
+                    run_hi = (min(dom.hi, sub.hi)
+                              if isinstance(sub, RangeDomain) else gid + 1)
+                    run_hi = max(run_hi, gid + 1)
+                    ctx.charge_lookup()
+                    ctx.charge(ctx.machine.t_access * SLAB_ACCESS_FACTOR
+                               * (run_hi - gid))
+                    outgoing[pos_of[dest]].append(
+                        ("slab", gid, bc.get_range(gid, run_hi)))
+                    moved += run_hi - gid
+                    gid = run_hi
+            elif isinstance(dom, Range2DDomain) and hasattr(bc, "get_block"):
+                for nb in range(new_partition.size()):
+                    sub = new_partition.get_sub_domain(nb)
+                    rr0, rr1 = max(dom.r0, sub.r0), min(dom.r1, sub.r1)
+                    cc0, cc1 = max(dom.c0, sub.c0), min(dom.c1, sub.c1)
+                    if rr0 >= rr1 or cc0 >= cc1:
+                        continue
+                    dest = mapper.map(nb)
+                    n = (rr1 - rr0) * (cc1 - cc0)
+                    ctx.charge_lookup()
+                    ctx.charge(ctx.machine.t_access * SLAB_ACCESS_FACTOR * n)
+                    outgoing[pos_of[dest]].append(
+                        ("block", (rr0, cc0), bc.get_block(rr0, rr1, cc0, cc1)))
+                    moved += n
+            else:
+                for gid in dom:
+                    value = bc.get(gid)
+                    info = new_partition.find(gid)
+                    dest = mapper.map(info.bcid)
+                    outgoing[pos_of[dest]].append(("elem", gid, value))
+                    ctx.charge_lookup()
+                    moved += 1
+        incoming = ctx.bulk_exchange(outgoing, group=group, nelems=moved)
 
         # rebuild local storage under the new distribution
         self.location_manager.clear()
@@ -56,11 +94,25 @@ class RedistributableMixin:
             bc = self._make_bcontainer(sub, bcid)
             self.location_manager.add_bcontainer(bcid, bc)
         for bucket in incoming:
-            for gid, value in bucket:
-                info = new_partition.find(gid)
-                bc = self.location_manager.get_bcontainer(info.bcid)
-                bc.set(gid, value)
-                ctx.charge_access()
+            for kind, key, payload in bucket:
+                if kind == "slab":
+                    info = new_partition.find(key)
+                    bc = self.location_manager.get_bcontainer(info.bcid)
+                    bc.set_range(key, payload)
+                    ctx.charge(ctx.machine.t_access * SLAB_ACCESS_FACTOR
+                               * len(payload))
+                elif kind == "block":
+                    r0, c0 = key
+                    info = new_partition.find((r0, c0))
+                    bc = self.location_manager.get_bcontainer(info.bcid)
+                    bc.set_block(r0, c0, payload)
+                    ctx.charge(ctx.machine.t_access * SLAB_ACCESS_FACTOR
+                               * np.asarray(payload).size)
+                else:
+                    info = new_partition.find(key)
+                    bc = self.location_manager.get_bcontainer(info.bcid)
+                    bc.set(key, payload)
+                    ctx.charge_access()
 
         self._dist.partition.swap(new_partition)
         self._dist.mapper = mapper

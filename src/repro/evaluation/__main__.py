@@ -17,6 +17,7 @@ from . import (
     ablation_consistency_mode,
     ablation_lazy_size,
     ablation_view_alignment,
+    bulk_transport_study,
     fig27_constructor,
     fig28_local_methods,
     fig29_methods_weak,
@@ -66,6 +67,7 @@ DRIVERS = {
     "fig60": fig60_assoc_algorithms,
     "fig62": fig62_row_min,
     "mcm": mcm_demonstrations,
+    "bulk_transport": bulk_transport_study,
     "ablation_aggregation": ablation_aggregation,
     "ablation_alignment": ablation_view_alignment,
     "ablation_consistency": ablation_consistency_mode,

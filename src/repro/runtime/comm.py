@@ -10,10 +10,17 @@ completion guarantees of Ch. VII.B.
 Aggregation (Ch. III.B "major techniques used are aggregation ... and
 combining") is modelled by charging the fixed physical-message overhead only
 once per ``machine.aggregation`` RMIs enqueued on a channel.
+
+Bulk transport: a :class:`Message` flagged ``bulk=True`` carries a whole
+element range (a slab) as its payload.  It always occupies a physical
+message of its own — it is never merged into the scalar aggregation window,
+and it closes the window so the next scalar RMI starts a fresh physical
+message.  Payload bytes are charged exactly once per (src, dst) slab.
 """
 
 from __future__ import annotations
 
+from itertools import islice
 from collections import deque
 
 import numpy as np
@@ -49,12 +56,15 @@ def estimate_size(obj, _depth: int = 0) -> int:
         n = len(obj)
         if n == 0:
             return 16
-        items = list(obj.items())[:16]
+        # sample at most 16 items without materialising the whole item list
+        # (huge dicts), and scale by the number actually sampled — dividing
+        # by a fixed 16 under-charged dicts with fewer than 16 entries
+        items = list(islice(obj.items(), 16))
         sample = sum(
             estimate_size(k, _depth + 1) + estimate_size(v, _depth + 1)
             for k, v in items
         )
-        return 16 + (sample * n) // max(1, len(items))
+        return 16 + (sample * n) // len(items)
     vt = getattr(obj, "_vt_size_", None)
     if vt is not None:
         return int(vt() if callable(vt) else vt)
@@ -62,13 +72,13 @@ def estimate_size(obj, _depth: int = 0) -> int:
 
 
 class Message:
-    """One buffered RMI request."""
+    """One buffered RMI request (scalar, or a bulk element slab)."""
 
     __slots__ = ("src", "dst", "handle", "method", "args", "size", "depart",
-                 "origin", "future")
+                 "origin", "future", "bulk")
 
     def __init__(self, src, dst, handle, method, args, size, depart, origin,
-                 future=None):
+                 future=None, bulk=False):
         self.src = src
         self.dst = dst
         self.handle = handle
@@ -78,6 +88,7 @@ class Message:
         self.depart = depart
         self.origin = origin
         self.future = future
+        self.bulk = bulk
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return (f"Message({self.src}->{self.dst} h{self.handle}."
@@ -97,13 +108,19 @@ class Network:
     # -- sending -------------------------------------------------------
     def enqueue(self, msg: Message) -> bool:
         """Buffer ``msg``; returns True if a new physical message started
-        (i.e. the fixed message overhead must be charged to the sender)."""
+        (i.e. the fixed message overhead must be charged to the sender).
+
+        Bulk messages always occupy their own physical message and close the
+        current aggregation window."""
         key = (msg.src, msg.dst)
         chan = self._channels.get(key)
         if chan is None:
             chan = self._channels[key] = deque()
         chan.append(msg)
         self.total_pending += 1
+        if msg.bulk:
+            self._agg_fill[key] = 0
+            return True
         fill = self._agg_fill.get(key, 0)
         new_message = fill == 0
         self._agg_fill[key] = (fill + 1) % self.aggregation

@@ -177,6 +177,9 @@ class Location:
         self.stats.bytes_sent += size
         dst_loc = rt.locations[dest]
         if dest != self.id:
+            # a blocking RMI cannot be aggregated: request + reply each
+            # occupy one physical message
+            self.stats.physical_messages += 2
             lat = m.latency(self.id, dest, rt.nlocs, rt.placement)
             bc = m.byte_cost(self.id, dest, rt.nlocs, rt.placement)
             arrival = self.clock + lat + size * bc
@@ -185,6 +188,7 @@ class Location:
             dst_loc.clock += m.o_recv
             result = rt._run_handler(dst_loc, handle, method, args, self.id)
             rsize = 32 + estimate_size(result)
+            dst_loc.stats.bytes_sent += rsize  # the reply is traffic too
             self.clock = dst_loc.clock + lat + rsize * bc + m.o_recv
         else:
             self.clock += m.o_recv
@@ -211,6 +215,87 @@ class Location:
         """Execute all buffered RMIs destined to this location; returns the
         number executed (the RTS's incoming-request processing point)."""
         return self.runtime.drain_to(self.id)
+
+    # -- bulk transport ---------------------------------------------------
+    # Aggregation taken to its logical end (Ch. III.B): instead of batching
+    # scalar RMIs ``aggregation`` at a time, ship a whole element range as
+    # one slab.  One physical message per (src, dst) pair, payload bytes
+    # charged once, per-RMI sender overhead paid once.
+
+    def bulk_set_range(self, dest: int, handle: int, method: str, *args,
+                       nelems: int = 0) -> None:
+        """Fire-and-forget slab push: like :meth:`async_rmi` but the whole
+        payload travels in a single physical message.  Source-FIFO ordering
+        with scalar RMIs on the same channel is preserved (the slab enters
+        the same per-(src, dst) queue)."""
+        rt = self.runtime
+        m = rt.machine
+        size = 64 + estimate_size(args)
+        self.clock += m.o_send
+        self.stats.bulk_rmi_sent += 1
+        self.stats.bulk_elements_moved += nelems
+        self.stats.bytes_sent += size
+        msg = Message(self.id, dest, handle, method, args, size, self.clock,
+                      rt.current_origin, bulk=True)
+        if rt.network.enqueue(msg):
+            self.clock += m.msg_overhead
+            self.stats.physical_messages += 1
+
+    def bulk_get_range(self, dest: int, handle: int, method: str, *args,
+                       nelems: int = 0):
+        """Blocking slab fetch: one request message out, one slab reply
+        back.  Pending asyncs to ``dest`` execute first (source FIFO)."""
+        rt = self.runtime
+        m = rt.machine
+        self.stats.bulk_rmi_sent += 1
+        self.stats.bulk_elements_moved += nelems
+        rt.flush_channel(self.id, dest)
+        size = 64 + estimate_size(args)
+        self.clock += m.o_send
+        self.stats.bytes_sent += size
+        dst_loc = rt.locations[dest]
+        if dest != self.id:
+            self.stats.physical_messages += 2  # request + slab reply
+            lat = m.latency(self.id, dest, rt.nlocs, rt.placement)
+            bc = m.byte_cost(self.id, dest, rt.nlocs, rt.placement)
+            arrival = self.clock + lat + size * bc
+            if dst_loc.clock < arrival:
+                dst_loc.clock = arrival
+            dst_loc.clock += m.o_recv
+            result = rt._run_handler(dst_loc, handle, method, args, self.id)
+            rsize = 64 + estimate_size(result)
+            dst_loc.stats.bytes_sent += rsize  # slab reply, charged to replier
+            self.clock = dst_loc.clock + lat + rsize * bc + m.o_recv
+        else:
+            self.clock += m.o_recv
+            result = rt._run_handler(dst_loc, handle, method, args, self.id)
+        return result
+
+    def bulk_exchange(self, slabs: list, group: "LocationGroup | None" = None,
+                      nelems: int = 0) -> list:
+        """Personalised all-to-all of per-destination slabs: ``slabs[i]``
+        goes to the i-th group member; returns the slabs received, in group
+        order.  Costs one physical message per non-empty (src, dst) pair with
+        the payload bytes charged exactly once — the coarse-grained exchange
+        underlying redistribution (Ch. V.G)."""
+        rt = self.runtime
+        m = rt.machine
+        group = group or rt.world
+        self.stats.bulk_elements_moved += nelems
+        for member, payload in zip(group.members, slabs):
+            if member == self.id:
+                continue
+            empty = payload is None or (hasattr(payload, "__len__")
+                                        and len(payload) == 0)
+            if empty:
+                continue
+            size = 64 + estimate_size(payload)
+            bc = m.byte_cost(self.id, member, rt.nlocs, rt.placement)
+            self.clock += m.o_send + m.msg_overhead + size * bc
+            self.stats.bulk_rmi_sent += 1
+            self.stats.bytes_sent += size
+            self.stats.physical_messages += 1
+        return self.alltoall_rmi(slabs, group)
 
     # -- collectives -----------------------------------------------------
     def rmi_fence(self, group: LocationGroup | None = None) -> None:

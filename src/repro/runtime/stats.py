@@ -1,9 +1,11 @@
 """Per-location and aggregate runtime statistics.
 
 The statistics mirror what the paper instruments for its evaluation chapters:
-RMI traffic split by flavour (async / sync / split-phase), physical message
-counts after aggregation, bytes moved, forwarded requests (Ch. XI, Fig. 51)
-and lock operations performed by the thread-safety manager (Ch. VI).
+RMI traffic split by flavour (async / sync / split-phase / bulk), physical
+message counts after aggregation, bytes moved, forwarded requests (Ch. XI,
+Fig. 51) and lock operations performed by the thread-safety manager (Ch. VI).
+``bulk_rmi_sent`` counts one per bulk-transport message regardless of how
+many elements it carries; ``bulk_elements_moved`` counts the elements.
 """
 
 from __future__ import annotations
@@ -18,6 +20,8 @@ class LocationStats:
     async_rmi_sent: int = 0
     sync_rmi_sent: int = 0
     opaque_rmi_sent: int = 0
+    bulk_rmi_sent: int = 0
+    bulk_elements_moved: int = 0
     rmi_executed: int = 0
     local_invocations: int = 0
     remote_invocations: int = 0

@@ -45,6 +45,35 @@ class Array1DView(PView):
     def __setitem__(self, i, value):
         self.write(i, value)
 
+    # -- bulk element transport -------------------------------------------
+    def read_range(self, lo: int, hi: int):
+        """Slab read of view indices ``[lo, hi)`` — one bulk RMI per owning
+        location.  Returns None when the view cannot map the range
+        contiguously (non-identity mapping) so callers fall back to the
+        element interface."""
+        if self.mapping is not None or not hasattr(self.container,
+                                                   "get_range"):
+            return None
+        if hi > lo and not (self.domain.contains_gid(lo)
+                            and self.domain.contains_gid(hi - 1)):
+            raise IndexError(f"range [{lo}, {hi}) outside {self.domain}")
+        return self.container.get_range(lo, hi)
+
+    def write_range(self, lo: int, values) -> bool:
+        """Slab write starting at view index ``lo``; returns False when the
+        bulk path does not apply (nothing is written then)."""
+        if not self.writable:
+            raise TypeError("read-only view")
+        if self.mapping is not None or not hasattr(self.container,
+                                                   "set_range"):
+            return False
+        n = len(values)
+        if n and not (self.domain.contains_gid(lo)
+                      and self.domain.contains_gid(lo + n - 1)):
+            raise IndexError(f"range [{lo}, {lo + n}) outside {self.domain}")
+        self.container.set_range(lo, values)
+        return True
+
     def local_chunks(self) -> list:
         # identity-mapped full-domain views over GID-addressed storage align
         # with the container's bContainers (fast native path); containers
@@ -89,6 +118,14 @@ class BalancedView(PView):
 
     def write(self, i, value) -> None:
         self.base.write(i, value)
+
+    def read_range(self, lo: int, hi: int):
+        base = getattr(self.base, "read_range", None)
+        return None if base is None else base(lo, hi)
+
+    def write_range(self, lo: int, values) -> bool:
+        base = getattr(self.base, "write_range", None)
+        return False if base is None else base(lo, values)
 
     def local_chunks(self) -> list:
         n = self.size()

@@ -18,8 +18,28 @@ Two chunk flavours implement the locality story the paper tells:
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.domains import RangeDomain
 from ..core.partitions import balanced_sizes
+
+#: process-wide switch for the bulk element-transport fast path.  On, a
+#: GenericChunk whose view supports contiguous range accessors moves whole
+#: slabs (one RMI per owning location) instead of one RMI per element.
+#: Exists so the evaluation can measure bulk vs. per-element head-to-head.
+_BULK_TRANSPORT = True
+
+
+def bulk_transport_enabled() -> bool:
+    return _BULK_TRANSPORT
+
+
+def set_bulk_transport(on: bool) -> bool:
+    """Toggle the bulk fast path; returns the previous setting."""
+    global _BULK_TRANSPORT
+    prev = _BULK_TRANSPORT
+    _BULK_TRANSPORT = bool(on)
+    return prev
 
 
 class Workfunction:
@@ -174,7 +194,12 @@ class NativeChunk(Chunk):
 
 class GenericChunk(Chunk):
     """bView over an arbitrary slice of a view's domain; element access uses
-    the view's ADT operations (possibly remote)."""
+    the view's ADT operations (possibly remote).
+
+    When the view exposes contiguous range accessors (``read_range`` /
+    ``write_range``) and the chunk's index domain is a contiguous range, the
+    bulk element-transport path is used: the whole slice moves as one slab
+    per owning location instead of one RMI per element."""
 
     def __init__(self, view, index_domain):
         self.view = view
@@ -192,25 +217,100 @@ class GenericChunk(Chunk):
     def write(self, i, value) -> None:
         self.view.write(i, value)
 
-    def map_values(self, wf: Workfunction) -> None:
+    # -- bulk helpers ------------------------------------------------------
+    def _bulk_read(self):
+        """The chunk's slice as a slab, or None when the bulk path does not
+        apply (toggle off, non-contiguous domain, view without ranges)."""
+        dom = self.index_domain
+        if (not _BULK_TRANSPORT or not isinstance(dom, RangeDomain)
+                or not hasattr(self.view, "read_range")):
+            return None
+        return self.view.read_range(dom.lo, dom.hi)
+
+    def _bulk_write(self, values) -> bool:
+        dom = self.index_domain
+        if (not _BULK_TRANSPORT or not isinstance(dom, RangeDomain)
+                or not hasattr(self.view, "write_range")):
+            return False
+        return self.view.write_range(dom.lo, values)
+
+    def _charge_wf(self, wf: Workfunction) -> None:
         m = self.view.ctx.machine
         self.view.ctx.charge((wf.cost or m.t_access) * self.size())
+
+    def _charge_access(self, accesses: int) -> None:
+        """Per-element sweep cost of a bulk branch — kept identical to the
+        native chunk's accounting so bulk transport wins on messages, not on
+        element-touch bookkeeping."""
+        m = self.view.ctx.machine
+        self.view.ctx.charge(m.t_access * accesses * self.size())
+
+    def map_values(self, wf: Workfunction) -> None:
+        self._charge_wf(wf)
+        vals = self._bulk_read()
+        if vals is not None:
+            self._charge_access(2)
+            if wf.vector is not None:
+                out = wf.vector(np.asarray(vals))
+            else:
+                seq = vals.tolist() if hasattr(vals, "tolist") else vals
+                out = [wf.fn(v) for v in seq]
+            # the workfunction already ran once per element — never re-run
+            # it (it may be stateful); scatter element-wise if no slab write
+            if not self._bulk_write(out):
+                for k, i in enumerate(self.index_domain):
+                    self.view.write(i, out[k])
+            return
         for i in self.gids():
             self.view.write(i, wf.fn(self.view.read(i)))
 
     def generate(self, wf: Workfunction) -> None:
-        m = self.view.ctx.machine
-        self.view.ctx.charge((wf.cost or m.t_access) * self.size())
+        self._charge_wf(wf)
+        dom = self.index_domain
+        if (_BULK_TRANSPORT and isinstance(dom, RangeDomain) and dom.size()
+                and hasattr(self.view, "write_range")):
+            self._charge_access(1)
+            if wf.vector is not None:
+                out = wf.vector(np.arange(dom.lo, dom.hi, dtype=np.int64))
+            else:
+                out = [wf.fn(i) for i in dom]
+            if not self._bulk_write(out):
+                for k, i in enumerate(dom):
+                    self.view.write(i, out[k])
+            return
         for i in self.gids():
             self.view.write(i, wf.fn(i))
 
     def visit(self, wf: Workfunction) -> None:
-        m = self.view.ctx.machine
-        self.view.ctx.charge((wf.cost or m.t_access) * self.size())
+        self._charge_wf(wf)
+        vals = self._bulk_read()
+        if vals is not None:
+            self._charge_access(1)
+            seq = vals.tolist() if hasattr(vals, "tolist") else vals
+            for v in seq:
+                wf.fn(v)
+            return
         for i in self.gids():
             wf.fn(self.view.read(i))
 
     def reduce_values(self, op, initial):
+        vals = self._bulk_read()
+        if vals is not None:
+            self._charge_access(2)
+            import operator
+
+            if hasattr(vals, "dtype") and len(vals):
+                if op is operator.add:
+                    return op(initial, vals.sum().item())
+                if op is min:
+                    return min(initial, vals.min().item())
+                if op is max:
+                    return max(initial, vals.max().item())
+            acc = initial
+            seq = vals.tolist() if hasattr(vals, "tolist") else vals
+            for v in seq:
+                acc = op(acc, v)
+            return acc
         acc = initial
         for i in self.gids():
             acc = op(acc, self.view.read(i))

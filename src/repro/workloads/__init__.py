@@ -1,4 +1,29 @@
-"""Workload generators for the evaluation chapters."""
+"""Workload generators for the evaluation chapters: deterministic stand-ins
+for the paper's benchmark inputs, preserving the structural properties the
+experiments depend on rather than the raw gigabytes.
+
+What each workload models:
+
+* :mod:`.corpus` — a Zipf-distributed synthetic token stream over a
+  generated vocabulary, partitioned per location.  Substitute for the
+  1.5 GB Simple English Wikipedia dump of the MapReduce word-count study
+  (Fig. 59): what matters is token volume and the skewed word-frequency
+  distribution, both preserved.
+* :mod:`.meshes` — 2D grid graphs with a vertex per cell and 4-neighbour
+  edges.  The two page-rank inputs of Fig. 56 (1500x1500 vs 15x150000)
+  have equal vertex counts but extreme aspect ratios, changing the
+  partition cut from O(sqrt(n)) to O(rows) edges per location.
+* :mod:`.opmix` — streams of read/write/insert/delete operations with
+  configurable ratios (``STANDARD_MIXES``), driving the dynamic-container
+  comparison of Fig. 42 (pList vs pVector under churn).
+* :mod:`.ssca2` — clustered scale-free-ish graphs in the style of the
+  SSCA#2 benchmark (Figs. 49–52): dense intra-clique edges plus a tail of
+  sparser, distance-decaying inter-clique edges, generated
+  deterministically from a seed.
+* :mod:`.trees` — rooted tree edge lists (balanced binary, caterpillar,
+  random attachment) whose depth/branching extremes exercise the Euler-tour
+  applications of Figs. 43–44 (rooting, subtree sums, levels).
+"""
 
 from .corpus import generate_tokens, local_documents, vocabulary
 from .meshes import local_mesh_edges, mesh_edges, mesh_vertex

@@ -1,0 +1,202 @@
+"""Bulk-RMI primitive tests: slab transport (``bulk_set_range`` /
+``bulk_get_range`` / ``bulk_exchange``), its ordering guarantees against
+scalar RMIs, message accounting, and the ``estimate_size`` regressions for
+dict and ndarray payloads."""
+
+import numpy as np
+
+from repro.runtime import PObject
+from repro.runtime.comm import estimate_size
+from tests.conftest import run, run_detailed
+
+
+class Slab(PObject):
+    """Shared object exposing scalar and slab handlers over a plain list."""
+
+    def __init__(self, ctx, n=16):
+        super().__init__(ctx, None)
+        self.data = [0] * n
+        self.log = []
+        ctx.barrier(self.group)
+
+    def put(self, i, v):
+        self.log.append(("put", i, v))
+        self.data[i] = v
+
+    def put_range(self, lo, values):
+        self.log.append(("put_range", lo, len(values)))
+        for k, v in enumerate(values):
+            self.data[lo + k] = v
+
+    def get_range(self, lo, hi):
+        return list(self.data[lo:hi])
+
+
+class TestBulkSetRange:
+    def test_slab_applied_after_fence(self):
+        def prog(ctx):
+            s = Slab(ctx)
+            if ctx.id == 1:
+                ctx.bulk_set_range(0, s.handle, "put_range", 4, [9, 9, 9],
+                                   nelems=3)
+            before = list(s.data) if ctx.id == 0 else None
+            ctx.rmi_fence()
+            after = list(s.data) if ctx.id == 0 else None
+            return before, after
+
+        before, after = run(prog, nlocs=2)[0]
+        assert before == [0] * 16  # buffered until the fence
+        assert after[4:7] == [9, 9, 9]
+
+    def test_source_fifo_with_scalar_rmis(self):
+        """A slab enqueues on the same (src, dst) channel as scalar asyncs:
+        program order at the source is execution order at the target."""
+
+        def prog(ctx):
+            s = Slab(ctx)
+            if ctx.id == 1:
+                ctx.async_rmi(0, s.handle, "put", 0, 1)
+                ctx.bulk_set_range(0, s.handle, "put_range", 0, [2, 2],
+                                   nelems=2)
+                ctx.async_rmi(0, s.handle, "put", 0, 3)
+            ctx.rmi_fence()
+            return (s.log, s.data[0]) if ctx.id == 0 else None
+
+        log, final = run(prog, nlocs=2)[0]
+        assert log == [("put", 0, 1), ("put_range", 0, 2), ("put", 0, 3)]
+        assert final == 3  # last write in program order wins
+
+    def test_one_physical_message_per_slab(self):
+        def prog(ctx):
+            s = Slab(ctx, n=4096)
+            if ctx.id == 1:
+                ctx.bulk_set_range(0, s.handle, "put_range", 0,
+                                   list(range(4096)), nelems=4096)
+            ctx.rmi_fence()
+
+        rep = run_detailed(prog, nlocs=2)
+        total = rep.stats.total
+        assert total.bulk_rmi_sent == 1
+        assert total.bulk_elements_moved == 4096
+        # one slab = one physical message, no matter how many elements
+        assert total.physical_messages == 1
+
+    def test_slab_closes_aggregation_window(self):
+        """Scalar RMIs after a slab start a fresh physical message."""
+
+        def prog(ctx):
+            s = Slab(ctx)
+            if ctx.id == 1:
+                ctx.async_rmi(0, s.handle, "put", 0, 1)
+                ctx.bulk_set_range(0, s.handle, "put_range", 0, [5],
+                                   nelems=1)
+                ctx.async_rmi(0, s.handle, "put", 1, 2)
+            ctx.rmi_fence()
+
+        rep = run_detailed(prog, nlocs=2)
+        # scalar, slab, scalar -> 3 physical messages (window closed twice)
+        assert rep.stats.total.physical_messages == 3
+
+
+class TestBulkGetRange:
+    def test_returns_slab(self):
+        def prog(ctx):
+            s = Slab(ctx)
+            if ctx.id == 0:
+                for i in range(16):
+                    s.data[i] = i * 10
+            ctx.barrier()
+            got = None
+            if ctx.id == 1:
+                got = ctx.bulk_get_range(0, s.handle, "get_range", 3, 7,
+                                         nelems=4)
+            ctx.rmi_fence()
+            return got
+
+        assert run(prog, nlocs=2)[1] == [30, 40, 50, 60]
+
+    def test_flushes_pending_asyncs_first(self):
+        """Source FIFO: a slab fetch sees earlier async writes."""
+
+        def prog(ctx):
+            s = Slab(ctx)
+            got = None
+            if ctx.id == 1:
+                ctx.async_rmi(0, s.handle, "put", 2, 77)
+                got = ctx.bulk_get_range(0, s.handle, "get_range", 2, 3,
+                                         nelems=1)
+            ctx.rmi_fence()
+            return got
+
+        assert run(prog, nlocs=2)[1] == [77]
+
+    def test_counts_round_trip_messages(self):
+        def prog(ctx):
+            s = Slab(ctx)
+            if ctx.id == 1:
+                ctx.bulk_get_range(0, s.handle, "get_range", 0, 16,
+                                   nelems=16)
+            ctx.rmi_fence()
+
+        rep = run_detailed(prog, nlocs=2)
+        total = rep.stats.total
+        assert total.bulk_rmi_sent == 1
+        assert total.physical_messages == 2  # request + slab reply
+
+
+class TestBulkExchange:
+    def test_personalised_exchange(self):
+        def prog(ctx):
+            slabs = [np.full(3, ctx.id * 10 + dest)
+                     for dest in range(ctx.nlocs)]
+            received = ctx.bulk_exchange(slabs, nelems=3 * ctx.nlocs)
+            return [int(r[0]) for r in received]
+
+        out = run(prog, nlocs=3)
+        # location d receives slabs [s*10 + d for s in 0..2]
+        for d, got in enumerate(out):
+            assert got == [s * 10 + d for s in range(3)]
+
+    def test_one_message_per_pair(self):
+        def prog(ctx):
+            slabs = [np.arange(100) for _ in range(ctx.nlocs)]
+            ctx.bulk_exchange(slabs, nelems=100 * ctx.nlocs)
+
+        rep = run_detailed(prog, nlocs=4)
+        total = rep.stats.total
+        # 4 senders x 3 remote destinations (self-slab is free)
+        assert total.physical_messages == 12
+        assert total.bulk_rmi_sent == 12
+
+    def test_empty_slabs_are_free(self):
+        def prog(ctx):
+            slabs = [[] for _ in range(ctx.nlocs)]
+            ctx.bulk_exchange(slabs)
+
+        rep = run_detailed(prog, nlocs=4)
+        assert rep.stats.total.physical_messages == 0
+
+
+class TestEstimateSizeRegressions:
+    def test_empty_dict(self):
+        assert estimate_size({}) == 16
+
+    def test_small_dict_scales_with_entries(self):
+        one = estimate_size({1: 1})
+        four = estimate_size({i: i for i in range(4)})
+        assert four > one
+
+    def test_huge_dict_scales_linearly_from_sample(self):
+        small = estimate_size({i: i for i in range(100)})
+        large = estimate_size({i: i for i in range(100_000)})
+        # both are scalar->scalar dicts: the estimate extrapolates the
+        # 16-item sample, so size must scale ~linearly with len()
+        assert 500 * small < large < 2000 * small
+
+    def test_ndarray_payload_counts_nbytes(self):
+        a = np.zeros(1000, dtype=np.float64)
+        assert estimate_size(a) == 64 + 8000
+
+    def test_ndarray_inside_tuple(self):
+        a = np.zeros(100, dtype=np.float64)
+        assert estimate_size((3, a)) >= 800
