@@ -1,0 +1,18 @@
+"""Benchmarks regenerating the combining-buffer ablation (Ch. III.B
+combining applied to the dynamic containers; BCL-style buffered inserts).
+
+The drivers assert their own acceptance criteria: batched == scalar results
+and >= 10x fewer physical messages on the 100%-remote accumulate stream.
+"""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_combining_wordcount_ablation(benchmark):
+    run_and_report(benchmark, ev.combining_study, P=8, ops_per_loc=16000)
+
+
+def test_combining_containers_ablation(benchmark):
+    run_and_report(benchmark, ev.combining_containers_study, P=4,
+                   n_per_loc=3000)

@@ -27,8 +27,9 @@ def map_reduce(ctx, local_items, map_fn, output: PHashMap | None = None,
             for k, v in map_fn(item):
                 combined[k] = combined.get(k, 0) + v
                 ctx.charge(m.t_access)
-        for k, v in combined.items():
-            out.accumulate(k, v)
+        # ship the combined pairs through the combining buffers: one
+        # physical message per (dest, window) instead of one RMI per key
+        out.accumulate_batch(combined.items())
     else:
         for item in local_items:
             for k, v in map_fn(item):

@@ -106,6 +106,5 @@ def p_matrix_fill(pmatrix, fn) -> None:
         d = bc.domain
         ctx.charge(m.t_access * bc.size())
         for r in range(d.r0, d.r1):
-            row = bc.row_slice(r)
-            row[:] = [fn(r, c) for c in range(d.c0, d.c1)]
+            bc.set_row_slice(r, [fn(r, c) for c in range(d.c0, d.c1)])
     ctx.barrier(pmatrix.group)

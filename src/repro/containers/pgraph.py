@@ -110,6 +110,10 @@ class PGraph(PContainerDynamic):
         "has_edge": (ELEMENT, READ, MDREAD),
     }
 
+    #: async ops buffered by the combining path (Ch. III.B)
+    COMBINING_METHODS = frozenset(
+        {"add_edge", "set_vertex_property", "apply_vertex"})
+
     def __init__(self, ctx, num_vertices: int = 0, directed: str = DIRECTED,
                  multi_edges: bool = True, dynamic: bool = False,
                  forwarding: bool = True, default_property=None,
@@ -252,6 +256,15 @@ class PGraph(PContainerDynamic):
         self._dist.invoke("add_edge", src, tgt, ep)
         if not self.directed and src != tgt:
             self._dist.invoke("add_edge", tgt, src, ep)
+
+    def add_edges_batch(self, edges) -> None:
+        """Asynchronously add many edges — ``(src, tgt)`` or
+        ``(src, tgt, prop)`` tuples; remote insertions coalesce through the
+        combining buffers (one physical message per combining window)."""
+        for edge in edges:
+            src, tgt = edge[0], edge[1]
+            ep = edge[2] if len(edge) > 2 else None
+            self.add_edge_async(src, tgt, ep)
 
     def add_edge(self, src, tgt, ep=None) -> bool:
         """Synchronous edge insertion; returns False for duplicate edges on

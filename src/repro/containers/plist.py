@@ -31,6 +31,11 @@ class PList(PContainerDynamic):
         "erase": (LOCAL, WRITE, MDREAD),
     }
 
+    #: async ops buffered by the combining path (Ch. III.B); remote pushes
+    #: combine through their dedicated fast path below
+    COMBINING_METHODS = frozenset(
+        {"set_element", "apply_set", "insert", "erase"})
+
     def __init__(self, ctx, size: int = 0, value=0,
                  traits: Traits | None = None, group=None):
         super().__init__(ctx, traits, group)
@@ -102,7 +107,10 @@ class PList(PContainerDynamic):
             self.here.stats.local_invocations += 1
         else:
             self.here.stats.remote_invocations += 1
-            self.here.async_rmi(dest, self.handle, "_remote_push", True, value)
+            if not self.here.combine_rmi(dest, self.handle, "_remote_push",
+                                         True, value):
+                self.here.async_rmi(dest, self.handle, "_remote_push",
+                                    True, value)
 
     def push_front(self, value) -> None:
         """Prepend at the beginning of the global sequence (first segment)."""
@@ -113,7 +121,10 @@ class PList(PContainerDynamic):
             self.here.stats.local_invocations += 1
         else:
             self.here.stats.remote_invocations += 1
-            self.here.async_rmi(dest, self.handle, "_remote_push", False, value)
+            if not self.here.combine_rmi(dest, self.handle, "_remote_push",
+                                         False, value):
+                self.here.async_rmi(dest, self.handle, "_remote_push",
+                                    False, value)
 
     def _remote_push(self, back: bool, value) -> None:
         me = self.group.index_of(self.here.id)
@@ -126,12 +137,21 @@ class PList(PContainerDynamic):
 
     def pop_back(self):
         last = self._dist.partition.size() - 1
-        dest = self._dist.mapper.map(last)
-        return self.here.sync_rmi(dest, self.handle, "_remote_pop", True)
+        return self._pop(self._dist.mapper.map(last), True)
 
     def pop_front(self):
-        dest = self._dist.mapper.map(0)
-        return self.here.sync_rmi(dest, self.handle, "_remote_pop", False)
+        return self._pop(self._dist.mapper.map(0), False)
+
+    def _pop(self, dest: int, back: bool):
+        loc = self.here
+        if dest == loc.id:
+            # the end segment is local: no round trip (mirrors push_back's
+            # fast path).  Source FIFO: pending self-sends execute first.
+            self.runtime.flush_channel(loc.id, loc.id)
+            loc.stats.local_invocations += 1
+            return self._remote_pop(back)
+        loc.stats.remote_invocations += 1
+        return loc.sync_rmi(dest, self.handle, "_remote_pop", back)
 
     def _remote_pop(self, back: bool):
         me = self.group.index_of(self.here.id)
@@ -165,6 +185,28 @@ class PList(PContainerDynamic):
 
     def _local_erase(self, bc, gid, *_):
         return bc.erase(gid[1])
+
+    # -- batch interface (combining-buffer clients) ---------------------------
+    def push_back_range(self, values) -> None:
+        """Append many values at the end of the global sequence; remote
+        appends coalesce through the combining buffers (one physical
+        message per combining window instead of one RMI per element)."""
+        for value in values:
+            self.push_back(value)
+
+    def push_front_range(self, values) -> None:
+        """Prepend values one by one, exactly like a repeated push_front
+        loop: the *last* value ends up at the global front."""
+        for value in values:
+            self.push_front(value)
+
+    def push_anywhere_range(self, values) -> list:
+        """Append many values to the local segment (no communication);
+        returns their GIDs."""
+        bc = self.location_manager.get_bcontainer(self._my_bcid)
+        values = list(values)
+        self.here.charge_access(len(values))
+        return [(self._my_bcid, bc.push_back(v)) for v in values]
 
     # -- parallel-use extensions (Ch. V.B) -----------------------------------
     def push_anywhere(self, value):
@@ -216,13 +258,16 @@ class PList(PContainerDynamic):
         return [(self._my_bcid, s) for s in bc.seqs()]
 
     def to_list(self) -> list:
-        """Gather all values in global sequence order (collective)."""
-        me = self._my_bcid
-        local = (me, self.local_segment().values())
-        gathered = self.ctx.allgather_rmi(local, group=self.group)
+        """Gather all values in global sequence order, one slab per
+        (src, dst) pair (collective).  Group order is segment order (bcid
+        ``i`` lives on the i-th member), so the allgather order is already
+        the global sequence order; empty segments ship nothing."""
+        vals = self.local_segment().values()
+        gathered = self.ctx.bulk_gather(vals, group=self.group,
+                                        nelems=len(vals))
         out = []
-        for _me, vals in sorted(gathered):
-            out.extend(vals)
+        for seg in gathered:
+            out.extend(seg or [])
         return out
 
     def splice_from(self, other: "PList") -> None:

@@ -181,10 +181,23 @@ class Matrix2DBC(BaseContainer):
         self.data[rr:rr + block.shape[0], cc:cc + block.shape[1]] = block
 
     def row_slice(self, r) -> np.ndarray:
-        return self.data[r - self._domain.r0, :]
+        """Copy of global row ``r``'s extent in this block.  A copy, like
+        ``get_block``/``get_range`` — a live view would let a remote caller
+        in the shared-address-space simulator mutate owner storage with
+        zero charged communication."""
+        return self.data[r - self._domain.r0, :].copy()
 
     def col_slice(self, c) -> np.ndarray:
-        return self.data[:, c - self._domain.c0]
+        """Copy of global column ``c``'s extent in this block."""
+        return self.data[:, c - self._domain.c0].copy()
+
+    def set_row_slice(self, r, values) -> None:
+        """Overwrite global row ``r``'s extent in this block."""
+        self.data[r - self._domain.r0, :] = values
+
+    def set_col_slice(self, c, values) -> None:
+        """Overwrite global column ``c``'s extent in this block."""
+        self.data[:, c - self._domain.c0] = values
 
     def values(self) -> np.ndarray:
         return self.data

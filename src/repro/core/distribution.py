@@ -138,6 +138,13 @@ class DataDistributionManager:
                                           "_invoke_handler_ret")
             extra = ()
         if flavor == ASYNC:
+            # dynamic-side combining (Ch. III.B): eligible async ops are
+            # buffered per (dest, handle) and flushed as one bulk message
+            if (method in container.COMBINING_METHODS
+                    and loc.combine_rmi(target, container.handle,
+                                        handler_async, method, gid, args,
+                                        *extra)):
+                return None
             loc.async_rmi(target, container.handle, handler_async,
                           method, gid, args, *extra)
             return None

@@ -69,6 +69,12 @@ class PContainerBase(PObject):
     #: subclasses override with their method locking table (Ch. VI.D)
     DEFAULT_LOCKING: dict = {}
 
+    #: asynchronous element methods eligible for the combining-buffer path
+    #: (Ch. III.B): dynamic containers name their insert/set/accumulate/
+    #: erase-style ops here; static containers keep this empty (their bulk
+    #: story is the slab transport instead)
+    COMBINING_METHODS: frozenset = frozenset()
+
     def __init__(self, ctx, traits: Traits | None = None, group=None):
         super().__init__(ctx, group)
         self.traits = traits or DEFAULT_TRAITS
@@ -219,6 +225,13 @@ class PContainerBase(PObject):
     # -- bulk iteration support (native views / pAlgorithms) ----------------
     def local_bcontainers(self) -> list:
         return self.location_manager.ordered()
+
+    # -- combining buffers --------------------------------------------------
+    def flush_combining(self) -> int:
+        """Explicitly flush this location's pending combined ops for this
+        container into the network (they execute at the next fence/drain).
+        Returns the number of op records flushed."""
+        return self.here.flush_combining(handle=self.handle)
 
     # -- bulk transfer accounting ------------------------------------------
     def _piece_transfer(self, owner, nelems: int, local_fn, remote_fn):

@@ -8,6 +8,7 @@ from .ablations import (
 )
 from .assoc_figs import fig59_mapreduce_wordcount, fig60_assoc_algorithms
 from .bulk_figs import bulk_transport_study
+from .combining_figs import combining_containers_study, combining_study
 from .composition_figs import fig62_row_min
 from .consistency_figs import mcm_demonstrations
 from .harness import ExperimentResult, method_kernel, run_spmd_timed

@@ -18,6 +18,8 @@ from . import (
     ablation_lazy_size,
     ablation_view_alignment,
     bulk_transport_study,
+    combining_containers_study,
+    combining_study,
     fig27_constructor,
     fig28_local_methods,
     fig29_methods_weak,
@@ -68,6 +70,8 @@ DRIVERS = {
     "fig62": fig62_row_min,
     "mcm": mcm_demonstrations,
     "bulk_transport": bulk_transport_study,
+    "combining": combining_study,
+    "combining_containers": combining_containers_study,
     "ablation_aggregation": ablation_aggregation,
     "ablation_alignment": ablation_view_alignment,
     "ablation_consistency": ablation_consistency_mode,

@@ -5,7 +5,15 @@ Public surface mirrors Ch. III.B of the paper: locations, RMI primitives
 p_objects — all running on a deterministic virtual-time machine simulator.
 """
 
-from .comm import Message, Network, estimate_size
+from .comm import (
+    Message,
+    Network,
+    combining_enabled,
+    combining_window,
+    estimate_size,
+    set_combining,
+    set_combining_window,
+)
 from .future import Future, pc_future
 from .machine import CRAY4, CRAY5, MACHINES, P5_CLUSTER, SMP, MachineModel, get_machine
 from .p_object import PObject
@@ -38,8 +46,12 @@ __all__ = [
     "SMP",
     "SpmdError",
     "SpmdReport",
+    "combining_enabled",
+    "combining_window",
     "estimate_size",
     "get_machine",
+    "set_combining",
+    "set_combining_window",
     "pc_future",
     "spmd_run",
     "spmd_run_detailed",

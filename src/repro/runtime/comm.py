@@ -16,6 +16,18 @@ element range (a slab) as its payload.  It always occupies a physical
 message of its own — it is never merged into the scalar aggregation window,
 and it closes the window so the next scalar RMI starts a fresh physical
 message.  Payload bytes are charged exactly once per (src, dst) slab.
+
+Combining (the second Ch. III.B technique) is modelled by the
+per-destination *combining buffers* owned by each
+:class:`~.scheduler.Location`: asynchronous operation records
+(insert / set / accumulate / erase and friends, each tagged with its
+p_object handle) are appended locally and shipped as one bulk message when
+the buffer reaches the combining window, at a fence, before any other RMI
+to the same destination (source-FIFO order), or on an explicit
+``flush_combining()``.  One buffer per channel — like ARMI's aggregation
+buffers — keeps issue order across p_objects intact.  The module-level
+toggle below exists so the evaluation can assert batched == scalar results
+head-to-head.
 """
 
 from __future__ import annotations
@@ -28,6 +40,39 @@ import numpy as np
 _SCALAR_SIZE = 8
 _DEFAULT_SIZE = 64
 
+#: process-wide switch + window for the combining-buffer path.  On, async
+#: container ops named in a container's ``COMBINING_METHODS`` are buffered
+#: per (destination, handle) and flushed as one bulk message per window.
+_COMBINING = True
+_COMBINING_WINDOW = 1024
+
+
+def combining_enabled() -> bool:
+    return _COMBINING
+
+
+def set_combining(on: bool) -> bool:
+    """Toggle the combining-buffer path; returns the previous setting."""
+    global _COMBINING
+    prev = _COMBINING
+    _COMBINING = bool(on)
+    return prev
+
+
+def combining_window() -> int:
+    return _COMBINING_WINDOW
+
+
+def set_combining_window(n: int) -> int:
+    """Set how many op records a combining buffer holds before it flushes
+    as one physical message; returns the previous window."""
+    global _COMBINING_WINDOW
+    if n < 1:
+        raise ValueError("combining window must be >= 1")
+    prev = _COMBINING_WINDOW
+    _COMBINING_WINDOW = int(n)
+    return prev
+
 
 def estimate_size(obj, _depth: int = 0) -> int:
     """Cheap, deterministic wire-size estimate (bytes) for RMI arguments.
@@ -37,6 +82,10 @@ def estimate_size(obj, _depth: int = 0) -> int:
     cost model scales with payload size.
     """
     if obj is None or isinstance(obj, (bool, int, float)):
+        return _SCALAR_SIZE
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        # numpy scalars (values originating from numpy-backed storage) are
+        # 8-byte payloads, not opaque 64-byte objects
         return _SCALAR_SIZE
     if isinstance(obj, (str, bytes, bytearray)):
         return 16 + len(obj)

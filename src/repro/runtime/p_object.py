@@ -73,6 +73,18 @@ class PObject:
     def _opaque(self, dest: int, method: str, *args):
         return self._runtime.current_location.opaque_rmi(dest, self._handle, method, *args)
 
+    def _apply_combined(self, records) -> None:
+        """Replay a flushed combining buffer (Ch. III.B combining): each
+        record is one buffered asynchronous op, executed in the order it
+        was appended at the source.  A buffer is per destination, so
+        records may target other p_objects on this location — each is
+        re-routed to its handle's representative."""
+        here_id = self.here.id
+        for handle, method, args in records:
+            obj = (self if handle == self._handle
+                   else self._runtime.lookup(handle, here_id))
+            getattr(obj, method)(*args)
+
     def destroy(self) -> None:
         """Collective destructor: unregister all representatives."""
         self._ctx.collective_unregister(self._handle, self._group)

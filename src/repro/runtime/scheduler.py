@@ -18,7 +18,13 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
-from .comm import Message, Network, estimate_size
+from .comm import (
+    Message,
+    Network,
+    combining_enabled,
+    combining_window,
+    estimate_size,
+)
 from .future import Future
 from .machine import get_machine
 from .stats import LocationStats, RunStats
@@ -103,6 +109,11 @@ class Location:
         self._coll_result = None
         self._coll_seq: dict[tuple, int] = {}
         self._thread: threading.Thread | None = None
+        #: per-destination combining buffers of (handle, method, args)
+        #: records — one buffer per channel, like ARMI's aggregation
+        #: buffers, so issue order across p_objects is preserved and
+        #: interleaved streams to different containers still batch
+        self._combining: dict[int, list] = {}
 
     # -- identity ------------------------------------------------------
     @property
@@ -155,6 +166,8 @@ class Location:
         """
         rt = self.runtime
         m = rt.machine
+        if self._combining:
+            self.flush_combining(dest)
         size = 32 + estimate_size(args)
         self.clock += m.o_send
         self.stats.async_rmi_sent += 1
@@ -170,7 +183,10 @@ class Location:
         rt = self.runtime
         m = rt.machine
         self.stats.sync_rmi_sent += 1
-        # Source FIFO: pending asyncs to `dest` execute first.
+        # Source FIFO: buffered combined ops, then pending asyncs to
+        # `dest` execute first.
+        if self._combining:
+            self.flush_combining(dest)
         rt.flush_channel(self.id, dest)
         size = 32 + estimate_size(args)
         self.clock += m.o_send
@@ -199,6 +215,8 @@ class Location:
         """Split-phase RMI: returns a :class:`Future` immediately."""
         rt = self.runtime
         m = rt.machine
+        if self._combining:
+            self.flush_combining(dest)
         size = 32 + estimate_size(args)
         self.clock += m.o_send
         self.stats.opaque_rmi_sent += 1
@@ -230,6 +248,8 @@ class Location:
         the same per-(src, dst) queue)."""
         rt = self.runtime
         m = rt.machine
+        if self._combining:
+            self.flush_combining(dest)
         size = 64 + estimate_size(args)
         self.clock += m.o_send
         self.stats.bulk_rmi_sent += 1
@@ -249,6 +269,8 @@ class Location:
         m = rt.machine
         self.stats.bulk_rmi_sent += 1
         self.stats.bulk_elements_moved += nelems
+        if self._combining:
+            self.flush_combining(dest)
         rt.flush_channel(self.id, dest)
         size = 64 + estimate_size(args)
         self.clock += m.o_send
@@ -297,11 +319,107 @@ class Location:
             self.stats.physical_messages += 1
         return self.alltoall_rmi(slabs, group)
 
+    def bulk_gather(self, payload, group: "LocationGroup | None" = None,
+                    nelems: int = 0) -> list:
+        """Allgather of per-location slabs: every member receives the
+        payloads in group order.  A non-empty payload costs one physical
+        message per (src, dst) pair with its bytes charged once — the
+        batched gather under ``to_dict``/``sorted_items``/``to_list``."""
+        rt = self.runtime
+        m = rt.machine
+        group = group or rt.world
+        self.stats.bulk_elements_moved += nelems
+        empty = payload is None or (hasattr(payload, "__len__")
+                                    and len(payload) == 0)
+        if not empty:
+            size = 64 + estimate_size(payload)
+            for member in group.members:
+                if member == self.id:
+                    continue
+                bc = m.byte_cost(self.id, member, rt.nlocs, rt.placement)
+                self.clock += m.o_send + m.msg_overhead + size * bc
+                self.stats.bulk_rmi_sent += 1
+                self.stats.bytes_sent += size
+                self.stats.physical_messages += 1
+        return self.allgather_rmi(payload, group)
+
+    # -- combining buffers -------------------------------------------------
+    # The second Ch. III.B technique: asynchronous op records destined to
+    # the same (destination, p_object) are buffered locally and replayed by
+    # the destination's ``_apply_combined`` handler from one bulk message.
+
+    def combine_rmi(self, dest: int, handle: int, method: str,
+                    *args) -> bool:
+        """Append one async op record to the per-``dest`` combining
+        buffer; returns False — having done nothing — when the op cannot
+        be combined (combining disabled, self-targeted, or issued from
+        inside an RMI handler, where buffering would let a forwarded
+        continuation escape fence quiescence).  The caller then falls back
+        to :meth:`async_rmi`.
+
+        Buffered records flush, in append order, at the combining-window
+        boundary, at a fence, before any other RMI to the same destination
+        (preserving source-FIFO order with scalar RMIs on the channel), or
+        on an explicit :meth:`flush_combining`."""
+        rt = self.runtime
+        if not combining_enabled() or dest == self.id or rt._exec_depth:
+            return False
+        buf = self._combining.get(dest)
+        if buf is None:
+            buf = self._combining[dest] = []
+        buf.append((handle, method, args))
+        # local append: cheap compared to marshaling a full RMI
+        self.clock += rt.machine.o_send * 0.25
+        self.stats.combined_ops += 1
+        if len(buf) >= combining_window():
+            self._flush_combining_buffer(dest)
+        return True
+
+    def flush_combining(self, dest: int | None = None,
+                        handle: int | None = None) -> int:
+        """Flush combining buffers — all of them, or only those to ``dest``
+        and/or containing records for ``handle`` (a buffer always flushes
+        whole, preserving the channel's issue order).  Returns the number
+        of op records shipped.  Flushing moves records into the FIFO
+        channels as bulk messages; it does not execute them (a fence or
+        drain does)."""
+        if not self._combining:
+            return 0
+        dests = [d for d, buf in self._combining.items()
+                 if (dest is None or d == dest)
+                 and (handle is None or any(r[0] == handle for r in buf))]
+        n = 0
+        for d in dests:
+            n += self._flush_combining_buffer(d)
+        return n
+
+    def _flush_combining_buffer(self, dest: int) -> int:
+        records = self._combining.pop(dest, None)
+        if not records:
+            return 0
+        rt = self.runtime
+        m = rt.machine
+        size = 64 + estimate_size(records)
+        self.clock += m.o_send
+        self.stats.combining_flushes += 1
+        self.stats.bytes_sent += size
+        # the message routes through the first record's p_object; its
+        # _apply_combined handler re-routes each record by handle.  Records
+        # are only buffered outside handlers, so the originating location
+        # is always this one (never a forwarded origin).
+        msg = Message(self.id, dest, records[0][0], "_apply_combined",
+                      (records,), size, self.clock, self.id, bulk=True)
+        if rt.network.enqueue(msg):
+            self.clock += m.msg_overhead
+            self.stats.physical_messages += 1
+        return len(records)
+
     # -- collectives -----------------------------------------------------
     def rmi_fence(self, group: LocationGroup | None = None) -> None:
         """Collective fence: on return, no RMI issued by any group member
         before the fence is still pending (Ch. III.B / VII.B)."""
         self.stats.fences += 1
+        self.flush_combining()
         self._collective("fence", None, group)
 
     def barrier(self, group: LocationGroup | None = None) -> None:
@@ -340,6 +458,7 @@ class Location:
     def os_fence(self) -> None:
         """One-sided fence: completes all RMIs *originated* by this location
         (including forwarded continuations) without a collective."""
+        self.flush_combining()
         self.runtime.drain_origin(self.id)
 
     # -- registration ------------------------------------------------------

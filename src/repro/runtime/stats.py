@@ -6,6 +6,9 @@ message counts after aggregation, bytes moved, forwarded requests (Ch. XI,
 Fig. 51) and lock operations performed by the thread-safety manager (Ch. VI).
 ``bulk_rmi_sent`` counts one per bulk-transport message regardless of how
 many elements it carries; ``bulk_elements_moved`` counts the elements.
+``combined_ops`` counts asynchronous op records appended to the combining
+buffers; ``combining_flushes`` counts the physical messages that carried
+them (one per buffer flush).
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ class LocationStats:
     opaque_rmi_sent: int = 0
     bulk_rmi_sent: int = 0
     bulk_elements_moved: int = 0
+    combined_ops: int = 0
+    combining_flushes: int = 0
     rmi_executed: int = 0
     local_invocations: int = 0
     remote_invocations: int = 0

@@ -185,7 +185,7 @@ class _LocalColsChunk(Chunk):
 
     def write(self, c, values) -> None:
         self.location.charge_access(self.bc.domain.rows)
-        self.bc.col_slice(c)[:] = values
+        self.bc.set_col_slice(c, values)
 
     def visit(self, wf: Workfunction) -> None:
         m = self.location.machine
@@ -229,7 +229,7 @@ class _LocalRowsChunk(Chunk):
 
     def write(self, r, values) -> None:
         self.location.charge_access(self.bc.domain.cols)
-        self.bc.row_slice(r)[:] = values
+        self.bc.set_row_slice(r, values)
 
     def visit(self, wf: Workfunction) -> None:
         m = self.location.machine

@@ -24,10 +24,38 @@ def _zipf_weights(size: int, exponent: float) -> list:
 def generate_tokens(num_tokens: int, vocab_size: int = 1000,
                     exponent: float = 1.1, seed: int = 7) -> list:
     """One deterministic Zipf-distributed token stream."""
+    return zipf_stream(vocabulary(vocab_size), num_tokens, exponent, seed)
+
+
+def zipf_stream(words: list, num_tokens: int, exponent: float = 1.1,
+                seed: int = 7) -> list:
+    """Deterministic Zipf-distributed token stream over an explicit word
+    list (the skew knob of the combining/wordcount ablations)."""
     rng = random.Random(seed)
-    vocab = vocabulary(vocab_size)
-    weights = _zipf_weights(vocab_size, exponent)
-    return rng.choices(vocab, weights=weights, k=num_tokens)
+    weights = _zipf_weights(len(words), exponent)
+    return rng.choices(words, weights=weights, k=num_tokens)
+
+
+def owner_keyed_vocabulary(nlocs: int, per_owner: int,
+                           prefix: str = "k") -> list:
+    """Synthetic vocabulary bucketed by owning location under an
+    ``nlocs``-way hash partition: ``bucket[i]`` holds ``per_owner`` distinct
+    words with ``stable_hash(word) % nlocs == i``, so a workload can dial
+    its remote fraction exactly (e.g. a 100%-remote accumulate stream for
+    the combining ablation)."""
+    from ..core.partitions import stable_hash
+
+    buckets = [[] for _ in range(nlocs)]
+    filled = 0
+    i = 0
+    while filled < nlocs * per_owner:
+        word = f"{prefix}{i}"
+        i += 1
+        bucket = buckets[stable_hash(word) % nlocs]
+        if len(bucket) < per_owner:
+            bucket.append(word)
+            filled += 1
+    return buckets
 
 
 def local_documents(lid: int, nlocs: int, tokens_per_location: int,

@@ -1,0 +1,130 @@
+"""pList pop regression tests: the local fast path (no round trip charged
+for pops whose end segment is local), the multi-hop chase across empty end
+segments, and IndexError propagation through the sync-RMI path."""
+
+import pytest
+
+from repro.containers.plist import PList
+from tests.conftest import run
+
+
+class TestLocalFastPath:
+    def test_local_pop_charges_no_round_trip(self):
+        """pop_back on the location owning the last segment must behave
+        like push_back: a local invocation, no sync RMI, no physical
+        messages."""
+
+        def prog(ctx):
+            pl = PList(ctx)
+            pl.push_anywhere(ctx.id * 100)
+            ctx.rmi_fence()
+            if ctx.id == ctx.nlocs - 1:  # owns the last segment
+                sync0 = ctx.stats.sync_rmi_sent
+                remote0 = ctx.stats.remote_invocations
+                msgs0 = ctx.stats.physical_messages
+                local0 = ctx.stats.local_invocations
+                got = pl.pop_back()
+                assert got == ctx.id * 100
+                assert ctx.stats.sync_rmi_sent == sync0
+                assert ctx.stats.remote_invocations == remote0
+                assert ctx.stats.physical_messages == msgs0
+                assert ctx.stats.local_invocations == local0 + 1
+            ctx.rmi_fence()
+            pl.update_size()
+            return pl.size()
+
+        assert run(prog, nlocs=4) == [3] * 4
+
+    def test_local_pop_front(self):
+        def prog(ctx):
+            pl = PList(ctx)
+            if ctx.id == 0:
+                pl.push_anywhere(7)
+            ctx.rmi_fence()
+            if ctx.id == 0:  # owns the first segment
+                sync0 = ctx.stats.sync_rmi_sent
+                assert pl.pop_front() == 7
+                assert ctx.stats.sync_rmi_sent == sync0
+            ctx.rmi_fence()
+            pl.update_size()
+            return pl.size()
+
+        assert run(prog, nlocs=2) == [0, 0]
+
+    def test_remote_pop_counts_remote_invocation(self):
+        def prog(ctx):
+            pl = PList(ctx, size=ctx.nlocs, value=5)
+            ctx.rmi_fence()
+            if ctx.id == 0 and ctx.nlocs > 1:
+                remote0 = ctx.stats.remote_invocations
+                sync0 = ctx.stats.sync_rmi_sent
+                assert pl.pop_back() == 5  # last segment on another loc
+                assert ctx.stats.remote_invocations == remote0 + 1
+                assert ctx.stats.sync_rmi_sent == sync0 + 1
+            ctx.rmi_fence()
+            pl.update_size()
+            return pl.size()
+
+        assert run(prog, nlocs=4) == [3] * 4
+
+
+class TestChase:
+    def test_pop_back_chases_through_empty_end_segments(self):
+        """Values only in segment 0; pop_back from the last location must
+        hop inwards across every empty segment and return segment 0's
+        tail."""
+
+        def prog(ctx):
+            pl = PList(ctx)
+            if ctx.id == 0:
+                for v in (1, 2, 3):
+                    pl.push_anywhere(v)
+            ctx.rmi_fence()
+            got = None
+            if ctx.id == ctx.nlocs - 1:
+                got = pl.pop_back()  # local end segment empty: 3->2->1->0
+            ctx.rmi_fence()
+            pl.update_size()
+            return got, pl.size()
+
+        out = run(prog, nlocs=4)
+        assert out[-1] == (3, 2)
+        assert all(r[1] == 2 for r in out)
+
+    def test_pop_front_chases_forward(self):
+        def prog(ctx):
+            pl = PList(ctx)
+            if ctx.id == ctx.nlocs - 1:
+                pl.push_anywhere(9)  # only the last segment has data
+            ctx.rmi_fence()
+            got = None
+            if ctx.id == 1:
+                got = pl.pop_front()  # chases 0 -> 1 -> 2 -> 3
+            ctx.rmi_fence()
+            pl.update_size()
+            return got, pl.size()
+
+        out = run(prog, nlocs=4)
+        assert out[1] == (9, 0)
+
+    def test_pop_empty_raises_through_sync_path(self):
+        """A fully empty list: the chase exhausts every segment and the
+        IndexError propagates back through the (possibly nested) sync
+        RMIs to the caller."""
+
+        def prog(ctx):
+            pl = PList(ctx)
+            ctx.rmi_fence()
+            raised = {"back": False, "front": False}
+            if ctx.id == 0:
+                with pytest.raises(IndexError):
+                    pl.pop_back()  # remote sync RMI to the last segment
+                raised["back"] = True
+                with pytest.raises(IndexError):
+                    pl.pop_front()  # local fast path, empty everywhere
+                raised["front"] = True
+            ctx.rmi_fence()
+            return raised
+
+        out = run(prog, nlocs=4)
+        assert out[0] == {"back": True, "front": True}

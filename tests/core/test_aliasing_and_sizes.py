@@ -1,0 +1,83 @@
+"""Cost-model/aliasing regressions: Matrix2DBC slice accessors must copy
+(no free remote mutation of owner storage in the shared-address-space
+simulator), and ``estimate_size`` must charge numpy scalars as scalars."""
+
+import numpy as np
+import pytest
+
+from repro.containers.pmatrix import PMatrix
+from repro.core.base_containers import Matrix2DBC
+from repro.core.domains import Range2DDomain
+from repro.runtime.comm import estimate_size
+from tests.conftest import run
+
+
+class TestMatrixSliceAliasing:
+    def _bc(self):
+        dom = Range2DDomain((0, 0), (2, 3))
+        return Matrix2DBC(dom, 0, data=np.arange(6.0))
+
+    def test_row_slice_is_a_copy(self):
+        bc = self._bc()
+        row = bc.row_slice(1)
+        row[:] = -1.0
+        assert bc.get((1, 0)) == 3.0
+        assert bc.row_slice(1).tolist() == [3.0, 4.0, 5.0]
+
+    def test_col_slice_is_a_copy(self):
+        bc = self._bc()
+        col = bc.col_slice(2)
+        col[:] = -1.0
+        assert bc.get((0, 2)) == 2.0
+        assert bc.col_slice(2).tolist() == [2.0, 5.0]
+
+    def test_set_slices_write_through(self):
+        bc = self._bc()
+        bc.set_row_slice(0, [9.0, 8.0, 7.0])
+        bc.set_col_slice(0, [1.5, 2.5])
+        assert bc.row_slice(0).tolist() == [1.5, 8.0, 7.0]
+        assert bc.col_slice(0).tolist() == [1.5, 2.5]
+
+    def test_remote_row_mutation_does_not_leak(self):
+        """A location that fetches a remote row and mutates the returned
+        buffer must not alter the owner's storage."""
+
+        def prog(ctx):
+            pm = PMatrix(ctx, 4, 4, value=1.0)
+            ctx.rmi_fence()
+            row = np.asarray(pm.get_row(0), dtype=float)
+            row[:] = 99.0  # tampering with the fetched copy
+            ctx.rmi_fence()
+            return pm.get_row(0)
+
+        out = run(prog, nlocs=4)
+        assert all(r == [1.0] * 4 for r in out)
+
+
+class TestEstimateSizeNumpyScalars:
+    @pytest.mark.parametrize("value", [
+        np.int8(3), np.int32(3), np.int64(-9), np.uint64(9),
+        np.float32(1.5), np.float64(2.5), np.bool_(True),
+    ])
+    def test_numpy_scalar_is_eight_bytes(self, value):
+        assert estimate_size(value) == 8
+
+    @pytest.mark.parametrize("py, npv", [
+        (3, np.int64(3)),
+        (2.5, np.float64(2.5)),
+        (True, np.bool_(True)),
+    ])
+    def test_numpy_scalar_matches_python_scalar(self, py, npv):
+        assert estimate_size(npv) == estimate_size(py)
+
+    def test_containers_of_numpy_scalars(self):
+        arr = np.arange(10.0)
+        scalars = [v for v in arr]  # np.float64 elements
+        plain = [float(v) for v in arr]
+        assert estimate_size(scalars) == estimate_size(plain)
+        assert estimate_size((np.int32(1), np.float64(2.0))) == \
+            estimate_size((1, 2.0))
+
+    def test_ndarray_unchanged(self):
+        a = np.zeros(100)
+        assert estimate_size(a) == 64 + 800
