@@ -6,8 +6,6 @@ virtual-time numbers the reproduction reports), and lets pytest-benchmark
 measure the wall-clock cost of the simulation itself.
 """
 
-import pytest
-
 
 def run_and_report(benchmark, driver, **kwargs):
     """Benchmark a figure driver and print its regenerated table."""

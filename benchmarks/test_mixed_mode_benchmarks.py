@@ -1,0 +1,20 @@
+"""Benchmarks regenerating the mixed-mode runtime ablation (zero-copy
+intra-node fast path, hierarchical collectives, node-aware slab routing).
+
+The drivers assert their own acceptance criteria: zero-copy results are
+byte-identical to the message path and at least 2x cheaper in simulated
+time on the intra-node-heavy 8-cores-per-node workload; the two-level
+collective tree never costs more than the flat one and matches it exactly
+with one core per node.
+"""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_mixed_mode_zero_copy_ablation(benchmark):
+    run_and_report(benchmark, ev.mixed_mode_study, P=8, n_per_loc=2000)
+
+
+def test_mixed_mode_topology(benchmark):
+    run_and_report(benchmark, ev.mixed_mode_topology_study)

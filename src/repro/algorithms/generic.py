@@ -17,12 +17,7 @@ import operator
 import numpy as np
 
 from ..core.domains import RangeDomain
-from ..views.base import (
-    GenericChunk,
-    Workfunction,
-    as_wf,
-    bulk_transport_enabled,
-)
+from ..views.base import Workfunction, bulk_transport_enabled
 from .prange import Executor, PRange
 
 

@@ -15,7 +15,7 @@ from ..core.base_containers import ListBC
 from ..core.domains import UniverseDomain
 from ..core.partitions import ListPartition
 from ..core.pcontainer import PContainerDynamic
-from ..core.thread_safety import ELEMENT, LOCAL, MDREAD, MDWRITE, READ, WRITE
+from ..core.thread_safety import ELEMENT, LOCAL, MDREAD, READ, WRITE
 from ..core.traits import Traits
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .domains import EnumeratedDomain, Range2DDomain, RangeDomain
+from .domains import Range2DDomain
 
 #: modelled per-element payload size in bytes (memory accounting)
 ELEM_BYTES = 8

@@ -16,6 +16,13 @@ Every element-wise pContainer method is an instantiation of the generic
 
 Containers implement ``_local_<method>(bc, gid, *args)`` handlers which the
 skeleton dispatches to once the owning bContainer is found.
+
+Mixed-mode locality: when the owner is *not* this location, the shipped
+request is still locality-aware one layer down — destinations on the same
+node take the runtime's zero-copy fast path (when enabled) instead of being
+marshaled, and ``combine_rmi`` refuses to buffer ops bound for such
+destinations (direct execution beats batching when no message would be
+saved), falling back to the plain async send below.
 """
 
 from __future__ import annotations

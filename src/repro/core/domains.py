@@ -14,8 +14,6 @@ set-operation compositions and filtered domains.
 
 from __future__ import annotations
 
-import itertools
-from bisect import bisect_left
 from typing import Iterable, Iterator
 
 INVALID_GID = object()
@@ -473,14 +471,16 @@ def domain_union(a: FiniteOrderedDomain, b: FiniteOrderedDomain) -> FiniteOrdere
     return EnumeratedDomain(sorted(seen + extra))
 
 
-def domain_intersection(a: FiniteOrderedDomain, b: FiniteOrderedDomain) -> FiniteOrderedDomain:
+def domain_intersection(a: FiniteOrderedDomain,
+                        b: FiniteOrderedDomain) -> FiniteOrderedDomain:
     if isinstance(a, RangeDomain) and isinstance(b, RangeDomain):
         return a.intersect(b)
     bset = set(b)
     return EnumeratedDomain([g for g in a if g in bset])
 
 
-def domain_difference(a: FiniteOrderedDomain, b: FiniteOrderedDomain) -> FiniteOrderedDomain:
+def domain_difference(a: FiniteOrderedDomain,
+                      b: FiniteOrderedDomain) -> FiniteOrderedDomain:
     bset = set(b)
     return EnumeratedDomain([g for g in a if g not in bset])
 

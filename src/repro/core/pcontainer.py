@@ -21,17 +21,14 @@ from .domains import RangeDomain
 from .location_manager import LocationManager
 from .mappers import CyclicMapper
 from .thread_safety import (
-    BCONTAINER,
     ELEMENT,
-    LOCAL,
     MDREAD,
-    MDWRITE,
     READ,
     WRITE,
     LockingPolicy,
     ThreadSafetyManager,
 )
-from .traits import DEFAULT_TRAITS, ConsistencyMode, Traits
+from .traits import DEFAULT_TRAITS, Traits
 
 #: per-element cost factor of a vectorised slab sweep relative to
 #: ``t_access`` (matches the constructor's bulk-touch factor)
@@ -228,9 +225,12 @@ class PContainerBase(PObject):
 
     # -- combining buffers --------------------------------------------------
     def flush_combining(self) -> int:
-        """Explicitly flush this location's pending combined ops for this
-        container into the network (they execute at the next fence/drain).
-        Returns the number of op records flushed."""
+        """Explicitly flush every combining buffer on this location that
+        holds at least one op record for this container (they execute at
+        the next fence/drain).  Buffers are per destination and shared
+        across p_objects, so a buffer always flushes *whole* — records for
+        other containers on the same channel ship too, and the returned
+        count covers all of them, preserving the channel's issue order."""
         return self.here.flush_combining(handle=self.handle)
 
     # -- bulk transfer accounting ------------------------------------------
@@ -362,7 +362,12 @@ class PContainerIndexed(PContainerStatic):
     # The coarse-grained counterpart of the Table XIV element methods: a
     # whole GID range moves as one slab per owning location instead of one
     # RMI per element (the aggregation story of Ch. III.B applied at the
-    # container interface).
+    # container interface).  Remote pieces ride the runtime's bulk RMIs, so
+    # they inherit mixed-mode locality for free: a same-node owner serves
+    # the slab over the zero-copy fast path (no serialization, t_lock only)
+    # when it is enabled.  Either way the bContainer range accessors return
+    # *copies* — a zero-copy read must not alias owner storage, or a remote
+    # caller could mutate it with no charged communication.
 
     def _check_range(self, lo: int, hi: int) -> None:
         """Reject ranges outside the container's domain — a silent partial

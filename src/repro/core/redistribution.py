@@ -8,7 +8,11 @@ destination (the ``define_type`` marshaling path, Ch. V.G.1) and exchanged
 with one coarse-grained ``bulk_exchange`` — contiguous GID runs travel as
 NumPy slabs and 2D sub-blocks as dense blocks, so each (src, dst) pair pays
 for one physical message plus its payload bytes instead of one RMI per
-element.
+element.  The exchange is node-aware: slabs bound for several locations on
+one remote node ride a single coalesced inter-node message (scattered by
+the node leader), and same-node slabs move through shared memory when the
+zero-copy fast path is on — redistribution cost therefore scales with the
+*node* topology, not the flat location count.
 """
 
 from __future__ import annotations

@@ -2,13 +2,17 @@
 
 Usage::
 
-    python -m repro.evaluation              # all figures, default scale
-    python -m repro.evaluation fig51 fig62  # selected figures
+    python -m repro.evaluation                    # all figures, default scale
+    python -m repro.evaluation fig51 fig62        # selected figures
     python -m repro.evaluation --list
+    python -m repro.evaluation --out artifacts/   # also write .txt + stats JSON
+    python -m repro.evaluation --machine cray5    # run on another machine model
 """
 
 from __future__ import annotations
 
+import inspect
+import json
 import sys
 import time
 
@@ -43,6 +47,8 @@ from . import (
     fig60_assoc_algorithms,
     fig62_row_min,
     mcm_demonstrations,
+    mixed_mode_study,
+    mixed_mode_topology_study,
 )
 
 DRIVERS = {
@@ -72,6 +78,8 @@ DRIVERS = {
     "bulk_transport": bulk_transport_study,
     "combining": combining_study,
     "combining_containers": combining_containers_study,
+    "mixed_mode": mixed_mode_study,
+    "mixed_mode_topology": mixed_mode_topology_study,
     "ablation_aggregation": ablation_aggregation,
     "ablation_alignment": ablation_view_alignment,
     "ablation_consistency": ablation_consistency_mode,
@@ -79,22 +87,60 @@ DRIVERS = {
 }
 
 
+def _pop_option(args: list, flag: str) -> str | None:
+    """Remove ``flag VALUE`` from ``args``; returns VALUE (or None)."""
+    if flag not in args:
+        return None
+    i = args.index(flag)
+    args.pop(i)
+    if i >= len(args):
+        print(f"{flag} requires a value", file=sys.stderr)
+        raise SystemExit(2)
+    return args.pop(i)
+
+
+def _json_default(obj):
+    if hasattr(obj, "item"):  # numpy scalars
+        return obj.item()
+    return str(obj)
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if "--list" in args:
         print("\n".join(DRIVERS))
         return 0
+    out_dir = _pop_option(args, "--out")
+    machine = _pop_option(args, "--machine")
     selected = args or list(DRIVERS)
     unknown = [a for a in selected if a not in DRIVERS]
     if unknown:
         print(f"unknown figures: {unknown}; use --list", file=sys.stderr)
         return 2
+    if out_dir is not None:
+        import pathlib
+
+        out_path = pathlib.Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+    stats = {}
     for name in selected:
+        driver = DRIVERS[name]
+        kwargs = {}
+        if machine and "machine" in inspect.signature(driver).parameters:
+            kwargs["machine"] = machine
         t0 = time.perf_counter()
-        result = DRIVERS[name]()
+        result = driver(**kwargs)
         dt = time.perf_counter() - t0
         print(result.format_table())
         print(f"[{name}: regenerated in {dt:.2f}s wall]\n")
+        stats[name] = {"wall_seconds": round(dt, 3), **result.as_dict()}
+        if out_dir is not None:
+            (out_path / f"{name}.txt").write_text(result.format_table() + "\n")
+    if out_dir is not None:
+        payload = {"machine_override": machine, "figures": stats}
+        (out_path / "stats.json").write_text(
+            json.dumps(payload, indent=2, default=_json_default) + "\n")
+        print(f"[artifacts written to {out_path}/]")
     return 0
 
 

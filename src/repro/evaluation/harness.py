@@ -47,6 +47,11 @@ class ExperimentResult:
             lines.append(f"note: {self.notes}")
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``--out`` stats artifact of the CLI)."""
+        return {"name": self.name, "columns": list(self.columns),
+                "rows": [list(r) for r in self.rows], "notes": self.notes}
+
     def show(self) -> None:
         print(self.format_table())
 

@@ -13,6 +13,8 @@ from .comm import (
     estimate_size,
     set_combining,
     set_combining_window,
+    set_zero_copy,
+    zero_copy_enabled,
 )
 from .future import Future, pc_future
 from .machine import CRAY4, CRAY5, MACHINES, P5_CLUSTER, SMP, MachineModel, get_machine
@@ -52,6 +54,8 @@ __all__ = [
     "get_machine",
     "set_combining",
     "set_combining_window",
+    "set_zero_copy",
+    "zero_copy_enabled",
     "pc_future",
     "spmd_run",
     "spmd_run_detailed",

@@ -46,6 +46,29 @@ _DEFAULT_SIZE = 64
 _COMBINING = True
 _COMBINING_WINDOW = 1024
 
+#: process-wide switch for the zero-copy intra-node fast path: RMIs between
+#: locations sharing a node skip serialization/payload-byte charges and
+#: execute directly against the destination representative under ``t_lock``.
+#: Off by default — message-path buffering (asyncs invisible until a fence)
+#: is the reference semantics the tests pin down; the mixed-mode ablation
+#: toggles this on to measure the shared-memory half of the runtime.
+_ZERO_COPY = False
+
+
+def zero_copy_enabled() -> bool:
+    return _ZERO_COPY
+
+
+def set_zero_copy(on: bool) -> bool:
+    """Toggle the zero-copy intra-node fast path; returns the previous
+    setting.  With the fast path on, intra-node asyncs complete eagerly
+    (they no longer wait for a fence); results are unchanged for programs
+    that only rely on the source-FIFO ordering guarantee."""
+    global _ZERO_COPY
+    prev = _ZERO_COPY
+    _ZERO_COPY = bool(on)
+    return prev
+
 
 def combining_enabled() -> bool:
     return _COMBINING
@@ -145,13 +168,28 @@ class Message:
 
 
 class Network:
-    """All (src, dst) FIFO channels plus aggregation bookkeeping."""
+    """All (src, dst) FIFO channels plus aggregation bookkeeping.
+
+    Fence polling calls :meth:`pending_to` / :meth:`pending_among` on every
+    progress step, so those queries must not rescan all P^2 potential
+    channels.  Channels are indexed per *destination* at creation time
+    (``_by_dst``) together with a per-destination count of non-empty
+    channels (``_nonempty``): a query touches only the destinations asked
+    about, scanning at most P channels each, and short-circuits to nothing
+    when the destination has no traffic at all.  Entries carry their global
+    creation sequence number so ``pending_among`` still enumerates channels
+    in exactly the order the un-indexed scan did (drain order is part of the
+    deterministic simulation)."""
 
     def __init__(self, nlocs: int, aggregation: int):
         self.nlocs = nlocs
         self.aggregation = max(1, aggregation)
         self._channels: dict[tuple[int, int], deque] = {}
         self._agg_fill: dict[tuple[int, int], int] = {}
+        #: dst -> [(creation_seq, src, chan), ...] in creation order
+        self._by_dst: dict[int, list] = {}
+        #: dst -> number of currently non-empty channels
+        self._nonempty: dict[int, int] = {}
         self.total_pending = 0
 
     # -- sending -------------------------------------------------------
@@ -165,6 +203,10 @@ class Network:
         chan = self._channels.get(key)
         if chan is None:
             chan = self._channels[key] = deque()
+            self._by_dst.setdefault(msg.dst, []).append(
+                (len(self._channels), msg.src, chan))
+        if not chan:
+            self._nonempty[msg.dst] = self._nonempty.get(msg.dst, 0) + 1
         chan.append(msg)
         self.total_pending += 1
         if msg.bulk:
@@ -180,12 +222,18 @@ class Network:
         return self._channels.get((src, dst), _EMPTY)
 
     def pending_to(self, dst: int) -> list[tuple[int, deque]]:
-        return [(s, c) for (s, d), c in self._channels.items() if d == dst and c]
+        if not self._nonempty.get(dst):
+            return []
+        return [(s, c) for _, s, c in self._by_dst[dst] if c]
 
     def pending_among(self, members) -> list[deque]:
         ms = members if isinstance(members, (set, frozenset)) else set(members)
-        return [c for (s, d), c in self._channels.items()
-                if c and d in ms and s in ms]
+        hits = []
+        for d in ms:
+            if self._nonempty.get(d):
+                hits.extend(e for e in self._by_dst[d] if e[2] and e[1] in ms)
+        hits.sort(key=lambda e: e[0])
+        return [c for _, _, c in hits]
 
     def pop(self, src: int, dst: int) -> Message | None:
         chan = self._channels.get((src, dst))
@@ -195,6 +243,7 @@ class Network:
         msg = chan.popleft()
         if not chan:
             self._agg_fill[(src, dst)] = 0
+            self._nonempty[dst] -= 1
         return msg
 
     def has_pending(self, src: int, dst: int) -> bool:

@@ -8,6 +8,15 @@ destination share a node.  Collectives pay an ``alpha * ceil(log2 P) + beta``
 tree term.  All times are virtual microseconds tracked by the scheduler; the
 model is deterministic, so every benchmark in ``benchmarks/`` is exactly
 reproducible.
+
+Mixed-mode topology: the runtime is node-aware.  :meth:`MachineModel.node_of`
+places locations on nodes (``cores_per_node`` wide under ``packed``
+placement), and collectives run as *two-level trees* — an intra-node tree to
+a node leader, then an inter-node tree across leaders
+(:meth:`MachineModel.hierarchical_collective_cost`).  The intra-node tree
+stages are discounted by the intra/inter latency ratio, so a machine with
+``cores_per_node == 1``, a ``spread`` placement, or uniform latencies (SMP)
+reproduces the flat ``collective_cost`` exactly.
 """
 
 from __future__ import annotations
@@ -80,9 +89,47 @@ class MachineModel:
         return self.byte_inter
 
     def collective_cost(self, nparticipants: int) -> float:
+        """Flat single-level tree: ``alpha * ceil(log2 P) + beta``."""
         if nparticipants <= 1:
             return self.coll_beta
         return self.coll_alpha * math.ceil(math.log2(nparticipants)) + self.coll_beta
+
+    # -- mixed-mode topology -------------------------------------------
+    def topology(self, members, nlocs: int, placement: str = "packed") -> dict:
+        """Group ``members`` by hosting node: ``{node: [lids...]}``."""
+        nodes: dict[int, list] = {}
+        for lid in members:
+            nodes.setdefault(self.node_of(lid, nlocs, placement), []).append(lid)
+        return nodes
+
+    def intra_coll_alpha(self) -> float:
+        """Per-stage cost of the intra-node half of a two-level tree:
+        ``coll_alpha`` discounted by the intra/inter latency ratio (an
+        intra-node tree stage is a shared-memory hop, not a network one)."""
+        if self.latency_inter <= 0.0:
+            return self.coll_alpha
+        return self.coll_alpha * min(1.0, self.latency_intra / self.latency_inter)
+
+    def hierarchical_collective_cost(self, members, nlocs: int,
+                                     placement: str = "packed") -> float:
+        """Two-level collective tree over ``members``: every node reduces to
+        a node leader over an intra-node tree, then the leaders combine over
+        an inter-node tree.  The cost composes the per-level participant
+        counts — ``ceil(log2)`` of the widest node population at intra-node
+        rates plus ``ceil(log2)`` of the node count at inter-node rates —
+        instead of ``ceil(log2 P)`` of the flat participant count.
+
+        Degenerates to :meth:`collective_cost` when every node hosts one
+        participant (``cores_per_node == 1`` or ``spread`` placement) and
+        when the latencies are uniform (SMP)."""
+        nodes = self.topology(members, nlocs, placement)
+        widest = max(len(v) for v in nodes.values())
+        cost = self.coll_beta
+        if widest > 1:
+            cost += self.intra_coll_alpha() * math.ceil(math.log2(widest))
+        if len(nodes) > 1:
+            cost += self.coll_alpha * math.ceil(math.log2(len(nodes)))
+        return cost
 
     def with_(self, **kw) -> "MachineModel":
         """Return a copy with selected parameters overridden (ablations)."""

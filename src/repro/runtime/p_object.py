@@ -68,10 +68,12 @@ class PObject:
         self._runtime.current_location.async_rmi(dest, self._handle, method, *args)
 
     def _sync(self, dest: int, method: str, *args):
-        return self._runtime.current_location.sync_rmi(dest, self._handle, method, *args)
+        return self._runtime.current_location.sync_rmi(
+            dest, self._handle, method, *args)
 
     def _opaque(self, dest: int, method: str, *args):
-        return self._runtime.current_location.opaque_rmi(dest, self._handle, method, *args)
+        return self._runtime.current_location.opaque_rmi(
+            dest, self._handle, method, *args)
 
     def _apply_combined(self, records) -> None:
         """Replay a flushed combining buffer (Ch. III.B combining): each
@@ -84,6 +86,22 @@ class PObject:
             obj = (self if handle == self._handle
                    else self._runtime.lookup(handle, here_id))
             getattr(obj, method)(*args)
+
+    def _apply_node_combined(self, bundles) -> None:
+        """Node-leader scatter of a coalesced combining flush (mixed-mode
+        slab routing): ``bundles`` is a list of ``(dest_lid, records)``
+        pairs, all destined to locations on this node.  The bundle
+        addressed to this location replays in place; the others are
+        forwarded over cheap intra-node asyncs (zero-copy when the fast
+        path is on), preserving the originating location for
+        ``os_fence``."""
+        here = self.here
+        for dest, records in bundles:
+            if dest == here.id:
+                self._apply_combined(records)
+            else:
+                here.async_rmi(dest, records[0][0], "_apply_combined",
+                               records)
 
     def destroy(self) -> None:
         """Collective destructor: unregister all representatives."""

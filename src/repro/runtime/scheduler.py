@@ -11,6 +11,15 @@ Blocking points are exactly the collective operations (fence, barrier,
 reduction, broadcast, registration).  Everything else — including sync RMIs,
 which execute the handler directly against the target representative while
 charging round-trip time — runs to completion without a context switch.
+
+Mixed-mode execution (Ch. III.B "communication ... through shared memory
+within a node and message passing across nodes"): with the zero-copy fast
+path enabled (:func:`repro.runtime.comm.set_zero_copy`), RMIs between
+locations sharing a node skip marshaling and message charges entirely and
+run directly against the destination representative under ``t_lock``;
+collectives always run as two-level (intra-node, then inter-node) trees; and
+bulk slabs/combining buffers bound for several locations on one remote node
+coalesce into a single inter-node message scattered by a node leader.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from .comm import (
     combining_enabled,
     combining_window,
     estimate_size,
+    zero_copy_enabled,
 )
 from .future import Future
 from .machine import get_machine
@@ -156,21 +166,59 @@ class Location:
         """Elapsed virtual microseconds since ``t0``."""
         return self.clock - t0
 
+    # -- zero-copy intra-node fast path -----------------------------------
+    # Mixed-mode shared memory (BCL-style direct local access): an RMI whose
+    # destination shares this location's node needs no marshaling and no
+    # physical message — the handler runs directly against the destination
+    # representative, guarded by one t_lock acquire.  The skipped wire bytes
+    # are tracked in ``bytes_avoided`` so ablations can compare fast path
+    # vs. message path head-to-head.
+
+    def zero_copy_local(self, dest: int) -> bool:
+        """Does ``dest`` qualify for the zero-copy intra-node fast path?"""
+        rt = self.runtime
+        return (zero_copy_enabled() and dest != self.id
+                and rt.machine.same_node(self.id, dest, rt.nlocs, rt.placement))
+
+    def _zero_copy_execute(self, dest: int, handle: int, method: str, args,
+                           size: int):
+        """Execute one RMI against the destination representative directly.
+        Returns (result, destination location).  Source-FIFO order with any
+        traffic still buffered on this channel is preserved by draining the
+        channel first."""
+        rt = self.runtime
+        if rt.network.has_pending(self.id, dest):
+            rt.flush_channel(self.id, dest)
+        self.charge_lock()  # t_lock guards the direct bContainer access
+        self.stats.local_node_invocations += 1
+        self.stats.bytes_avoided += size
+        dst_loc = rt.locations[dest]
+        if dst_loc.clock < self.clock:
+            dst_loc.clock = self.clock
+        result = rt._run_handler(dst_loc, handle, method, args,
+                                 rt.current_origin)
+        return result, dst_loc
+
     # -- point-to-point RMI ---------------------------------------------
     def async_rmi(self, dest: int, handle: int, method: str, *args) -> None:
         """Fire-and-forget remote method invocation (no return value).
 
         Completion is guaranteed only by a subsequent fence, or by a sync /
         split-phase method to the same destination from this location
-        (source FIFO ordering), per Ch. VII.B.
+        (source FIFO ordering), per Ch. VII.B.  Intra-node destinations take
+        the zero-copy fast path when enabled: the op completes eagerly with
+        no message charged.
         """
         rt = self.runtime
         m = rt.machine
         if self._combining:
             self.flush_combining(dest)
         size = 32 + estimate_size(args)
-        self.clock += m.o_send
         self.stats.async_rmi_sent += 1
+        if self.zero_copy_local(dest):
+            self._zero_copy_execute(dest, handle, method, args, size)
+            return
+        self.clock += m.o_send
         self.stats.bytes_sent += size
         msg = Message(self.id, dest, handle, method, args, size, self.clock,
                       rt.current_origin)
@@ -189,6 +237,13 @@ class Location:
             self.flush_combining(dest)
         rt.flush_channel(self.id, dest)
         size = 32 + estimate_size(args)
+        if self.zero_copy_local(dest):
+            # shared-memory round trip: no request/reply serialization
+            result, dst_loc = self._zero_copy_execute(
+                dest, handle, method, args, size)
+            self.stats.bytes_avoided += 32 + estimate_size(result)
+            self.clock = dst_loc.clock
+            return result
         self.clock += m.o_send
         self.stats.bytes_sent += size
         dst_loc = rt.locations[dest]
@@ -218,8 +273,15 @@ class Location:
         if self._combining:
             self.flush_combining(dest)
         size = 32 + estimate_size(args)
-        self.clock += m.o_send
         self.stats.opaque_rmi_sent += 1
+        if self.zero_copy_local(dest):
+            result, dst_loc = self._zero_copy_execute(
+                dest, handle, method, args, size)
+            self.stats.bytes_avoided += 32 + estimate_size(result)
+            fut = Future(rt, self.id, dest)
+            fut._resolve(result, dst_loc.clock)
+            return fut
+        self.clock += m.o_send
         self.stats.bytes_sent += size
         fut = Future(rt, self.id, dest)
         msg = Message(self.id, dest, handle, method, args, size, self.clock,
@@ -251,9 +313,14 @@ class Location:
         if self._combining:
             self.flush_combining(dest)
         size = 64 + estimate_size(args)
-        self.clock += m.o_send
         self.stats.bulk_rmi_sent += 1
         self.stats.bulk_elements_moved += nelems
+        if self.zero_copy_local(dest):
+            # whole slab lands in the destination bContainer with no
+            # serialization: payload bytes never hit the wire
+            self._zero_copy_execute(dest, handle, method, args, size)
+            return
+        self.clock += m.o_send
         self.stats.bytes_sent += size
         msg = Message(self.id, dest, handle, method, args, size, self.clock,
                       rt.current_origin, bulk=True)
@@ -273,6 +340,12 @@ class Location:
             self.flush_combining(dest)
         rt.flush_channel(self.id, dest)
         size = 64 + estimate_size(args)
+        if self.zero_copy_local(dest):
+            result, dst_loc = self._zero_copy_execute(
+                dest, handle, method, args, size)
+            self.stats.bytes_avoided += 64 + estimate_size(result)
+            self.clock = dst_loc.clock
+            return result
         self.clock += m.o_send
         self.stats.bytes_sent += size
         dst_loc = rt.locations[dest]
@@ -297,13 +370,23 @@ class Location:
                       nelems: int = 0) -> list:
         """Personalised all-to-all of per-destination slabs: ``slabs[i]``
         goes to the i-th group member; returns the slabs received, in group
-        order.  Costs one physical message per non-empty (src, dst) pair with
-        the payload bytes charged exactly once — the coarse-grained exchange
-        underlying redistribution (Ch. V.G)."""
+        order — the coarse-grained exchange underlying redistribution
+        (Ch. V.G).
+
+        Node-aware slab routing: slabs destined for several locations on one
+        *remote* node coalesce into a single inter-node message carrying
+        their combined payload; the lowest-numbered destination on that node
+        (the node leader) scatters the other slabs over cheap intra-node
+        messages.  Same-node destinations pay intra-node rates, or nothing
+        beyond ``t_lock`` when the zero-copy fast path is on.  With one
+        location per node this degenerates to the classic one physical
+        message per non-empty (src, dst) pair, payload bytes charged once."""
         rt = self.runtime
         m = rt.machine
         group = group or rt.world
         self.stats.bulk_elements_moved += nelems
+        my_node = m.node_of(self.id, rt.nlocs, rt.placement)
+        by_node: dict[int, list] = {}
         for member, payload in zip(group.members, slabs):
             if member == self.id:
                 continue
@@ -311,12 +394,52 @@ class Location:
                                         and len(payload) == 0)
             if empty:
                 continue
-            size = 64 + estimate_size(payload)
-            bc = m.byte_cost(self.id, member, rt.nlocs, rt.placement)
-            self.clock += m.o_send + m.msg_overhead + size * bc
+            node = m.node_of(member, rt.nlocs, rt.placement)
+            by_node.setdefault(node, []).append(
+                (member, 64 + estimate_size(payload)))
+        for node in sorted(by_node):
+            targets = by_node[node]
+            if node == my_node:
+                for member, size in targets:
+                    if self.zero_copy_local(member):
+                        self.charge_lock()
+                        self.stats.local_node_invocations += 1
+                        self.stats.bytes_avoided += size
+                        continue
+                    self.clock += (m.o_send + m.msg_overhead
+                                   + size * m.byte_intra)
+                    self.stats.bulk_rmi_sent += 1
+                    self.stats.bytes_sent += size
+                    self.stats.physical_messages += 1
+                continue
+            if len(targets) == 1:
+                member, size = targets[0]
+                self.clock += m.o_send + m.msg_overhead + size * m.byte_inter
+                self.stats.bulk_rmi_sent += 1
+                self.stats.bytes_sent += size
+                self.stats.physical_messages += 1
+                continue
+            # several destinations on one remote node: one coalesced
+            # inter-node message to the node leader ...
+            total = sum(size for _, size in targets)
+            leader = rt.locations[min(member for member, _ in targets)]
+            self.clock += m.o_send + m.msg_overhead + total * m.byte_inter
             self.stats.bulk_rmi_sent += 1
-            self.stats.bytes_sent += size
+            self.stats.bytes_sent += total
             self.stats.physical_messages += 1
+            self.stats.coalesced_messages += 1
+            # ... which the leader scatters intra-node after it arrives.
+            # The scatter is a shared-memory handoff (the slabs land in a
+            # node-shared buffer the siblings read under t_lock), not
+            # another round of physical messages.
+            arrival = self.clock + m.latency_inter
+            if leader.clock < arrival:
+                leader.clock = arrival
+            for member, size in targets:
+                if member == leader.id:
+                    continue
+                leader.clock += m.t_lock + size * m.byte_intra
+                leader.stats.lock_acquires += 1
         return self.alltoall_rmi(slabs, group)
 
     def bulk_gather(self, payload, group: "LocationGroup | None" = None,
@@ -335,6 +458,12 @@ class Location:
             size = 64 + estimate_size(payload)
             for member in group.members:
                 if member == self.id:
+                    continue
+                if self.zero_copy_local(member):
+                    # same-node reader maps the slab directly: no wire bytes
+                    self.charge_lock()
+                    self.stats.local_node_invocations += 1
+                    self.stats.bytes_avoided += size
                     continue
                 bc = m.byte_cost(self.id, member, rt.nlocs, rt.placement)
                 self.clock += m.o_send + m.msg_overhead + size * bc
@@ -360,9 +489,15 @@ class Location:
         Buffered records flush, in append order, at the combining-window
         boundary, at a fence, before any other RMI to the same destination
         (preserving source-FIFO order with scalar RMIs on the channel), or
-        on an explicit :meth:`flush_combining`."""
+        on an explicit :meth:`flush_combining`.
+
+        Destinations reachable over the zero-copy intra-node fast path are
+        not buffered either (returns False): combining exists to cut
+        message count, and a fast-path op produces no message — executing
+        it directly is cheaper than buffering and replaying it."""
         rt = self.runtime
-        if not combining_enabled() or dest == self.id or rt._exec_depth:
+        if (not combining_enabled() or dest == self.id or rt._exec_depth
+                or self.zero_copy_local(dest)):
             return False
         buf = self._combining.get(dest)
         if buf is None:
@@ -376,18 +511,29 @@ class Location:
         return True
 
     def flush_combining(self, dest: int | None = None,
-                        handle: int | None = None) -> int:
+                        handle: int | None = None,
+                        coalesce: bool = False) -> int:
         """Flush combining buffers — all of them, or only those to ``dest``
         and/or containing records for ``handle`` (a buffer always flushes
         whole, preserving the channel's issue order).  Returns the number
         of op records shipped.  Flushing moves records into the FIFO
         channels as bulk messages; it does not execute them (a fence or
-        drain does)."""
+        drain does).
+
+        ``coalesce`` enables node-aware routing for a flush-all: buffers
+        destined for several locations on one remote node travel as one
+        inter-node message that the node leader scatters intra-node.  Only
+        the fence paths pass it — a coalesced buffer reaches its
+        destination through the leader's channel, so it is only
+        source-FIFO-safe when the flush is immediately followed by a drain
+        to quiescence (rmi_fence / os_fence)."""
         if not self._combining:
             return 0
         dests = [d for d, buf in self._combining.items()
                  if (dest is None or d == dest)
                  and (handle is None or any(r[0] == handle for r in buf))]
+        if coalesce and dest is None and handle is None and len(dests) > 1:
+            return self._flush_combining_coalesced(dests)
         n = 0
         for d in dests:
             n += self._flush_combining_buffer(d)
@@ -400,8 +546,14 @@ class Location:
         rt = self.runtime
         m = rt.machine
         size = 64 + estimate_size(records)
-        self.clock += m.o_send
         self.stats.combining_flushes += 1
+        if self.zero_copy_local(dest):
+            # replay the whole buffer directly against the destination:
+            # one lock acquire, no message, no serialized bytes
+            self._zero_copy_execute(dest, records[0][0], "_apply_combined",
+                                    (records,), size)
+            return len(records)
+        self.clock += m.o_send
         self.stats.bytes_sent += size
         # the message routes through the first record's p_object; its
         # _apply_combined handler re-routes each record by handle.  Records
@@ -414,12 +566,58 @@ class Location:
             self.stats.physical_messages += 1
         return len(records)
 
+    def _flush_combining_coalesced(self, dests: list) -> int:
+        """Flush-all with node-aware routing: one inter-node message per
+        remote node hosting two or more buffered destinations; the node
+        leader (lowest destination lid on that node) applies its own bundle
+        and forwards the rest intra-node (``_apply_node_combined``).
+
+        Unlike :meth:`bulk_exchange` — whose leader scatter is pure cost
+        bookkeeping because the slabs are delivered by the alltoall
+        rendezvous — the forwarded bundles here carry *executions*, so the
+        leader re-sends them as real intra-node asyncs (zero-copy when the
+        fast path is on): that keeps fence quiescence and ``os_fence``
+        origin tracking working through the indirection."""
+        rt = self.runtime
+        m = rt.machine
+        my_node = m.node_of(self.id, rt.nlocs, rt.placement)
+        by_node: dict[int, list] = {}
+        for d in sorted(dests):
+            by_node.setdefault(
+                m.node_of(d, rt.nlocs, rt.placement), []).append(d)
+        n = 0
+        for node in sorted(by_node):
+            ds = by_node[node]
+            if node == my_node or len(ds) == 1:
+                # own node (fast path / cheap intra messages) or a single
+                # destination: nothing to coalesce
+                for d in ds:
+                    n += self._flush_combining_buffer(d)
+                continue
+            leader = ds[0]
+            bundles = [(d, self._combining.pop(d)) for d in ds]
+            size = 64 + estimate_size(bundles)
+            self.clock += m.o_send
+            self.stats.combining_flushes += 1
+            self.stats.coalesced_messages += 1
+            self.stats.bytes_sent += size
+            # routed through the leader bundle's first record handle — a
+            # p_object guaranteed to have a representative on the leader
+            msg = Message(self.id, leader, bundles[0][1][0][0],
+                          "_apply_node_combined", (bundles,), size,
+                          self.clock, self.id, bulk=True)
+            if rt.network.enqueue(msg):
+                self.clock += m.msg_overhead
+                self.stats.physical_messages += 1
+            n += sum(len(records) for _, records in bundles)
+        return n
+
     # -- collectives -----------------------------------------------------
     def rmi_fence(self, group: LocationGroup | None = None) -> None:
         """Collective fence: on return, no RMI issued by any group member
         before the fence is still pending (Ch. III.B / VII.B)."""
         self.stats.fences += 1
-        self.flush_combining()
+        self.flush_combining(coalesce=True)
         self._collective("fence", None, group)
 
     def barrier(self, group: LocationGroup | None = None) -> None:
@@ -458,7 +656,7 @@ class Location:
     def os_fence(self) -> None:
         """One-sided fence: completes all RMIs *originated* by this location
         (including forwarded continuations) without a collective."""
-        self.flush_combining()
+        self.flush_combining(coalesce=True)
         self.runtime.drain_origin(self.id)
 
     # -- registration ------------------------------------------------------
@@ -788,7 +986,11 @@ class Runtime:
         if op == "fence":
             self.drain_among(rv.members)
         t = max(loc.clock for loc in members)
-        t += self.machine.collective_cost(len(members))
+        # mixed-mode collectives: intra-node tree to a node leader, then an
+        # inter-node tree across leaders (flat-equivalent when every node
+        # hosts one participant)
+        t += self.machine.hierarchical_collective_cost(
+            rv.members, self.nlocs, self.placement)
         for loc in members:
             loc.clock = t
         if op in ("fence", "barrier"):

@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.domains import RangeDomain
-from ..core.partitions import balanced_sizes
 from .base import Chunk, GenericChunk, PView, Workfunction
 
 

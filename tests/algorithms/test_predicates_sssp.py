@@ -1,6 +1,5 @@
 """Tests for the predicate/mutating algorithms and SSSP."""
 
-import pytest
 
 from repro.algorithms import (
     distances_of,

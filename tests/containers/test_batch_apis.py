@@ -4,7 +4,6 @@ associative containers, ``push_back_range`` / ``push_anywhere_range`` on
 pList, ``add_edges_batch`` on pGraph — each asserted equivalent to its
 scalar loop with combining on and off."""
 
-import pytest
 
 from repro.containers.associative import (
     PHashMap,

@@ -1,6 +1,5 @@
 """pVector and pList tests (Ch. V.F / X)."""
 
-import pytest
 
 from repro.containers.plist import PList
 from repro.containers.pvector import PVector

@@ -1,8 +1,6 @@
 """Vertex/edge reference tests (Tables XXV/XXVI)."""
 
-import pytest
-
-from repro.containers import EdgeRef, PGraph, VertexRef
+from repro.containers import PGraph
 from tests.conftest import run
 
 

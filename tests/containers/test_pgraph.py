@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.containers.pgraph import DIRECTED, UNDIRECTED, PGraph
+from repro.containers.pgraph import UNDIRECTED, PGraph
 from tests.conftest import run, run_detailed
 
 

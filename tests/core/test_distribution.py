@@ -1,7 +1,6 @@
 """Distribution-manager, thread-safety and redistribution tests
 (Ch. V.C.6, VI, V.G)."""
 
-import pytest
 
 from repro.containers.parray import PArray
 from repro.containers.pgraph import PGraph

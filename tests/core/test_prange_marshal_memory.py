@@ -1,6 +1,5 @@
 """Tests for pRange/executor, marshaling and the memory/harness helpers."""
 
-import pytest
 
 from repro.algorithms.prange import Executor, PRange, Task, run_map
 from repro.containers.parray import PArray

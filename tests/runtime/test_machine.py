@@ -6,10 +6,8 @@ import pytest
 
 from repro.runtime.machine import (
     CRAY4,
-    CRAY5,
     MACHINES,
     P5_CLUSTER,
-    SMP,
     MachineModel,
     get_machine,
 )

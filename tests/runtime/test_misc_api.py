@@ -4,7 +4,7 @@ from repro.algorithms import p_accumulate, p_generate, p_reduce
 from repro.containers.parray import PArray
 from repro.containers.pgraph import PGraph
 from repro.runtime import CRAY5, PObject
-from repro.views import Array1DView, StridedView, Workfunction
+from repro.views import Array1DView, StridedView
 from tests.conftest import run
 
 

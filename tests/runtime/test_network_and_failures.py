@@ -4,7 +4,7 @@ import pytest
 
 from repro.runtime import PObject, SpmdError
 from repro.runtime.comm import Message, Network
-from tests.conftest import run, run_detailed
+from tests.conftest import run
 
 
 class TestNetwork:
@@ -40,6 +40,48 @@ class TestNetwork:
         assert net.has_pending(0, 2) and not net.has_pending(2, 0)
         assert len(net.pending_among({0, 2})) == 1
         assert len(net.pending_among({0, 1, 2})) == 2
+
+    def test_pending_index_tracks_churn(self):
+        """The per-destination channel index must agree with a brute-force
+        scan through arbitrary enqueue/pop interleavings (the fence-poll
+        fast path must never see stale emptiness information)."""
+        import random
+
+        rng = random.Random(7)
+        P = 6
+        net = Network(P, aggregation=4)
+        live = []
+        for step in range(400):
+            if live and rng.random() < 0.45:
+                src, dst = live[rng.randrange(len(live))]
+                got = net.pop(src, dst)
+                assert got is not None
+                live.remove((src, dst))
+            else:
+                src, dst = rng.randrange(P), rng.randrange(P)
+                net.enqueue(self._msg(src, dst, step))
+                live.append((src, dst))
+            for dst in range(P):
+                expect = sorted(s for s, d in set(live) if d == dst)
+                assert sorted(s for s, _ in net.pending_to(dst)) == expect
+        assert net.total_pending == len(live)
+
+    def test_pending_among_preserves_channel_creation_order(self):
+        """Drain order is part of the deterministic simulation: the indexed
+        query must enumerate channels in creation order, like the original
+        full scan did."""
+        net = Network(4, aggregation=8)
+        order = [(2, 1), (0, 3), (1, 0), (3, 1), (0, 1)]
+        for src, dst in order:
+            net.enqueue(self._msg(src, dst))
+        chans = net.pending_among({0, 1, 2, 3})
+        expected = [net.channel(src, dst) for src, dst in order]
+        assert [id(c) for c in chans] == [id(c) for c in expected]
+        # popping one channel empty removes exactly it from the view
+        net.pop(1, 0)
+        chans = net.pending_among({0, 1, 2, 3})
+        assert [id(c) for c in chans] == [
+            id(net.channel(s, d)) for s, d in order if (s, d) != (1, 0)]
 
 
 class _Failing(PObject):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime import LocationGroup, Runtime, SpmdError, spmd_run
+from repro.runtime import LocationGroup, Runtime, SpmdError
 from tests.conftest import run, run_detailed
 
 
