@@ -1,0 +1,17 @@
+"""Benchmarks regenerating the migration-subsystem studies (PR 4):
+load-driven rebalancing under skew and the lookup cache."""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_migration_skew_wordcount(benchmark):
+    run_and_report(benchmark, ev.migration_skew_study, ops_per_loc=1500)
+
+
+def test_migration_graph_growth(benchmark):
+    run_and_report(benchmark, ev.migration_graph_study, verts_per_loc=30)
+
+
+def test_lookup_cache_microbench(benchmark):
+    run_and_report(benchmark, ev.lookup_cache_study, repeats=12)

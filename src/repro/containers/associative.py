@@ -50,13 +50,19 @@ class AssociativeBase(PContainerDynamic):
         {"insert", "set", "accumulate", "erase", "apply_set"})
 
     def __init__(self, ctx, partition=None, splitters=None,
+                 num_bcontainers: int | None = None,
                  traits: Traits | None = None, group=None):
         super().__init__(ctx, traits, group)
         if partition is None:
             if splitters is not None:
                 partition = RangePartition(splitters)
             else:
-                partition = HashPartition(len(self.group))
+                # over-decomposition (``num_bcontainers`` > #locations,
+                # default one bucket per location): several hash buckets
+                # per location gives load-driven ``rebalance()`` units it
+                # can move independently
+                partition = HashPartition(num_bcontainers
+                                          or len(self.group))
         self.init(UniverseDomain(), partition, allocate=False)
         for bcid in self._dist.mapper.get_local_cids(ctx.id):
             sub = self._dist.partition.get_sub_domain(bcid)

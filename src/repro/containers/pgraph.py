@@ -117,6 +117,7 @@ class PGraph(PContainerDynamic):
     def __init__(self, ctx, num_vertices: int = 0, directed: str = DIRECTED,
                  multi_edges: bool = True, dynamic: bool = False,
                  forwarding: bool = True, default_property=None,
+                 num_bcontainers: int | None = None,
                  traits: Traits | None = None, group=None):
         super().__init__(ctx, traits, group)
         self.directed = directed == DIRECTED or directed is True
@@ -126,20 +127,28 @@ class PGraph(PContainerDynamic):
         P = len(self.group)
         me = self.group.index_of(ctx.id)
         if dynamic:
-            partition = DirectoryPartition(P, forwarding=forwarding)
+            # over-decomposition (``num_bcontainers`` > P, default P):
+            # several directory sub-domains per location gives the
+            # load-driven rebalancer units it can actually move
+            nbc = num_bcontainers if num_bcontainers else P
+            partition = DirectoryPartition(nbc, forwarding=forwarding)
             self.init(UniverseDomain(), partition, allocate=False)
-            bc = GraphBC(UniverseDomain(), me, multi_edges=multi_edges)
-            self.location_manager.add_bcontainer(me, bc)
-            self._next_local_vd = me
-            # pre-populate `num_vertices` vertices, blocked ids, registering
-            # each with its directory home
-            lo = _block_lo(num_vertices, P, me)
-            hi = _block_lo(num_vertices, P, me + 1)
-            for vd in range(lo, hi):
-                bc.add_vertex(vd, default_property)
-                self._register_vd(vd, me)
+            self._rr = 0
+            local = self._dist.mapper.get_local_cids(ctx.id)
+            populated = 0
+            for bcid in local:
+                bc = GraphBC(UniverseDomain(), bcid, multi_edges=multi_edges)
+                self.location_manager.add_bcontainer(bcid, bc)
+                # pre-populate `num_vertices` vertices, ids blocked over
+                # the BCID space, registering each with its directory home
+                lo = _block_lo(num_vertices, nbc, bcid)
+                hi = _block_lo(num_vertices, nbc, bcid + 1)
+                for vd in range(lo, hi):
+                    bc.add_vertex(vd, default_property)
+                    self._register_vd(vd, bcid)
+                populated += hi - lo
             self._next_local_vd = num_vertices + me
-            ctx.charge(ctx.machine.t_access * (hi - lo))
+            ctx.charge(ctx.machine.t_access * populated)
         else:
             partition = BalancedPartition(P)
             self.init(RangeDomain(0, num_vertices), partition,
@@ -166,6 +175,7 @@ class PGraph(PContainerDynamic):
         home_loc = self._dist.mapper.map(home_bcid)
         if home_loc == self.here.id:
             part.register_gid(vd, bcid)
+            self._dist._cache.store(vd, bcid)
         else:
             self._async(home_loc, "_dir_register", vd, bcid)
 
@@ -174,36 +184,60 @@ class PGraph(PContainerDynamic):
         home_loc = self._dist.mapper.map(part.home_bcid(vd))
         if home_loc == self.here.id:
             part.unregister_gid(vd)
+            self._dist._cache.discard(vd)
         else:
             self._async(home_loc, "_dir_unregister", vd)
 
     # -- vertex methods (Table XVII) --------------------------------------------
+    def _place_vertex(self, vd, vp) -> None:
+        """Store a new vertex in a local bContainer (round-robin over the
+        local BCIDs) and register it with its directory home.  When every
+        bContainer migrated away, the vertex is shipped to the current
+        owner of this location's original sub-domain."""
+        loc = self.here
+        bcids = self.location_manager.bcids()
+        prop = vp if vp is not None else self._default_property
+        if not bcids:
+            me = self.group.index_of(loc.id)
+            bcid = me % self._dist.partition.size()
+            loc.stats.remote_invocations += 1
+            self._sync(self._dist.mapper.map(bcid), "_add_vertex_at",
+                       bcid, vd, prop)
+            return
+        self._rr = (self._rr + 1) % len(bcids)
+        bcid = bcids[self._rr]
+        loc.charge_access()
+        self.location_manager.note_access(bcid)
+        self.location_manager.get_bcontainer(bcid).add_vertex(vd, prop)
+        self._register_vd(vd, bcid)
+
+    def _add_vertex_at(self, bcid, vd, prop) -> None:
+        if not self.location_manager.has_bcontainer(bcid):
+            self.here.stats.stale_redirects += 1
+            self._sync(self._dist.mapper.map(bcid), "_add_vertex_at",
+                       bcid, vd, prop)
+            return
+        self.here.charge_access()
+        self.location_manager.note_access(bcid)
+        self.location_manager.get_bcontainer(bcid).add_vertex(vd, prop)
+        self._register_vd(vd, bcid)
+
     def add_vertex(self, vp=None):
         """Add a vertex with a locally-allocated descriptor; returns the
         descriptor.  Only valid on dynamic graphs (static asserts)."""
         if not self.dynamic:
             raise AssertionError(
                 "add_vertex on a static pGraph (fixed vertex set)")
-        loc = self.here
-        me = self.group.index_of(loc.id)
         vd = self._next_local_vd
         self._next_local_vd += len(self.group)
-        bc = self.location_manager.get_bcontainer(me)
-        loc.charge_access()
-        bc.add_vertex(vd, vp if vp is not None else self._default_property)
-        self._register_vd(vd, me)
+        self._place_vertex(vd, vp)
         return vd
 
     def add_vertex_with(self, vd, vp=None) -> None:
         """Add a vertex with an explicit descriptor (dynamic graphs)."""
         if not self.dynamic:
             raise AssertionError("add_vertex on a static pGraph")
-        loc = self.here
-        me = self.group.index_of(loc.id)
-        bc = self.location_manager.get_bcontainer(me)
-        loc.charge_access()
-        bc.add_vertex(vd, vp if vp is not None else self._default_property)
-        self._register_vd(vd, me)
+        self._place_vertex(vd, vp)
 
     def delete_vertex(self, vd) -> None:
         """Delete a vertex and its out-edges.  Per the paper this is *not* a
@@ -295,6 +329,13 @@ class PGraph(PContainerDynamic):
 
     def edges_of(self, vd) -> list:
         return self._dist.invoke_ret("edges_of", vd)
+
+    def _gid_resident(self, bc, gid) -> bool:
+        """Stale-route detection for cache-resolved requests: the vertex
+        must actually live in the targeted bContainer (it may have been
+        deleted and re-registered elsewhere since the cache entry was
+        made)."""
+        return bc.has_vertex(gid)
 
     # -- local handlers -------------------------------------------------------------
     def _local_add_edge(self, bc, src, tgt, ep=None):

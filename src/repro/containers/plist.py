@@ -97,72 +97,82 @@ class PList(PContainerDynamic):
         bc.apply_set(gid[1], fn)
 
     # -- sequence interface (Table XVIII / XXIV) -----------------------------
-    def push_back(self, value) -> None:
-        """Append at the end of the global sequence (last segment)."""
-        last = self._dist.partition.size() - 1
-        dest = self._dist.mapper.map(last)
+    # End pushes/pops address segments by BCID and route through the
+    # partition-mapper, so they keep working after segments migrate between
+    # locations (a handler finding its segment gone re-routes through the
+    # fresh mapper — the bounded chain counted in ``stale_redirects``).
+
+    def _push_end(self, bcid: int, back: bool, value) -> None:
+        dest = self._dist.mapper.map(bcid)
         if dest == self.here.id:
             self.here.charge_access()
-            self.location_manager.get_bcontainer(last).push_back(value)
+            self.location_manager.note_access(bcid)
+            bc = self.location_manager.get_bcontainer(bcid)
+            bc.push_back(value) if back else bc.push_front(value)
             self.here.stats.local_invocations += 1
         else:
             self.here.stats.remote_invocations += 1
             if not self.here.combine_rmi(dest, self.handle, "_remote_push",
-                                         True, value):
+                                         bcid, back, value):
                 self.here.async_rmi(dest, self.handle, "_remote_push",
-                                    True, value)
+                                    bcid, back, value)
+
+    def push_back(self, value) -> None:
+        """Append at the end of the global sequence (last segment)."""
+        self._push_end(self._dist.partition.size() - 1, True, value)
 
     def push_front(self, value) -> None:
         """Prepend at the beginning of the global sequence (first segment)."""
-        dest = self._dist.mapper.map(0)
-        if dest == self.here.id:
-            self.here.charge_access()
-            self.location_manager.get_bcontainer(0).push_front(value)
-            self.here.stats.local_invocations += 1
-        else:
-            self.here.stats.remote_invocations += 1
-            if not self.here.combine_rmi(dest, self.handle, "_remote_push",
-                                         False, value):
-                self.here.async_rmi(dest, self.handle, "_remote_push",
-                                    False, value)
+        self._push_end(0, False, value)
 
-    def _remote_push(self, back: bool, value) -> None:
-        me = self.group.index_of(self.here.id)
-        bc = self.location_manager.get_bcontainer(me)
+    def _remote_push(self, bcid: int, back: bool, value) -> None:
+        if not self.location_manager.has_bcontainer(bcid):
+            # the segment migrated while the push was in flight
+            self.here.stats.stale_redirects += 1
+            self._push_end(bcid, back, value)
+            return
+        bc = self.location_manager.get_bcontainer(bcid)
         self.here.charge_access()
+        self.location_manager.note_access(bcid)
         if back:
             bc.push_back(value)
         else:
             bc.push_front(value)
 
     def pop_back(self):
-        last = self._dist.partition.size() - 1
-        return self._pop(self._dist.mapper.map(last), True)
+        return self._pop(self._dist.partition.size() - 1, True)
 
     def pop_front(self):
-        return self._pop(self._dist.mapper.map(0), False)
+        return self._pop(0, False)
 
-    def _pop(self, dest: int, back: bool):
+    def _pop(self, bcid: int, back: bool):
         loc = self.here
+        dest = self._dist.mapper.map(bcid)
         if dest == loc.id:
             # the end segment is local: no round trip (mirrors push_back's
             # fast path).  Source FIFO: pending self-sends execute first.
             self.runtime.flush_channel(loc.id, loc.id)
             loc.stats.local_invocations += 1
-            return self._remote_pop(back)
+            return self._remote_pop(bcid, back)
         loc.stats.remote_invocations += 1
-        return loc.sync_rmi(dest, self.handle, "_remote_pop", back)
+        return loc.sync_rmi(dest, self.handle, "_remote_pop", bcid, back)
 
-    def _remote_pop(self, back: bool):
-        me = self.group.index_of(self.here.id)
-        bc = self.location_manager.get_bcontainer(me)
+    def _remote_pop(self, bcid: int, back: bool):
+        if not self.location_manager.has_bcontainer(bcid):
+            self.here.stats.stale_redirects += 1
+            return self._pop(bcid, back)
+        bc = self.location_manager.get_bcontainer(bcid)
         if bc.size():
             self.here.charge_access()
+            self.location_manager.note_access(bcid)
             return bc.pop_back() if back else bc.pop_front()
         # this end segment is empty: chase the sequence inwards
-        nxt = me - 1 if back else me + 1
-        if 0 <= nxt < len(self.group):
-            return self._sync(self.group.members[nxt], "_remote_pop", back)
+        nxt = bcid - 1 if back else bcid + 1
+        if 0 <= nxt < self._dist.partition.size():
+            dest = self._dist.mapper.map(nxt)
+            if dest == self.here.id:
+                return self._remote_pop(nxt, back)
+            return self._sync(dest, "_remote_pop", nxt, back)
         raise IndexError("pop from empty pList")
 
     def insert_element(self, gid, value):
@@ -201,31 +211,53 @@ class PList(PContainerDynamic):
             self.push_front(value)
 
     def push_anywhere_range(self, values) -> list:
-        """Append many values to the local segment (no communication);
-        returns their GIDs."""
-        bc = self.location_manager.get_bcontainer(self._my_bcid)
+        """Append many values to a local segment (no communication while
+        one is local); returns their GIDs."""
+        bc = self._local_segment_or_none()
         values = list(values)
+        if bc is None:
+            return [self.push_anywhere(v) for v in values]
         self.here.charge_access(len(values))
-        return [(self._my_bcid, bc.push_back(v)) for v in values]
+        bcid = bc.get_bcid()
+        self.location_manager.note_access(bcid, len(values))
+        return [(bcid, bc.push_back(v)) for v in values]
 
     # -- parallel-use extensions (Ch. V.B) -----------------------------------
     def push_anywhere(self, value):
-        """Insert at an unspecified position: the local segment (O(1),
-        no communication — the fast path of Fig. 39).  Returns the GID."""
-        bc = self.location_manager.get_bcontainer(self._my_bcid)
+        """Insert at an unspecified position: a local segment (O(1), no
+        communication — the fast path of Fig. 39), or — when every segment
+        migrated away — the current owner of this location's home segment.
+        Returns the GID."""
+        bc = self._local_segment_or_none()
+        if bc is None:
+            self.here.stats.remote_invocations += 1
+            return self._sync(self._dist.mapper.map(self._my_bcid),
+                              "_push_anywhere_at", self._my_bcid, value)
         self.here.charge_access()
+        bcid = bc.get_bcid()
+        self.location_manager.note_access(bcid)
         seq = bc.push_back(value)
-        return (self._my_bcid, seq)
+        return (bcid, seq)
 
     push_anywhere_async = push_anywhere
 
+    def _push_anywhere_at(self, bcid: int, value):
+        if not self.location_manager.has_bcontainer(bcid):
+            self.here.stats.stale_redirects += 1
+            return self._sync(self._dist.mapper.map(bcid),
+                              "_push_anywhere_at", bcid, value)
+        self.here.charge_access()
+        self.location_manager.note_access(bcid)
+        return (bcid, self.location_manager.get_bcontainer(bcid)
+                          .push_back(value))
+
     def get_anywhere(self):
-        """A reference value from the local segment if non-empty, else from
+        """A reference value from a local segment if non-empty, else from
         the first non-empty segment."""
-        bc = self.location_manager.get_bcontainer(self._my_bcid)
-        if bc.size():
-            self.here.charge_access()
-            return bc.get(bc.first_seq())
+        for bc in self.location_manager.ordered():
+            if bc.size():
+                self.here.charge_access()
+                return bc.get(bc.first_seq())
         for lid in self.group.members:
             if lid == self.ctx.id:
                 continue
@@ -235,39 +267,62 @@ class PList(PContainerDynamic):
         raise IndexError("get_anywhere on empty pList")
 
     def _any_local(self):
-        me = self.group.index_of(self.here.id)
-        bc = self.location_manager.get_bcontainer(me)
-        if bc.size():
-            return (bc.get(bc.first_seq()),)
+        for bc in self.location_manager.ordered():
+            if bc.size():
+                return (bc.get(bc.first_seq()),)
         return None
 
     def remove_element(self):
         """Remove an arbitrary (local if possible) element."""
-        bc = self.location_manager.get_bcontainer(self._my_bcid)
-        if bc.size():
-            self.here.charge_access()
-            return bc.pop_back()
+        for bc in self.location_manager.ordered():
+            if bc.size():
+                self.here.charge_access()
+                return bc.pop_back()
         raise IndexError("remove_element on empty local segment")
 
     # -- traversal helpers ----------------------------------------------------
+    def _local_segment_or_none(self):
+        """This location's home segment if still local, else any local
+        segment (segments move between locations under migration)."""
+        lm = self.location_manager
+        if lm.has_bcontainer(self._my_bcid):
+            return lm.get_bcontainer(self._my_bcid)
+        for bc in lm.ordered():
+            return bc
+        return None
+
     def local_segment(self) -> ListBC:
-        return self.location_manager.get_bcontainer(self._my_bcid)
+        bc = self._local_segment_or_none()
+        if bc is None:
+            raise LookupError(
+                "no local segment on this location (all migrated away)")
+        return bc
+
+    def local_segments(self) -> list:
+        return self.location_manager.ordered()
 
     def local_gids(self) -> list:
-        bc = self.local_segment()
-        return [(self._my_bcid, s) for s in bc.seqs()]
+        return [(bc.get_bcid(), s)
+                for bc in self.location_manager.ordered()
+                for s in bc.seqs()]
 
     def to_list(self) -> list:
         """Gather all values in global sequence order, one slab per
-        (src, dst) pair (collective).  Group order is segment order (bcid
-        ``i`` lives on the i-th member), so the allgather order is already
-        the global sequence order; empty segments ship nothing."""
-        vals = self.local_segment().values()
-        gathered = self.ctx.bulk_gather(vals, group=self.group,
-                                        nelems=len(vals))
+        (src, dst) pair (collective).  Segments are shipped tagged with
+        their BCID (the global sequence is BCID order), so the gather is
+        placement-independent — correct before and after migration."""
+        local = [(bc.get_bcid(), bc.values())
+                 for bc in self.location_manager.ordered() if bc.size()]
+        gathered = self.ctx.bulk_gather(
+            local, group=self.group,
+            nelems=sum(len(vals) for _, vals in local))
+        segments = {}
+        for chunk in gathered:
+            for bcid, vals in chunk or []:
+                segments[bcid] = vals
         out = []
-        for seg in gathered:
-            out.extend(seg or [])
+        for bcid in sorted(segments):
+            out.extend(segments[bcid])
         return out
 
     def splice_from(self, other: "PList") -> None:
@@ -276,10 +331,10 @@ class PList(PContainerDynamic):
         for aligned groups)."""
         if other.group.members != self.group.members:
             raise ValueError("splice requires identical groups")
-        src = other.local_segment()
         dst = self.local_segment()
-        n = src.size()
-        self.here.charge_access(n)
-        while src.size():
-            dst.push_back(src.pop_front())
+        for src in other.local_segments():
+            n = src.size()
+            self.here.charge_access(n)
+            while src.size():
+                dst.push_back(src.pop_front())
         self.ctx.barrier(self.group)

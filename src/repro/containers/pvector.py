@@ -159,7 +159,9 @@ class PVector(PContainerDynamic):
         self._dist.invoke("erase", idx)
 
     def push_back(self, value) -> None:
-        """Append at the global end (asynchronous, amortised O(1))."""
+        """Append at the global end (asynchronous, amortised O(1)).  The
+        end block is addressed by BCID through the partition-mapper, so
+        pushes stay correct after the block migrates to another location."""
         part = self._dist.partition
         last = part.size() - 1
         dest = self._dist.mapper.map(last)
@@ -167,23 +169,28 @@ class PVector(PContainerDynamic):
             self._local_push_back(
                 self.location_manager.get_bcontainer(last), None, value)
             self.here.charge_access()
+            self.location_manager.note_access(last)
             self.here.stats.local_invocations += 1
         else:
             self.here.stats.remote_invocations += 1
-            self.here.async_rmi(dest, self.handle, "_remote_push_back", value)
+            self.here.async_rmi(dest, self.handle, "_remote_push_back",
+                                last, value)
 
     def pop_back(self):
         part = self._dist.partition
         last = part.size() - 1
         dest = self._dist.mapper.map(last)
-        return self.here.sync_rmi(dest, self.handle, "_remote_pop_back")
+        return self.here.sync_rmi(dest, self.handle, "_remote_pop_back", last)
 
     def push_anywhere(self, value) -> None:
-        """Append into the local bContainer (load-balance friendly)."""
-        me = self.group.index_of(self.ctx.id)
-        bc = self.location_manager.get_bcontainer(me)
-        self._local_push_into(bc, value)
-        self.here.charge_access()
+        """Append into a local bContainer (load-balance friendly); falls
+        back to ``push_back`` when every block migrated away."""
+        for bc in self.location_manager.ordered():
+            self._local_push_into(bc, value)
+            self.here.charge_access()
+            self.location_manager.note_access(bc.get_bcid())
+            return
+        self.push_back(value)
 
     # -- local handlers ----------------------------------------------------
     def _offset(self, bc, idx):
@@ -224,17 +231,27 @@ class PVector(PContainerDynamic):
     def _local_push_back(self, bc, _gid, value) -> None:
         self._local_push_into(bc, value)
 
-    def _remote_push_back(self, value) -> None:
-        me = self.group.index_of(self.here.id)
-        self._local_push_into(self.location_manager.get_bcontainer(me), value)
+    def _remote_push_back(self, bcid, value) -> None:
+        if not self.location_manager.has_bcontainer(bcid):
+            # the end block migrated while the push was in flight
+            self.here.stats.stale_redirects += 1
+            self.push_back(value)
+            return
+        self._local_push_into(self.location_manager.get_bcontainer(bcid),
+                              value)
         self.here.charge_access()
+        self.location_manager.note_access(bcid)
 
-    def _remote_pop_back(self):
-        me = self.group.index_of(self.here.id)
-        bc = self.location_manager.get_bcontainer(me)
+    def _remote_pop_back(self, bcid):
+        if not self.location_manager.has_bcontainer(bcid):
+            self.here.stats.stale_redirects += 1
+            dest = self._dist.mapper.map(bcid)
+            return self._sync(dest, "_remote_pop_back", bcid)
+        bc = self.location_manager.get_bcontainer(bcid)
         value = bc.pop_back()
         self._dist.partition.shrink(bc.get_bcid())
         self.here.charge_access()
+        self.location_manager.note_access(bcid)
         return value
 
     # -- inspection ---------------------------------------------------------
@@ -255,11 +272,17 @@ class PVector(PContainerDynamic):
         return self._dist.partition.total_size()
 
     def to_list(self) -> list:
-        """Gather all elements in index order (collective; test aid)."""
-        me = self.group.index_of(self.ctx.id)
-        local = (me, list(self.location_manager.get_bcontainer(me).values()))
+        """Gather all elements in index order (collective; test aid).
+        Blocks ship tagged with their BCID (the index order is BCID
+        order), so the gather is placement-independent."""
+        local = [(bc.get_bcid(), list(bc.values()))
+                 for bc in self.location_manager.ordered()]
         gathered = self.ctx.allgather_rmi(local, group=self.group)
+        blocks = {}
+        for chunk in gathered:
+            for bcid, vals in chunk:
+                blocks[bcid] = vals
         out = []
-        for _me, vals in sorted(gathered):
-            out.extend(vals)
+        for bcid in sorted(blocks):
+            out.extend(blocks[bcid])
         return out

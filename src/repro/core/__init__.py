@@ -31,6 +31,13 @@ from .domains import (
 )
 from .location_manager import LocationManager
 from .mappers import BlockedMapper, CyclicMapper, GeneralMapper, PartitionMapper
+from .migration import (
+    LookupCache,
+    MigrationMixin,
+    lookup_cache_enabled,
+    lpt_assignment,
+    set_lookup_cache,
+)
 from .memory import (
     MemoryReport,
     measure_memory,

@@ -415,13 +415,26 @@ class ListBC(BaseContainer):
         return 56 + 32 * len(self._nodes), ELEM_BYTES * len(self._nodes)
 
     def pack(self):
-        return [(n, self._nodes[n].value) for n in self.seqs()]
+        """Marshal preserving the stable sequence numbers *and* the seq
+        allocator — element GIDs are (bcid, seq) handles, so a migrated
+        segment must keep issuing handles from the same numbering."""
+        return (self._next_seq, [(n, self._nodes[n].value)
+                                 for n in self.seqs()])
 
     @classmethod
     def unpack(cls, domain, bcid, payload) -> "ListBC":
         out = cls(domain, bcid)
-        for _seq, value in payload:
-            out.push_back(value)
+        next_seq, items = payload
+        for seq, value in items:
+            node = _ListNode(seq, value)
+            out._nodes[seq] = node
+            node.prev = out._tail
+            if out._tail is not None:
+                out._tail.next = node
+            out._tail = node
+            if out._head is None:
+                out._head = node
+        out._next_seq = next_seq
         return out
 
 

@@ -17,6 +17,16 @@ Every element-wise pContainer method is an instantiation of the generic
 Containers implement ``_local_<method>(bc, gid, *args)`` handlers which the
 skeleton dispatches to once the owning bContainer is found.
 
+Migration awareness: the manager carries the container's **distribution
+epoch** (bumped by every committed migration/redistribution) and a
+per-location **lookup cache** consulted before the partition for partitions
+whose GID → BCID mapping is stable between epochs.  A cache hit skips the
+``charge_lookup`` metadata charge (and, for no-forwarding directories, the
+synchronous interrogation round trip).  Cached resolutions are flagged on
+the shipped request; if one lands at a location whose bContainer no longer
+holds the GID, the receiver re-forwards through the authoritative directory
+with the cache bypassed — a bounded chain counted in ``stale_redirects``.
+
 Mixed-mode locality: when the owner is *not* this location, the shipped
 request is still locality-aware one layer down — destinations on the same
 node take the runtime's zero-copy fast path (when enabled) instead of being
@@ -27,13 +37,18 @@ saved), falling back to the plain async send below.
 
 from __future__ import annotations
 
+from .migration import LookupCache, lookup_cache_enabled
 from .partitions import BCInfo
-from .thread_safety import THSInfo
+from .thread_safety import ELEMENT, MDREAD, WRITE, THSInfo
 from .traits import ConsistencyMode
 
 ASYNC = "async"
 SYNC = "sync"
 OPAQUE = "opaque"
+
+#: fallback locking attributes for methods without a policy-table entry,
+#: hoisted out of the dispatch hot paths
+_DEFAULT_POLICY = (ELEMENT, WRITE, MDREAD)
 
 
 class DataDistributionManager:
@@ -49,13 +64,47 @@ class DataDistributionManager:
         self.ths_manager = ths_manager
         self.consistency = consistency
         self.bcontainer_thread_safe = bcontainer_thread_safe
+        #: distribution epoch: advanced once per committed migration or
+        #: redistribution; everything caching distribution metadata is
+        #: keyed by it
+        self.epoch = 0
+        self._cache = LookupCache()
+
+    # -- epoch protocol --------------------------------------------------
+    def bump_epoch(self) -> None:
+        """Advance the distribution epoch and invalidate the lookup cache
+        (called on this location by every committed migration)."""
+        self.epoch += 1
+        self._cache.invalidate(self.epoch)
+        self.container.here.stats.lookup_cache_invalidations += 1
+
+    def _cache_store(self, gid, bcid) -> None:
+        """Remember a resolved GID → BCID pair; contiguous-run sub-domains
+        are cached whole so one miss covers the entire run."""
+        p = self.partition
+        if isinstance(gid, int) and not isinstance(gid, bool):
+            from .domains import RangeDomain
+
+            sub = p.get_sub_domain(bcid)
+            if isinstance(sub, RangeDomain):
+                self._cache.store_run(sub.lo, sub.hi, bcid)
+                return
+        self._cache.store(gid, bcid)
 
     # -- address resolution (Fig. 7 flowchart) ---------------------------
-    def get_info(self, gid) -> BCInfo:
-        """``FunctorWhere``: partition query, possibly partial (Fig. 8)."""
+    def get_info(self, gid, use_cache: bool = True) -> BCInfo:
+        """``FunctorWhere``: partition query, possibly partial (Fig. 8).
+
+        Consults the lookup cache first (for cacheable partitions); hits
+        return a BCInfo flagged ``cached`` without charging a lookup."""
         loc = self.container.here
-        loc.charge_lookup()
         p = self.partition
+        if (use_cache and p.cacheable and lookup_cache_enabled()):
+            bcid = self._cache.lookup(gid)
+            if bcid is not None:
+                loc.stats.lookup_cache_hits += 1
+                return BCInfo(bcid=bcid, cached=True)
+        loc.charge_lookup()
         if p.directory:
             home_bcid = p.home_bcid(gid)
             home_loc = self.mapper.map(home_bcid)
@@ -66,12 +115,19 @@ class DataDistributionManager:
                 bcid = self.container._sync_dir_lookup(home_loc, gid)
                 if bcid is None:
                     raise KeyError(f"GID {gid!r} not in container")
+                if p.cacheable:
+                    self._cache.store(gid, bcid)
                 return BCInfo(bcid=bcid)
             bcid = p.lookup(gid)
             if bcid is None:
                 raise KeyError(f"GID {gid!r} not in container")
+            if p.cacheable:
+                self._cache.store(gid, bcid)
             return BCInfo(bcid=bcid)
-        return p.find(gid)
+        info = p.find(gid)
+        if info.valid and p.cacheable:
+            self._cache_store(gid, info.bcid)
+        return info
 
     def lookup(self, gid):
         """Location that owns (or may know more about) ``gid``."""
@@ -90,27 +146,28 @@ class DataDistributionManager:
         loc = self.container.here
         ths.data_access_pre(ths_info, bcid)
         loc.charge_access()
-        bc = self.container.location_manager.get_bcontainer(bcid)
+        lm = self.container.location_manager
+        lm.note_access(bcid)
+        bc = lm.get_bcontainer(bcid)
         handler = getattr(self.container, "_local_" + method)
         result = handler(bc, gid, *args)
         ths.data_access_post(ths_info, bcid)
         ths.method_access_post(ths_info)
         return result
 
-    def _dispatch(self, method, gid, args, flavor):
+    def _dispatch(self, method, gid, args, flavor, use_cache: bool = True):
         container = self.container
         loc = container.here
         ths = self.ths_manager
         policy = self.partition.locking_policy
         pol = policy.get_locking_policy(method) if policy else None
         if pol is None:
-            from .thread_safety import ELEMENT, MDREAD, WRITE
-            pol = (ELEMENT, WRITE, MDREAD)
+            pol = _DEFAULT_POLICY
         info = THSInfo(method, gid, pol, loc, self.partition.dynamic,
                        self.bcontainer_thread_safe)
         ths.method_access_pre(info)
         ths.metadata_access_pre(info)
-        bcinfo = self.get_info(gid)
+        bcinfo = self.get_info(gid, use_cache=use_cache)
         ths.metadata_access_post(info)
         if bcinfo.valid:
             target = self.mapper.map(bcinfo.bcid)
@@ -119,6 +176,18 @@ class DataDistributionManager:
         if target == loc.id:
             if not bcinfo.valid:  # pragma: no cover - defensive
                 raise RuntimeError("partition returned hint to self")
+            if (bcinfo.cached and self.partition.directory
+                    and not (container.location_manager.has_bcontainer(
+                                 bcinfo.bcid)
+                             and container._gid_resident(
+                                 container.location_manager.get_bcontainer(
+                                     bcinfo.bcid), gid))):
+                # stale cached route resolving to *this* location: same
+                # re-forward as the remote arm in execute_at_bcid
+                loc.stats.stale_redirects += 1
+                ths.method_access_post(info)
+                return self._dispatch(method, gid, args, flavor,
+                                      use_cache=False)
             loc.stats.local_invocations += 1
             result = self._execute_local(method, gid, args, info, bcinfo.bcid)
             if flavor == OPAQUE:
@@ -129,17 +198,29 @@ class DataDistributionManager:
                 return fut
             return result
         # remote: ship the request with the requested flavour.  When the
-        # sub-domain is already resolved (directory home answered, or a
-        # closed-form partition), ship the BCID so the owner executes
-        # directly instead of re-resolving — this is what terminates a
-        # forwarding chain at the owner.
+        # sub-domain is already resolved (directory home answered, a
+        # closed-form partition, or a cache hit), ship the BCID so the
+        # owner executes directly instead of re-resolving — this is what
+        # terminates a forwarding chain at the owner.
         ths.method_access_post(info)
-        if container.runtime.current_origin != loc.id:
+        origin = container.runtime.current_origin
+        if origin != loc.id:
             loc.stats.forwarded += 1
+            part = self.partition
+            if (bcinfo.valid and part.directory and part.cacheable
+                    and lookup_cache_enabled()
+                    and self.mapper.map(part.home_bcid(gid)) == loc.id):
+                # directory route update (BCL-style owner caching): the
+                # authoritative home tells the origin which BCID owns the
+                # GID, so its next request skips the home hop entirely.
+                # A stale update is harmless — the receiver-side
+                # residency check re-forwards through the directory.
+                loc.async_rmi(origin, container.handle, "_route_update",
+                              gid, bcinfo.bcid)
         loc.stats.remote_invocations += 1
         if bcinfo.valid:
             handler_async, handler_ret = "_invoke_exec_async", "_invoke_exec_ret"
-            extra = (bcinfo.bcid,)
+            extra = (bcinfo.bcid, bcinfo.cached)
         else:
             handler_async, handler_ret = ("_invoke_handler_async",
                                           "_invoke_handler_ret")
@@ -161,19 +242,30 @@ class DataDistributionManager:
         return loc.opaque_rmi(target, container.handle, handler_ret,
                               method, gid, args, *extra)
 
-    def execute_at_bcid(self, method, gid, args, bcid):
+    def execute_at_bcid(self, method, gid, args, bcid, flavor=SYNC,
+                        cached: bool = False):
         """Execute at a pre-resolved bContainer (tail of a forwarding chain).
-        Falls back to full re-dispatch if the BCID moved (redistribution)."""
+
+        Falls back to a full re-dispatch — preserving the caller's original
+        flavour — when the BCID moved (migration/redistribution), or when a
+        cache-resolved request landed at a bContainer that no longer holds
+        the GID (directory containers); the re-dispatch then bypasses the
+        cache so the chain terminates at the authoritative directory."""
         container = self.container
         loc = container.here
-        if not container.location_manager.has_bcontainer(bcid):
-            return self._dispatch(method, gid, args, SYNC)
+        lm = container.location_manager
+        if not lm.has_bcontainer(bcid):
+            loc.stats.stale_redirects += 1
+            return self._dispatch(method, gid, args, flavor)
+        if cached and self.partition.directory and not container._gid_resident(
+                lm.get_bcontainer(bcid), gid):
+            loc.stats.stale_redirects += 1
+            return self._dispatch(method, gid, args, flavor, use_cache=False)
         ths = self.ths_manager
         policy = self.partition.locking_policy
         pol = policy.get_locking_policy(method) if policy else None
         if pol is None:
-            from .thread_safety import ELEMENT, MDREAD, WRITE
-            pol = (ELEMENT, WRITE, MDREAD)
+            pol = _DEFAULT_POLICY
         info = THSInfo(method, gid, pol, loc, self.partition.dynamic,
                        self.bcontainer_thread_safe)
         ths.method_access_pre(info)
@@ -206,4 +298,5 @@ class DataDistributionManager:
 
     def memory_size(self) -> int:
         return (64 + self.partition.memory_size()
-                + self.mapper.memory_size())
+                + self.mapper.memory_size()
+                + self._cache.memory_size())

@@ -5,10 +5,17 @@ from __future__ import annotations
 
 
 class LocationManager:
-    """Maintains the collection of bContainers mapped to one location."""
+    """Maintains the collection of bContainers mapped to one location.
+
+    Also keeps per-bContainer *access counters* (one count per element-wise
+    execution routed to the bContainer, plus element counts for bulk
+    sweeps): together with the element counts they are the load signal the
+    migration subsystem's ``rebalance()`` bin-packs on.
+    """
 
     def __init__(self):
         self._bcontainers: dict = {}
+        self._access_counts: dict = {}
 
     def add_bcontainer(self, bcid, bc) -> None:
         if bcid in self._bcontainers:
@@ -16,7 +23,22 @@ class LocationManager:
         self._bcontainers[bcid] = bc
 
     def delete_bcontainer(self, bcid):
+        self._access_counts.pop(bcid, None)
         return self._bcontainers.pop(bcid)
+
+    # -- load accounting (rebalance input) -------------------------------
+    def note_access(self, bcid, n: int = 1) -> None:
+        """Record ``n`` element accesses against ``bcid``."""
+        self._access_counts[bcid] = self._access_counts.get(bcid, 0) + n
+
+    def access_count(self, bcid) -> int:
+        return self._access_counts.get(bcid, 0)
+
+    def access_counts(self) -> dict:
+        return dict(self._access_counts)
+
+    def reset_access_counts(self) -> None:
+        self._access_counts.clear()
 
     def get_bcontainer(self, bcid):
         return self._bcontainers[bcid]
@@ -43,6 +65,7 @@ class LocationManager:
         for bc in self._bcontainers.values():
             bc.clear()
         self._bcontainers.clear()
+        self._access_counts.clear()
 
     def local_size(self) -> int:
         return sum(bc.size() for bc in self._bcontainers.values())

@@ -34,14 +34,18 @@ class BCInfo:
 
     Either a valid bContainer id, or — when only partial information is
     available on the querying location — a hint naming the location that may
-    know more (method forwarding, Ch. V.C).
+    know more (method forwarding, Ch. V.C).  ``cached`` marks resolutions
+    served from the per-location lookup cache: shipped requests carry the
+    flag so a receiver can tell an authoritative route from a possibly
+    stale one.
     """
 
-    __slots__ = ("bcid", "loc_hint")
+    __slots__ = ("bcid", "loc_hint", "cached")
 
-    def __init__(self, bcid=None, loc_hint=None):
+    def __init__(self, bcid=None, loc_hint=None, cached=False):
         self.bcid = bcid
         self.loc_hint = loc_hint
+        self.cached = cached
 
     @property
     def valid(self) -> bool:
@@ -90,6 +94,11 @@ class Partition:
     directory = False
     #: True when the sub-domains can change during execution
     dynamic = False
+    #: True when the GID → BCID mapping is stable between distribution
+    #: epochs, making per-location lookup-cache entries safe.  Partitions
+    #: whose metadata shifts under element ops (pVector's block table) or
+    #: whose GIDs already carry the BCID (pList) opt out.
+    cacheable = True
 
     def __init__(self):
         self._domain: Optional[FiniteOrderedDomain] = None
@@ -294,6 +303,9 @@ class UnbalancedBlockedPartition(Partition):
     table (replicated metadata, MDWRITE on dynamic ops)."""
 
     dynamic = True
+    #: block boundaries shift under insert/erase, so a cached GID → BCID
+    #: pair can silently address the wrong block — never cache
+    cacheable = False
 
     def __init__(self, num_parts: int):
         super().__init__()
@@ -354,6 +366,7 @@ class ListPartition(Partition):
     ownership is read off the GID itself — O(1), no directory (Ch. X.C)."""
 
     dynamic = True
+    cacheable = False  # the GID already carries the BCID: nothing to cache
 
     def __init__(self, num_parts: int):
         super().__init__()
@@ -460,6 +473,23 @@ class DirectoryPartition(Partition):
     def lookup(self, gid):
         """Authoritative lookup — only meaningful at the home location."""
         return self._entries.get(gid)
+
+    # -- migration support (home entries move with their home BCID) ------
+    def take_entries(self, moved_bcids: set) -> dict:
+        """Remove and return the local entries homed at the given BCIDs,
+        grouped per home BCID — packed by ``migrate`` so directory
+        addressing and data commit in the same epoch."""
+        out: dict = {}
+        homed = [gid for gid in self._entries
+                 if self.home_bcid(gid) in moved_bcids]
+        for gid in homed:
+            entry = self._entries.pop(gid)
+            out.setdefault(self.home_bcid(gid), {})[gid] = entry
+        return out
+
+    def install_entries(self, entries: dict) -> None:
+        """Install migrated home entries on the new home location."""
+        self._entries.update(entries)
 
     def contains(self, gid) -> bool:
         return gid in self._entries

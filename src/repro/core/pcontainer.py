@@ -16,10 +16,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..runtime.p_object import PObject
-from .distribution import DataDistributionManager
+from .distribution import ASYNC, SYNC, DataDistributionManager
 from .domains import RangeDomain
 from .location_manager import LocationManager
 from .mappers import CyclicMapper
+from .migration import MigrationMixin
 from .thread_safety import (
     ELEMENT,
     MDREAD,
@@ -60,8 +61,13 @@ class PartitionProxy:
         return f"PartitionProxy({self.inner!r})"
 
 
-class PContainerBase(PObject):
-    """Per-location representative of a distributed container (Table XI)."""
+class PContainerBase(MigrationMixin, PObject):
+    """Per-location representative of a distributed container (Table XI).
+
+    Every pContainer inherits the container-generic migration protocol
+    (:class:`~.migration.MigrationMixin`): ``migrate`` /
+    ``migrate_bcontainer`` / load-driven ``rebalance`` work on all six
+    container families."""
 
     #: subclasses override with their method locking table (Ch. VI.D)
     DEFAULT_LOCKING: dict = {}
@@ -179,16 +185,39 @@ class PContainerBase(PObject):
 
     # -- generic RMI handlers (targets of the invoke skeleton) -------------
     def _invoke_handler_async(self, method, gid, args):
-        self._dist._dispatch(method, gid, args, "async")
+        self._dist._dispatch(method, gid, args, ASYNC)
 
     def _invoke_handler_ret(self, method, gid, args):
-        return self._dist._dispatch(method, gid, args, "sync")
+        return self._dist._dispatch(method, gid, args, SYNC)
 
-    def _invoke_exec_async(self, method, gid, args, bcid):
-        self._dist.execute_at_bcid(method, gid, args, bcid)
+    # the exec handlers carry the pre-resolved BCID plus the cached flag;
+    # a moved/stale target re-dispatches with the *caller's* flavour, so an
+    # asynchronous request crossing a migration never degrades into a
+    # blocking round trip
+    def _invoke_exec_async(self, method, gid, args, bcid, cached=False):
+        self._dist.execute_at_bcid(method, gid, args, bcid, flavor=ASYNC,
+                                   cached=cached)
 
-    def _invoke_exec_ret(self, method, gid, args, bcid):
-        return self._dist.execute_at_bcid(method, gid, args, bcid)
+    def _invoke_exec_ret(self, method, gid, args, bcid, cached=False):
+        return self._dist.execute_at_bcid(method, gid, args, bcid,
+                                          flavor=SYNC, cached=cached)
+
+    def _gid_resident(self, bc, gid) -> bool:
+        """Does ``bc`` currently hold ``gid``?  Directory containers
+        override so stale cache-resolved routes can be detected and
+        re-forwarded; the default accepts (non-directory GID → BCID
+        mappings are pure functions and never stale)."""
+        return True
+
+    def _route_update(self, gid, bcid) -> None:
+        """Directory route update: a forwarding home tells this (the
+        requesting) location which BCID owns ``gid``, filling the lookup
+        cache so the next request skips the home hop."""
+        from .migration import lookup_cache_enabled
+
+        dist = self._dist
+        if dist.partition.cacheable and lookup_cache_enabled():
+            dist._cache.store(gid, bcid)
 
     def _sync_dir_lookup(self, home_loc, gid):
         """Directory interrogation round trip (forwarding disabled)."""
@@ -197,13 +226,32 @@ class PContainerBase(PObject):
     def _dir_lookup(self, gid):
         return self._dist.partition.lookup(gid)
 
+    def _home_of(self, gid):
+        return self._dist.mapper.map(self._dist.partition.home_bcid(gid))
+
     def _dir_register(self, gid, bcid):
+        # a registration racing a migration may land at the old home
+        # owner: chase the authoritative home through the fresh mapper
+        home = self._home_of(gid)
+        if home != self.here.id:
+            self.here.stats.stale_redirects += 1
+            self._async(home, "_dir_register", gid, bcid)
+            return
         self.here.charge_lookup()
         self._dist.partition.register_gid(gid, bcid)
+        # the authoritative update keeps the home's own cache truthful —
+        # a stale home entry would bounce the redirect chain forever
+        self._dist._cache.store(gid, bcid)
 
     def _dir_unregister(self, gid):
+        home = self._home_of(gid)
+        if home != self.here.id:
+            self.here.stats.stale_redirects += 1
+            self._async(home, "_dir_unregister", gid)
+            return
         self.here.charge_lookup()
         self._dist.partition.unregister_gid(gid)
+        self._dist._cache.discard(gid)
 
     # -- memory accounting (Ch. IX.F) ---------------------------------------
     def local_memory_size(self) -> tuple:
@@ -465,6 +513,7 @@ class PContainerIndexed(PContainerStatic):
             return self.get_range(lo, hi)
         loc = self.here
         loc.charge(loc.machine.t_access * SLAB_ACCESS_FACTOR * (hi - lo))
+        self.location_manager.note_access(bcid, hi - lo)
         return self.location_manager.get_bcontainer(bcid).get_range(lo, hi)
 
     def _bulk_set_range(self, bcid, lo, values) -> None:
@@ -473,6 +522,7 @@ class PContainerIndexed(PContainerStatic):
             return
         loc = self.here
         loc.charge(loc.machine.t_access * SLAB_ACCESS_FACTOR * len(values))
+        self.location_manager.note_access(bcid, len(values))
         self.location_manager.get_bcontainer(bcid).set_range(lo, values)
 
 

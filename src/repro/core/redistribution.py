@@ -1,31 +1,37 @@
 """Redistribution support (Ch. V.G): change a live container's partition
 and/or mapping, moving marshaled data between locations.
 
-The container's partition is held behind a :class:`PartitionProxy`
-(Ch. V.G "partition proxy"), so ``redistribute`` can swap the underlying
-partition object while the container stays alive.  Elements are packed per
-destination (the ``define_type`` marshaling path, Ch. V.G.1) and exchanged
-with one coarse-grained ``bulk_exchange`` — contiguous GID runs travel as
-NumPy slabs and 2D sub-blocks as dense blocks, so each (src, dst) pair pays
-for one physical message plus its payload bytes instead of one RMI per
-element.  The exchange is node-aware: slabs bound for several locations on
-one remote node ride a single coalesced inter-node message (scattered by
-the node leader), and same-node slabs move through shared memory when the
-zero-copy fast path is on — redistribution cost therefore scales with the
-*node* topology, not the flat location count.
+This is the *repartitioning* half of the migration subsystem
+(:mod:`repro.core.migration` owns the container-generic half — whole
+bContainer moves, the lookup cache and load-driven rebalancing; the slab
+packing/unpacking machinery here is shared with it).  The container's
+partition is held behind a :class:`PartitionProxy` (Ch. V.G "partition
+proxy"), so ``redistribute`` can swap the underlying partition object while
+the container stays alive.  Elements are packed per destination (the
+``define_type`` marshaling path, Ch. V.G.1) and exchanged with one
+coarse-grained ``bulk_exchange`` — contiguous GID runs travel as NumPy
+slabs and 2D sub-blocks as dense blocks, so each (src, dst) pair pays for
+one physical message plus its payload bytes instead of one RMI per element.
+The exchange is node-aware: slabs bound for several locations on one remote
+node ride a single coalesced inter-node message (scattered by the node
+leader), and same-node slabs move through shared memory when the zero-copy
+fast path is on.
+
+Every committed redistribution bumps the container's distribution epoch,
+invalidating per-location lookup caches and the views' native-chunk lists.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from .domains import Range2DDomain, RangeDomain
-from .pcontainer import SLAB_ACCESS_FACTOR, PartitionProxy
+from .domains import RangeDomain
+from .migration import apply_packed, pack_for_partition
+from .pcontainer import PartitionProxy
 
 
 class RedistributableMixin:
-    """Adds ``redistribute`` / ``rebalance`` / ``rotate`` to indexed
-    containers (pArray, pMatrix).  Requires the partition proxy trait."""
+    """Adds ``redistribute`` / ``migrate_range`` / ``rotate`` (and a
+    partition-level ``rebalance`` policy) to indexed containers (pArray,
+    pMatrix).  Requires the partition proxy trait."""
 
     def redistribute(self, new_partition, new_mapper=None) -> None:
         """Collective: reorganise data per ``new_partition`` (and optionally
@@ -38,57 +44,16 @@ class RedistributableMixin:
         ctx = self.ctx
         group = self.group
         members = group.members
+        # entry barrier: peers may still be completing element methods
+        # against the old distribution (see MigrationMixin.migrate)
+        ctx.barrier(group)
         domain = self._dist.partition.get_domain()
         new_partition.set_domain(domain)
         self._install_locking_policy(new_partition)
         mapper = new_mapper if new_mapper is not None else self._make_mapper()
         mapper.init(new_partition.size(), members)
 
-        # pack local data per new owner: contiguous GID runs as NumPy slabs,
-        # 2D sub-blocks as dense blocks, anything else element-wise
-        outgoing = [[] for _ in members]
-        pos_of = {lid: i for i, lid in enumerate(members)}
-        moved = 0
-        for bc in self.location_manager.ordered():
-            dom = bc.domain
-            if isinstance(dom, RangeDomain) and hasattr(bc, "get_range"):
-                gid = dom.lo
-                while gid < dom.hi:
-                    info = new_partition.find(gid)
-                    dest = mapper.map(info.bcid)
-                    sub = new_partition.get_sub_domain(info.bcid)
-                    run_hi = (min(dom.hi, sub.hi)
-                              if isinstance(sub, RangeDomain) else gid + 1)
-                    run_hi = max(run_hi, gid + 1)
-                    ctx.charge_lookup()
-                    ctx.charge(ctx.machine.t_access * SLAB_ACCESS_FACTOR
-                               * (run_hi - gid))
-                    outgoing[pos_of[dest]].append(
-                        ("slab", gid, bc.get_range(gid, run_hi)))
-                    moved += run_hi - gid
-                    gid = run_hi
-            elif isinstance(dom, Range2DDomain) and hasattr(bc, "get_block"):
-                for nb in range(new_partition.size()):
-                    sub = new_partition.get_sub_domain(nb)
-                    rr0, rr1 = max(dom.r0, sub.r0), min(dom.r1, sub.r1)
-                    cc0, cc1 = max(dom.c0, sub.c0), min(dom.c1, sub.c1)
-                    if rr0 >= rr1 or cc0 >= cc1:
-                        continue
-                    dest = mapper.map(nb)
-                    n = (rr1 - rr0) * (cc1 - cc0)
-                    ctx.charge_lookup()
-                    ctx.charge(ctx.machine.t_access * SLAB_ACCESS_FACTOR * n)
-                    outgoing[pos_of[dest]].append(
-                        ("block", (rr0, cc0), bc.get_block(rr0, rr1, cc0, cc1)))
-                    moved += n
-            else:
-                for gid in dom:
-                    value = bc.get(gid)
-                    info = new_partition.find(gid)
-                    dest = mapper.map(info.bcid)
-                    outgoing[pos_of[dest]].append(("elem", gid, value))
-                    ctx.charge_lookup()
-                    moved += 1
+        outgoing, moved = pack_for_partition(self, new_partition, mapper)
         incoming = ctx.bulk_exchange(outgoing, group=group, nelems=moved)
 
         # rebuild local storage under the new distribution
@@ -97,36 +62,65 @@ class RedistributableMixin:
             sub = new_partition.get_sub_domain(bcid)
             bc = self._make_bcontainer(sub, bcid)
             self.location_manager.add_bcontainer(bcid, bc)
-        for bucket in incoming:
-            for kind, key, payload in bucket:
-                if kind == "slab":
-                    info = new_partition.find(key)
-                    bc = self.location_manager.get_bcontainer(info.bcid)
-                    bc.set_range(key, payload)
-                    ctx.charge(ctx.machine.t_access * SLAB_ACCESS_FACTOR
-                               * len(payload))
-                elif kind == "block":
-                    r0, c0 = key
-                    info = new_partition.find((r0, c0))
-                    bc = self.location_manager.get_bcontainer(info.bcid)
-                    bc.set_block(r0, c0, payload)
-                    ctx.charge(ctx.machine.t_access * SLAB_ACCESS_FACTOR
-                               * np.asarray(payload).size)
-                else:
-                    info = new_partition.find(key)
-                    bc = self.location_manager.get_bcontainer(info.bcid)
-                    bc.set(key, payload)
-                    ctx.charge_access()
+        apply_packed(self, new_partition, incoming)
 
         self._dist.partition.swap(new_partition)
         self._dist.mapper = mapper
+        self._dist.bump_epoch()
         ctx.barrier(group)
 
-    def rebalance(self) -> None:
-        """Redistribute so each location owns ~N/P elements."""
+    def rebalance(self, policy: str = "even", **kwargs) -> None:
+        """Collective rebalancing.  ``policy="even"`` (default) restores a
+        balanced *partition* — each location owns ~N/P elements regardless
+        of bContainer boundaries; ``policy="load"`` keeps the partition and
+        bin-packs whole bContainers by the measured element + access load
+        (the container-generic path of
+        :meth:`~.migration.MigrationMixin.rebalance`)."""
+        if policy == "load":
+            super().rebalance(**kwargs)
+            return
+        if policy != "even":
+            raise ValueError(f"unknown rebalance policy {policy!r}")
         from .partitions import BalancedPartition
 
         self.redistribute(BalancedPartition(len(self.group)))
+
+    def migrate_range(self, lo: int, hi: int, dest) -> None:
+        """Collective: hand location ``dest`` exclusive ownership of the
+        GID range ``[lo, hi)``.  The current partition boundaries are
+        refined at ``lo``/``hi``; every other range keeps its present
+        owner.  1D integer domains only (pMatrix moves whole blocks via
+        ``migrate`` instead)."""
+        part = self._dist.partition
+        dom = part.get_domain()
+        if not isinstance(dom, RangeDomain):
+            raise TypeError(
+                f"migrate_range needs a 1D RangeDomain, not {dom!r}")
+        if not (dom.lo <= lo <= hi <= dom.hi):
+            raise IndexError(f"range [{lo}, {hi}) outside {dom}")
+        if dest not in self.group:
+            raise ValueError(f"location {dest} not in group {self.group}")
+        bounds = {dom.lo, dom.hi, lo, hi}
+        for bcid in range(part.size()):
+            sub = part.get_sub_domain(bcid)
+            if isinstance(sub, RangeDomain):
+                bounds.add(sub.lo)
+                bounds.add(sub.hi)
+        edges = sorted(bounds)
+        mapper = self._dist.mapper
+        sizes, owners = [], []
+        for a, b in zip(edges, edges[1:]):
+            if a == b:
+                continue
+            sizes.append(b - a)
+            if lo <= a < hi:
+                owners.append(dest)
+            else:
+                owners.append(mapper.map(part.find(a).bcid))
+        from .mappers import GeneralMapper
+        from .partitions import ExplicitPartition
+
+        self.redistribute(ExplicitPartition(sizes), GeneralMapper(owners))
 
     def rotate(self, positions: int = 1) -> None:
         """Cyclically shift sub-domain ownership by ``positions`` locations."""

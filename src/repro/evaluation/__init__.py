@@ -13,6 +13,11 @@ from .composition_figs import fig62_row_min
 from .consistency_figs import mcm_demonstrations
 from .harness import ExperimentResult, method_kernel, run_spmd_timed
 from .memory_figs import fig34_memory_study
+from .migration_figs import (
+    lookup_cache_study,
+    migration_graph_study,
+    migration_skew_study,
+)
 from .mixed_mode_figs import mixed_mode_study, mixed_mode_topology_study
 from .parray_figs import (
     fig27_constructor,

@@ -46,7 +46,10 @@ from . import (
     fig59_mapreduce_wordcount,
     fig60_assoc_algorithms,
     fig62_row_min,
+    lookup_cache_study,
     mcm_demonstrations,
+    migration_graph_study,
+    migration_skew_study,
     mixed_mode_study,
     mixed_mode_topology_study,
 )
@@ -80,6 +83,9 @@ DRIVERS = {
     "combining_containers": combining_containers_study,
     "mixed_mode": mixed_mode_study,
     "mixed_mode_topology": mixed_mode_topology_study,
+    "migration": migration_skew_study,
+    "migration_graph": migration_graph_study,
+    "lookup_cache": lookup_cache_study,
     "ablation_aggregation": ablation_aggregation,
     "ablation_alignment": ablation_view_alignment,
     "ablation_consistency": ablation_consistency_mode,

@@ -153,6 +153,7 @@ class Location:
 
     def charge_lookup(self, n: int = 1) -> None:
         self.clock += self.runtime.machine.t_lookup * n
+        self.stats.lookups_charged += n
 
     def charge_lock(self, n: int = 1) -> None:
         self.clock += self.runtime.machine.t_lock * n

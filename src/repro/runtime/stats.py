@@ -19,6 +19,17 @@ those RMIs would have serialized on the message path.
 ``coalesced_messages`` counts inter-node messages that carried payloads for
 several locations on the destination node (scattered intra-node by the node
 leader) — one per coalesced bulk-exchange send or combining flush.
+
+Migration-subsystem counters: ``lookups_charged`` counts metadata lookups
+actually charged to the virtual clock (``charge_lookup``);
+``lookup_cache_hits`` counts address resolutions served by the
+per-location lookup cache instead (no charge);
+``lookup_cache_invalidations`` counts epoch bumps that dropped a cache;
+``stale_redirects`` counts requests that landed at a non-owner (moved
+bContainer or stale cached route) and re-forwarded through the directory;
+``bcontainers_migrated`` / ``migration_elements_moved`` count whole
+bContainers shipped / elements received by ``migrate``; ``rebalances``
+counts load-driven ``rebalance()`` collectives.
 """
 
 from __future__ import annotations
@@ -49,6 +60,13 @@ class LocationStats:
     lock_acquires: int = 0
     fences: int = 0
     collectives: int = 0
+    lookups_charged: int = 0
+    lookup_cache_hits: int = 0
+    lookup_cache_invalidations: int = 0
+    stale_redirects: int = 0
+    bcontainers_migrated: int = 0
+    migration_elements_moved: int = 0
+    rebalances: int = 0
 
     def merge(self, other: "LocationStats") -> None:
         for f in fields(self):

@@ -83,8 +83,9 @@ class Array1DView(PView):
                 and getattr(self.container, "supports_native_1d", True)
                 and self.size() == self.container.domain.size()):
             loc = self.ctx
-            return [NativeChunk(self, bc, loc)
-                    for bc in self.container.local_bcontainers()]
+            return self.cached_native_chunks(
+                lambda: [NativeChunk(self, bc, loc)
+                         for bc in self.container.local_bcontainers()])
         return BalancedView(self).local_chunks()
 
 

@@ -318,15 +318,42 @@ class GenericChunk(Chunk):
 
 
 class PView:
-    """Base pView (Table II rows share this interface)."""
+    """Base pView (Table II rows share this interface).
+
+    Views cache their *native* chunk lists (bViews aligned with local
+    bContainers) keyed by the container's distribution epoch: a committed
+    migration or redistribution bumps the epoch, so the next
+    ``local_chunks`` call rebuilds the list against the fresh placement
+    instead of touching bContainers that moved away.  Balanced/generic
+    chunks are never cached — their domains depend on the (possibly
+    changing) container size."""
 
     def __init__(self, container, group=None):
         self.container = container
         self.group = group or container.group
+        self._chunk_cache: tuple | None = None
 
     @property
     def ctx(self):
         return self.container.runtime.current_location
+
+    def _distribution_epoch(self) -> int:
+        dist = getattr(self.container, "distribution", None)
+        return dist.epoch if dist is not None else 0
+
+    def cached_native_chunks(self, build, extra_key=None) -> list:
+        """Native chunk list for this location, rebuilt by ``build()``
+        whenever the container's distribution epoch changed (epoch-aware
+        metadata refresh).  Views whose chunks snapshot element sets (the
+        graph vertex view) pass an ``extra_key`` that also changes when
+        the snapshot would."""
+        key = (self._distribution_epoch(), extra_key)
+        cached = self._chunk_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        chunks = build()
+        self._chunk_cache = (key, chunks)
+        return chunks
 
     def size(self) -> int:
         raise NotImplementedError

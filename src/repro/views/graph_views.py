@@ -86,6 +86,11 @@ class GraphView(PView):
         return bc.vertices()
 
     def local_chunks(self) -> list:
+        # never cached: the chunks snapshot per-bContainer vertex (and,
+        # in the region subclasses, edge-derived) membership, which can
+        # change without either the distribution epoch or the local size
+        # changing — e.g. delete_vertex + add_vertex, or add_edge moving
+        # a vertex between inner and boundary sets
         loc = self.ctx
         return [VertexChunk(self, bc, self._select(bc), loc)
                 for bc in self.container.local_bcontainers()]

@@ -82,8 +82,9 @@ class StaticListView(PView):
     def local_chunks(self) -> list:
         loc = self.ctx
         lm = self.container.location_manager
-        return [ListChunk(self, lm.get_bcontainer(b), b, loc)
-                for b in lm.bcids()]
+        return self.cached_native_chunks(
+            lambda: [ListChunk(self, lm.get_bcontainer(b), b, loc)
+                     for b in lm.bcids()])
 
 
 class ListView(StaticListView):

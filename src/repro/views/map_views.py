@@ -84,8 +84,9 @@ class MapView(PView):
 
     def local_chunks(self) -> list:
         loc = self.ctx
-        return [MapChunk(self, bc, loc)
-                for bc in self.container.local_bcontainers()]
+        return self.cached_native_chunks(
+            lambda: [MapChunk(self, bc, loc)
+                     for bc in self.container.local_bcontainers()])
 
 
 class SetView(MapView):

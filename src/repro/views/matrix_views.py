@@ -32,8 +32,9 @@ class MatrixLinearView(PView):
 
     def local_chunks(self) -> list:
         loc = self.ctx
-        return [_MatrixBlockChunk(self, bc, loc)
-                for bc in self.container.local_bcontainers()]
+        return self.cached_native_chunks(
+            lambda: [_MatrixBlockChunk(self, bc, loc)
+                     for bc in self.container.local_bcontainers()])
 
 
 class _MatrixBlockChunk(Chunk):

@@ -1,0 +1,126 @@
+"""Hypothesis properties for the migration subsystem: random interleavings
+of inserts/erases/migrations preserve sequential-oracle equivalence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.containers.associative import PHashMap
+from repro.containers.plist import PList
+from repro.runtime import spmd_run
+
+_NLOCS = 4
+
+_KEYS = st.integers(0, 25)
+
+#: one op: ("insert", k, v) / ("erase", k) / ("migrate", bcid, dest) /
+#: ("rebalance",)
+_MAP_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), _KEYS, st.integers(-9, 9)),
+        st.tuples(st.just("erase"), _KEYS),
+        st.tuples(st.just("migrate"), st.integers(0, 2 * _NLOCS - 1),
+                  st.integers(0, _NLOCS - 1)),
+        st.tuples(st.just("rebalance")),
+    ),
+    max_size=30)
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=_MAP_OPS)
+def test_phashmap_interleaved_migrations_match_dict(ops):
+    """Inserts/erases interleaved with bContainer migrations and
+    rebalances give exactly the sequential dict semantics."""
+    def prog(ctx):
+        hm = PHashMap(ctx, num_bcontainers=2 * ctx.nlocs)
+        for op in ops:
+            if op[0] == "insert":
+                if ctx.id == 0:
+                    hm.set_element(op[1], op[2])
+            elif op[0] == "erase":
+                if ctx.id == 0:
+                    hm.erase_async(op[1])
+            elif op[0] == "migrate":
+                # collective — identical on every location.  The fence
+                # quiesces in-flight asyncs first: ops crossing a
+                # migration are redelivered to the new owner, but their
+                # order against *post-migration* ops on the same key is
+                # relaxed (async ordering is per (source, destination)
+                # channel, and migration changes the destination).
+                ctx.rmi_fence()
+                hm.migrate({op[1]: hm.group.members[op[2]]})
+            else:
+                ctx.rmi_fence()
+                hm.rebalance()
+        ctx.rmi_fence()
+        return hm.to_dict()
+
+    oracle: dict = {}
+    for op in ops:
+        if op[0] == "insert":
+            oracle[op[1]] = op[2]
+        elif op[0] == "erase":
+            oracle.pop(op[1], None)
+    out = spmd_run(prog, nlocs=_NLOCS)
+    assert all(o == oracle for o in out)
+
+
+_LIST_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push_back"), st.integers(-99, 99)),
+        st.tuples(st.just("push_front"), st.integers(-99, 99)),
+        st.tuples(st.just("pop_back")),
+        st.tuples(st.just("pop_front")),
+        st.tuples(st.just("migrate"), st.integers(0, _NLOCS - 1),
+                  st.integers(0, _NLOCS - 1)),
+        st.tuples(st.just("rebalance")),
+    ),
+    max_size=25)
+
+
+@settings(max_examples=15, deadline=None)
+@given(size=st.integers(0, 8), ops=_LIST_OPS)
+def test_plist_interleaved_migrations_match_list(size, ops):
+    """End pushes/pops interleaved with segment migrations preserve the
+    global sequence a plain Python list predicts."""
+    def prog(ctx):
+        pl = PList(ctx, size, value=7)
+        for op in ops:
+            if op[0] == "push_back":
+                if ctx.id == 0:
+                    pl.push_back(op[1])
+            elif op[0] == "push_front":
+                if ctx.id == 0:
+                    pl.push_front(op[1])
+            elif op[0] == "pop_back":
+                ctx.rmi_fence()  # pops race pushes: order the stream
+                if pl.update_size() and ctx.id == 0:
+                    pl.pop_back()
+                ctx.rmi_fence()
+            elif op[0] == "pop_front":
+                ctx.rmi_fence()
+                if pl.update_size() and ctx.id == 0:
+                    pl.pop_front()
+                ctx.rmi_fence()
+            elif op[0] == "migrate":
+                ctx.rmi_fence()  # see the map test: migration is a sync point
+                pl.migrate({op[1]: pl.group.members[op[2]]})
+            else:
+                ctx.rmi_fence()
+                pl.rebalance()
+        ctx.rmi_fence()
+        return pl.to_list()
+
+    oracle = [7] * size
+    for op in ops:
+        if op[0] == "push_back":
+            oracle.append(op[1])
+        elif op[0] == "push_front":
+            oracle.insert(0, op[1])
+        elif op[0] == "pop_back":
+            if oracle:
+                oracle.pop()
+        elif op[0] == "pop_front":
+            if oracle:
+                oracle.pop(0)
+    out = spmd_run(prog, nlocs=_NLOCS)
+    assert all(o == oracle for o in out)
