@@ -1,0 +1,13 @@
+"""Benchmarks regenerating the dependence-driven executor studies (PR 5):
+PARAGRAPH data-flow vs fence-per-phase, and the sorting transport fix."""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_paragraph_sort_scan_pipeline(benchmark):
+    run_and_report(benchmark, ev.paragraph_study, n_per_loc=2000)
+
+
+def test_sort_transport_bulk_vs_scalar(benchmark):
+    run_and_report(benchmark, ev.sort_transport_study, n_per_loc=4096)

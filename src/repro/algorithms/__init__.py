@@ -55,6 +55,15 @@ from .predicates import (
     p_swap_ranges,
     p_unique_count,
 )
-from .prange import Executor, PRange, Task, run_map
+from .pipelines import p_sort_scan_pipeline
+from .prange import (
+    Executor,
+    Paragraph,
+    PRange,
+    Task,
+    dataflow_enabled,
+    run_map,
+    set_dataflow,
+)
 from .sorting import p_is_sorted, p_sample_sort
 from .sssp import distances_of, sssp

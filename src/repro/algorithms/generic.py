@@ -18,7 +18,7 @@ import numpy as np
 
 from ..core.domains import RangeDomain
 from ..views.base import Workfunction, bulk_transport_enabled
-from .prange import Executor, PRange
+from .prange import Executor, Paragraph, PRange, dataflow_enabled
 
 
 def _finish(view) -> None:
@@ -211,12 +211,18 @@ def _aligned_native_pairs(src, dst):
 
 
 def p_transform(src, dst, fn, vector=None, cost=None) -> None:
-    """``dst[i] <- fn(src[i])``."""
+    """``dst[i] <- fn(src[i])``.
+
+    Runs as a two-view pRange, so the closing synchronisation point
+    commits *both* containers (source metadata and destination writes) —
+    not just the first view's."""
     pairs = _aligned_native_pairs(src, dst)
     ctx = src.ctx
     m = ctx.machine
+    pr = PRange([src, dst])
     if pairs is not None:
-        for sbc, dbc in pairs:
+        def xf(pair):
+            sbc, dbc = pair
             ctx.charge((m.t_access * 2 + (cost or m.t_access)) * sbc.size())
             if vector is not None and hasattr(sbc, "values") and hasattr(
                     dbc, "values"):
@@ -224,10 +230,14 @@ def p_transform(src, dst, fn, vector=None, cost=None) -> None:
             else:
                 for gid in sbc.domain:
                     dbc.set(gid, fn(sbc.get(gid)))
+        for pair in pairs:
+            pr.add_task(xf, pair)
     else:
-        for i in src.balanced_slices():
-            dst.write(i, fn(src.read(i)))
-    _finish(dst)
+        def xf_slice(_c):
+            for i in src.balanced_slices():
+                dst.write(i, fn(src.read(i)))
+        pr.add_task(xf_slice)
+    Executor().run(pr)
 
 
 def p_copy(src, dst) -> None:
@@ -260,8 +270,15 @@ def p_inner_product(view_a, view_b, init=0):
 def p_adjacent_difference(src, dst) -> None:
     """STL semantics: ``dst[0] = src[0]``; ``dst[i] = src[i] - src[i-1]``.
 
-    Uses one remote boundary read per location — the overlap-view pattern
-    (Fig. 2) specialised to window (c=1, l=1, r=0)."""
+    Data-flow mode: a neighbour edge — each location forwards the last
+    value seen so far to its right neighbour as a dependence message
+    (empty slices forward unchanged), so no location blocks on a remote
+    boundary read.  Fenced baseline: one sync remote boundary read per
+    location — the overlap-view pattern (Fig. 2) with window
+    (c=1, l=1, r=0)."""
+    if dataflow_enabled():
+        _adjacent_difference_dataflow(src, dst)
+        return
     ctx = src.ctx
     sl = src.balanced_slices()
     if sl.size():
@@ -278,9 +295,61 @@ def p_adjacent_difference(src, dst) -> None:
     _finish(dst)
 
 
+def _diff_outputs(vals, prev):
+    """Adjacent differences of one location's run given the last value on
+    any lower location (None at the global start or when all lower runs
+    are empty); returns (outputs, last value seen so far)."""
+    out = []
+    left = prev
+    for v in vals:
+        out.append(v if left is None else v - left)
+        left = v
+    return out, left
+
+
+def _adjacent_difference_dataflow(src, dst) -> None:
+    pg = Paragraph(src.ctx, views=(src, dst))
+    sl = src.balanced_slices()
+    build_diff_tasks(pg, dst, lambda: _read_slab(src, sl), lambda: sl.lo)
+    pg.run()
+    pg.destroy()
+
+
+def _prefix_outputs(prefix, carry, op, inclusive):
+    """Final prefix values for one location given the carry folded over all
+    lower locations (None when nothing precedes)."""
+    out = []
+    for k in range(len(prefix)):
+        if inclusive:
+            out.append(prefix[k] if carry is None else op(carry, prefix[k]))
+        elif k == 0:
+            out.append(carry)
+        else:
+            out.append(prefix[k - 1] if carry is None
+                       else op(carry, prefix[k - 1]))
+    return out
+
+
+def _write_prefix(dst, lo, out) -> None:
+    if out and out[0] is None:
+        # exclusive scan leaves dst[0] untouched on the first location
+        _write_slab(dst, lo + 1, out[1:])
+    elif out:
+        _write_slab(dst, lo, out)
+
+
 def p_partial_sum(src, dst, op=operator.add, inclusive: bool = True) -> None:
     """Parallel prefix (Ch. III: "important parallel algorithmic
-    techniques"): local prefix + exclusive scan of local totals."""
+    techniques"): local prefix, then the carry over lower locations.
+
+    Data-flow mode: the carry travels as a neighbour chain of dependence
+    messages (location i folds in its total and forwards), pipelining the
+    tail of the computation instead of synchronising every member at a
+    scan collective.  Fenced baseline: exclusive scan collective of local
+    totals."""
+    if dataflow_enabled():
+        _partial_sum_dataflow(src, dst, op, inclusive)
+        return
     ctx = src.ctx
     m = ctx.machine
     sl = src.balanced_slices()
@@ -291,7 +360,6 @@ def p_partial_sum(src, dst, op=operator.add, inclusive: bool = True) -> None:
     for v in vals:
         acc = v if acc is None else op(acc, v)
         prefix.append(acc)
-    local_total = acc if acc is not None else None
 
     def scan_op(a, b):
         if a is None:
@@ -300,20 +368,91 @@ def p_partial_sum(src, dst, op=operator.add, inclusive: bool = True) -> None:
             return a
         return op(a, b)
 
-    carry, _total = ctx.scan_rmi(local_total, scan_op, exclusive=True,
+    carry, _total = ctx.scan_rmi(acc, scan_op, exclusive=True,
                                  group=src.group)
-    out = []
-    for k in range(len(vals)):
-        if inclusive:
-            out.append(prefix[k] if carry is None else op(carry, prefix[k]))
-        elif k == 0:
-            out.append(carry)
-        else:
-            out.append(prefix[k - 1] if carry is None
-                       else op(carry, prefix[k - 1]))
-    if out and out[0] is None:
-        # exclusive scan leaves dst[0] untouched on the first location
-        _write_slab(dst, sl.lo + 1, out[1:])
-    elif out:
-        _write_slab(dst, sl.lo, out)
+    _write_prefix(dst, sl.lo, _prefix_outputs(prefix, carry, op, inclusive))
     _finish(dst)
+
+
+def build_scan_tasks(pg, dst, source, offset_of, op, inclusive,
+                     after=()):
+    """Add this location's carry-chain prefix tasks to ``pg``: a parallel
+    O(n) task folding the local prefix over ``source()``, then an O(1)
+    chain task that folds the local total into the carry from the left
+    neighbour, forwards it (before writing, pipelining the chain
+    downstream), and writes the outputs at ``offset_of()``.  Shared by
+    the standalone ``p_partial_sum`` and the sort→scan pipeline."""
+    ctx = pg.ctx
+    m = ctx.machine
+    members = pg.group.members
+    me = members.index(ctx.id)
+    P = len(members)
+    st = {}
+
+    def t_local(_c):
+        vals = source()
+        ctx.charge(m.t_access * len(vals))
+        prefix = []
+        acc = None
+        for v in vals:
+            acc = v if acc is None else op(acc, v)
+            prefix.append(acc)
+        st["prefix"] = prefix
+        st["total"] = acc
+
+    local_t = pg.add_task(t_local, deps=after)
+
+    def t_out(_c, inputs=None):
+        carry = inputs["carry"] if me else None
+        total = st["total"]
+        if me + 1 < P:
+            nxt = (carry if total is None
+                   else total if carry is None else op(carry, total))
+            pg.send(members[me + 1], "scan", nxt, tag="carry")
+        _write_prefix(dst, offset_of(),
+                      _prefix_outputs(st["prefix"], carry, op, inclusive))
+
+    return pg.add_task(t_out, deps=(local_t,), key="scan",
+                       needs=1 if me else 0)
+
+
+def build_diff_tasks(pg, dst, source, offset_of, after=()):
+    """Add this location's adjacent-difference tasks to ``pg``: read the
+    run via ``source()``, then an O(1) boundary chain — forward the last
+    value seen so far (unchanged through empty runs) and write the
+    differences at ``offset_of()``.  Shared by the standalone
+    ``p_adjacent_difference`` and the sort→scan pipeline."""
+    ctx = pg.ctx
+    members = pg.group.members
+    me = members.index(ctx.id)
+    P = len(members)
+    st = {}
+
+    def t_read(_c):
+        st["vals"] = source()
+
+    rd = pg.add_task(t_read, deps=after)
+
+    def t_diff(_c, inputs=None):
+        vals = st["vals"]
+        prev = inputs["bound"] if me else None
+        if me + 1 < P:
+            # forward the boundary before computing: the right neighbour
+            # can start as soon as its own run is in hand
+            pg.send(members[me + 1], "diff", vals[-1] if vals else prev,
+                    tag="bound")
+        out, _last = _diff_outputs(vals, prev)
+        if out:
+            _write_slab(dst, offset_of(), out)
+
+    return pg.add_task(t_diff, deps=(rd,), key="diff",
+                       needs=1 if me else 0)
+
+
+def _partial_sum_dataflow(src, dst, op, inclusive) -> None:
+    pg = Paragraph(src.ctx, views=(src, dst))
+    sl = src.balanced_slices()
+    build_scan_tasks(pg, dst, lambda: _read_slab(src, sl), lambda: sl.lo,
+                     op, inclusive)
+    pg.run()
+    pg.destroy()

@@ -19,6 +19,7 @@ from .migration_figs import (
     migration_skew_study,
 )
 from .mixed_mode_figs import mixed_mode_study, mixed_mode_topology_study
+from .paragraph_figs import paragraph_study, sort_transport_study
 from .parray_figs import (
     fig27_constructor,
     fig28_local_methods,

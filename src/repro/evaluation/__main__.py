@@ -52,6 +52,8 @@ from . import (
     migration_skew_study,
     mixed_mode_study,
     mixed_mode_topology_study,
+    paragraph_study,
+    sort_transport_study,
 )
 
 DRIVERS = {
@@ -86,6 +88,8 @@ DRIVERS = {
     "migration": migration_skew_study,
     "migration_graph": migration_graph_study,
     "lookup_cache": lookup_cache_study,
+    "paragraph": paragraph_study,
+    "sort_transport": sort_transport_study,
     "ablation_aggregation": ablation_aggregation,
     "ablation_alignment": ablation_view_alignment,
     "ablation_consistency": ablation_consistency_mode,

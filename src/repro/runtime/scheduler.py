@@ -20,6 +20,15 @@ run directly against the destination representative under ``t_lock``;
 collectives always run as two-level (intra-node, then inter-node) trees; and
 bulk slabs/combining buffers bound for several locations on one remote node
 coalesce into a single inter-node message scattered by a node leader.
+
+Task-graph execution (the PARAGRAPH engine of
+:mod:`repro.algorithms.prange`) adds one non-collective blocking point:
+``task_yield`` hands the baton back to the conductor without a rendezvous,
+so a location whose local tasks are all blocked on cross-location data-flow
+edges lets producers elsewhere run, then drains the "dependence satisfied"
+RMIs they sent.  ``count_task`` plus the per-location ``rmi_executed``
+counters feed the executor's distributed deadlock detection (a group
+where neither moves across a full conductor round is stuck).
 """
 
 from __future__ import annotations
@@ -296,6 +305,37 @@ class Location:
         """Execute all buffered RMIs destined to this location; returns the
         number executed (the RTS's incoming-request processing point)."""
         return self.runtime.drain_to(self.id)
+
+    # -- task-graph executor hooks ----------------------------------------
+    # The dependence-driven executor (repro.algorithms.prange) runs local
+    # tasks until they block on a data-flow edge from another location,
+    # then calls ``task_yield`` so producers elsewhere can run and their
+    # "dependence satisfied" RMIs can be drained.
+
+    def count_task(self, n: int = 1) -> None:
+        """Record ``n`` executed task-graph tasks.  Together with
+        ``rmi_executed`` this is what the executor's deadlock detection
+        watches: a location group where neither moves across a full
+        conductor round is stuck."""
+        self.stats.tasks_executed += n
+
+    def task_yield(self, drain: bool = True) -> int:
+        """Cooperatively hand the baton back to the conductor so every
+        other ready location gets a turn, then execute RMIs that arrived
+        for this location (all of them by default; ``drain=False`` lets
+        the caller drain incrementally instead).  Returns the number of
+        RMIs executed.
+
+        This is the executor's blocked-task progress point: unlike a
+        collective it involves no rendezvous — the location stays runnable
+        and resumes on the conductor's next pass."""
+        rt = self.runtime
+        if rt._exec_depth:
+            raise SpmdError(
+                f"location {self.id}: task_yield inside an RMI handler")
+        if rt.nlocs > 1:
+            rt._yield_to_conductor(self)
+        return self.poll() if drain else 0
 
     # -- bulk transport ---------------------------------------------------
     # Aggregation taken to its logical end (Ch. III.B): instead of batching
@@ -843,6 +883,26 @@ class Runtime:
         for src in range(self.nlocs):
             n += self.flush_channel(src, dst)
         return n
+
+    def drain_one(self, dst: int) -> bool:
+        """Execute the single earliest-departed pending message to ``dst``
+        (head of its FIFO channel); returns False when nothing is buffered.
+
+        The task-graph executor drains incrementally: executing a message
+        advances the receiver's clock to that message's arrival time, so a
+        blocked location processes arrivals oldest-first and stops as soon
+        as a task unblocks, instead of absorbing the arrival times of
+        messages that later phases raced ahead to send."""
+        best_src = None
+        best_depart = 0.0
+        for src, chan in self.network.pending_to(dst):
+            depart = chan[0].depart
+            if best_src is None or depart < best_depart:
+                best_src, best_depart = src, depart
+        if best_src is None:
+            return False
+        self.execute_message(self.network.pop(best_src, dst))
+        return True
 
     def drain_among(self, members) -> int:
         """Execute buffered traffic among ``members`` to quiescence.

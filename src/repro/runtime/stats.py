@@ -20,6 +20,13 @@ those RMIs would have serialized on the message path.
 several locations on the destination node (scattered intra-node by the node
 leader) — one per coalesced bulk-exchange send or combining flush.
 
+Task-graph executor counters: ``tasks_executed`` counts work-function tasks
+run by the dependence-driven executor (:mod:`repro.algorithms.prange`) —
+both pRange tasks and PARAGRAPH tasks, including dynamically spawned ones;
+``dependence_messages`` counts cross-location "dependence satisfied" RMIs
+sent by producer tasks to consumer tasks on other locations (local edges
+are satisfied in place and not counted).
+
 Migration-subsystem counters: ``lookups_charged`` counts metadata lookups
 actually charged to the virtual clock (``charge_lookup``);
 ``lookup_cache_hits`` counts address resolutions served by the
@@ -60,6 +67,8 @@ class LocationStats:
     lock_acquires: int = 0
     fences: int = 0
     collectives: int = 0
+    tasks_executed: int = 0
+    dependence_messages: int = 0
     lookups_charged: int = 0
     lookup_cache_hits: int = 0
     lookup_cache_invalidations: int = 0

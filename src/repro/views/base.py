@@ -42,6 +42,35 @@ def set_bulk_transport(on: bool) -> bool:
     return prev
 
 
+def sync_views(views) -> None:
+    """Automatic synchronisation point over a set of views (Ch. VII.H):
+    one fence per distinct location group, then every distinct container's
+    ``post_execute`` hook exactly once.
+
+    Multi-view computations (``p_transform``'s src→dst pRange) must commit
+    *every* container they touched — fencing only ``views[0]`` leaves the
+    destination container's replicated metadata stale.  Containers are
+    deduplicated by identity so a pRange holding two views over the same
+    container still runs the hook once."""
+    if not views:
+        return
+    seen_groups = set()
+    for v in views:
+        key = v.group.key
+        if key not in seen_groups:
+            seen_groups.add(key)
+            v.ctx.rmi_fence(v.group)
+    seen_containers = set()
+    for v in views:
+        c = v.container
+        if id(c) in seen_containers:
+            continue
+        seen_containers.add(id(c))
+        hook = getattr(c, "post_execute", None)
+        if hook is not None:
+            hook()
+
+
 class Workfunction:
     """Workfunction wrapper: a scalar callable plus an optional vectorised
     (NumPy) implementation and a virtual per-element cost."""
@@ -370,10 +399,7 @@ class PView:
     def post_execute(self) -> None:
         """Automatic synchronisation point (Ch. VII.H): fence, then let the
         container commit/refresh replicated metadata."""
-        self.ctx.rmi_fence(self.group)
-        hook = getattr(self.container, "post_execute", None)
-        if hook is not None:
-            hook()
+        sync_views([self])
 
     # -- domain helpers ----------------------------------------------------
     def balanced_slices(self) -> RangeDomain:

@@ -170,3 +170,16 @@ class TestAblations:
         res = ev.ablation_lazy_size(reps=5)
         text = res.format_table()
         assert "lazy_replicated" in text and "==" in text
+
+
+class TestParagraphFigures:
+    def test_paragraph_dataflow_wins(self):
+        res = ev.paragraph_study(P=4, n_per_loc=800)
+        t = {r[0]: (r[2], r[3]) for r in res.rows}
+        assert t["fenced"][1] >= 2 * t["dataflow"][1]  # fences
+        assert t["dataflow"][0] < t["fenced"][0]       # simulated time
+
+    def test_sort_transport_slabs_win(self):
+        res = ev.sort_transport_study(P=4, n_per_loc=1024)
+        t = {r[0]: r[3] for r in res.rows}
+        assert t["per_element"] >= 10 * t["bulk"]
