@@ -1,0 +1,20 @@
+"""Benchmark regenerating the backend strong-scaling study — the repo's
+first real wall-clock numbers (multiprocessing backend, ROADMAP item 1).
+
+Unlike every other benchmark here, the interesting number is *inside* the
+regenerated table (measured wall seconds per worker count), not the
+pytest-benchmark wrapper time.  The acceptance bar — >= 2x wall-clock
+speedup at P=8 vs P=1 on the slab-heavy latency kernel — is asserted, so a
+regression in process launch, queue transport or the shared-memory slab
+path fails loudly here."""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_backend_strong_scaling(benchmark):
+    result = run_and_report(benchmark, ev.backend_scaling_study)
+    speedup = ev.backend_speedup(result, "latency", 8)
+    assert speedup >= 2.0, (
+        f"multiprocessing backend speedup at P=8 regressed to {speedup}x "
+        "(acceptance bar: >= 2x on the latency kernel)")

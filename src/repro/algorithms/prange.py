@@ -295,12 +295,9 @@ class Paragraph(PObject):
     def _group_progress(self) -> int:
         """Messages executed by plus tasks run on the group's members —
         the progress metric deadlock detection watches.  Scoped to the
-        group: traffic among outside locations must not mask a stuck
-        subgroup Paragraph."""
-        rt = self._runtime
-        return sum(rt.locations[lid].stats.rmi_executed
-                   + rt.locations[lid].stats.tasks_executed
-                   for lid in self.group.members)
+        group where the backend can see it: traffic among outside
+        locations must not mask a stuck subgroup Paragraph."""
+        return self._runtime.group_progress(self.group.members)
 
     def _blocked_wait(self, loc, stall: int) -> int:
         """One blocked-executor step: yield the baton, drain RMIs, and
@@ -317,7 +314,7 @@ class Paragraph(PObject):
         if self._group_progress() != before:
             return 0
         stall += 1
-        if stall > rt.nlocs + 1:
+        if stall > rt.stall_limit():
             waiting = [t.key for t in self.tasks
                        if not t.done and t.needs and len(t.inputs) < t.needs]
             raise RuntimeError(

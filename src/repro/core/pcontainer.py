@@ -118,7 +118,8 @@ class PContainerBase(MigrationMixin, PObject):
         — used by containers whose partition metadata mutates (pVector).
         """
         first = self.group.members[0]
-        if shared_partition and self.ctx.id != first:
+        if (shared_partition and self.ctx.id != first
+                and self.runtime.shared_address_space):
             partition = self.rep_on(first).partition
         else:
             if domain is not None:

@@ -7,6 +7,7 @@ from .ablations import (
     ablation_view_alignment,
 )
 from .assoc_figs import fig59_mapreduce_wordcount, fig60_assoc_algorithms
+from .backend_figs import backend_scaling_study, backend_speedup
 from .bulk_figs import bulk_transport_study
 from .combining_figs import combining_containers_study, combining_study
 from .composition_figs import fig62_row_min

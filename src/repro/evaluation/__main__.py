@@ -21,6 +21,7 @@ from . import (
     ablation_consistency_mode,
     ablation_lazy_size,
     ablation_view_alignment,
+    backend_scaling_study,
     bulk_transport_study,
     combining_containers_study,
     combining_study,
@@ -80,6 +81,7 @@ DRIVERS = {
     "fig60": fig60_assoc_algorithms,
     "fig62": fig62_row_min,
     "mcm": mcm_demonstrations,
+    "backend": backend_scaling_study,
     "bulk_transport": bulk_transport_study,
     "combining": combining_study,
     "combining_containers": combining_containers_study,

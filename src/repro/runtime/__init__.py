@@ -8,12 +8,18 @@ p_objects — all running on a deterministic virtual-time machine simulator.
 from .comm import (
     Message,
     Network,
+    TransportBackend,
+    apply_toggles,
+    available_backends,
     combining_enabled,
     combining_window,
+    current_backend,
     estimate_size,
+    set_backend,
     set_combining,
     set_combining_window,
     set_zero_copy,
+    snapshot_toggles,
     zero_copy_enabled,
 )
 from .future import Future, pc_future
@@ -48,11 +54,17 @@ __all__ = [
     "SMP",
     "SpmdError",
     "SpmdReport",
+    "TransportBackend",
+    "apply_toggles",
+    "available_backends",
     "combining_enabled",
     "combining_window",
+    "current_backend",
     "estimate_size",
     "get_machine",
+    "set_backend",
     "set_combining",
+    "snapshot_toggles",
     "set_combining_window",
     "set_zero_copy",
     "zero_copy_enabled",

@@ -32,6 +32,7 @@ head-to-head.
 
 from __future__ import annotations
 
+import abc
 from itertools import islice
 from collections import deque
 
@@ -95,6 +96,124 @@ def set_combining_window(n: int) -> int:
     prev = _COMBINING_WINDOW
     _COMBINING_WINDOW = int(n)
     return prev
+
+
+# ---------------------------------------------------------------------------
+# Execution backends
+#
+# The transport is pluggable.  Everything above the narrow waist (containers,
+# views, algorithms, the PARAGRAPH executor) talks to a ``Location`` whose
+# sends funnel into a :class:`TransportBackend`; the simulated ``Network``
+# below is the default backend and the correctness *oracle*, and
+# :mod:`repro.runtime.mp` provides a real ``multiprocessing`` backend where
+# each location is an OS process, scalar RMIs travel over per-destination
+# queues and bulk slabs move through ``multiprocessing.shared_memory``
+# segments.  ``set_backend`` selects which runtime :func:`~.scheduler.
+# spmd_run` builds; the differential test layer (``tests/backend/``) asserts
+# byte-identical results between the two.
+# ---------------------------------------------------------------------------
+
+_BACKENDS = ("simulated", "multiprocessing")
+_BACKEND = "simulated"
+
+
+def available_backends() -> tuple:
+    return _BACKENDS
+
+
+def current_backend() -> str:
+    return _BACKEND
+
+
+def set_backend(name: str) -> str:
+    """Select the execution backend used by subsequent ``spmd_run`` calls
+    (``"simulated"`` — the deterministic virtual-time oracle — or
+    ``"multiprocessing"`` — one OS process per location, real wall-clock
+    parallelism).  Returns the previous setting."""
+    global _BACKEND
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(_BACKENDS)}")
+    prev = _BACKEND
+    _BACKEND = name
+    return prev
+
+
+class TransportBackend(abc.ABC):
+    """The narrow waist between the runtime and a message transport.
+
+    A backend owns delivery of :class:`Message` records between locations.
+    The contract the rest of the runtime relies on:
+
+    * :meth:`enqueue` accepts one outgoing message and returns True when a
+      new *physical* message was started (the sender is charged the fixed
+      message overhead exactly then);
+    * per (src, dst) channel FIFO: two messages from one source to one
+      destination are executed in enqueue order (Ch. III.B source FIFO);
+    * ``total_pending`` counts buffered-but-unexecuted messages (0 for an
+      eager transport that hands messages to the destination immediately).
+
+    Collectives and fences are *protocols over* the transport, not
+    primitives of it: the simulated backend rendezvouses through the
+    conductor (:meth:`~.scheduler.Runtime._finish_rendezvous`), the
+    multiprocessing backend runs a gather/scatter engine plus a counting
+    fence over the same member-side reduction math
+    (:func:`~.scheduler.collective_results`).
+    """
+
+    #: whether representatives on other locations share this address space
+    #: (True only for the in-process simulator; containers consult it
+    #: before taking cross-representative shortcuts such as pVector's
+    #: shared partition metadata)
+    shared_address_space: bool = False
+
+    @abc.abstractmethod
+    def enqueue(self, msg: "Message") -> bool:
+        """Accept one outgoing message; True if a new physical message
+        started."""
+
+    #: buffered-but-unexecuted message count (eager transports keep it 0)
+    total_pending: int = 0
+
+
+# -- cross-backend toggle snapshot ------------------------------------------
+# Real concurrency exposes a latent assumption of the single-process
+# simulator: performance toggles live as module-level state (combining,
+# zero-copy, lookup cache, dataflow, bulk transport).  Worker processes of a
+# real backend must observe the values that were set *before* the run
+# started, so the launcher snapshots them and re-applies the snapshot inside
+# every worker — robust even under a ``spawn`` start method where module
+# state is re-imported fresh rather than inherited.
+
+
+def snapshot_toggles() -> dict:
+    """Capture every process-wide runtime toggle as a plain dict."""
+    from ..algorithms.prange import dataflow_enabled
+    from ..core.migration import lookup_cache_enabled
+    from ..views.base import bulk_transport_enabled
+
+    return {
+        "combining": combining_enabled(),
+        "combining_window": combining_window(),
+        "zero_copy": zero_copy_enabled(),
+        "lookup_cache": lookup_cache_enabled(),
+        "dataflow": dataflow_enabled(),
+        "bulk_transport": bulk_transport_enabled(),
+    }
+
+
+def apply_toggles(snapshot: dict) -> None:
+    """Re-apply a :func:`snapshot_toggles` capture in this process."""
+    from ..algorithms.prange import set_dataflow
+    from ..core.migration import set_lookup_cache
+    from ..views.base import set_bulk_transport
+
+    set_combining(snapshot["combining"])
+    set_combining_window(snapshot["combining_window"])
+    set_zero_copy(snapshot["zero_copy"])
+    set_lookup_cache(snapshot["lookup_cache"])
+    set_dataflow(snapshot["dataflow"])
+    set_bulk_transport(snapshot["bulk_transport"])
 
 
 def estimate_size(obj, _depth: int = 0) -> int:
@@ -167,8 +286,10 @@ class Message:
                 f"{self.method} size={self.size})")
 
 
-class Network:
-    """All (src, dst) FIFO channels plus aggregation bookkeeping.
+class Network(TransportBackend):
+    """Simulated backend: all (src, dst) FIFO channels plus aggregation
+    bookkeeping, buffered in one address space and drained by the
+    progress engines of :class:`~.scheduler.Runtime`.
 
     Fence polling calls :meth:`pending_to` / :meth:`pending_among` on every
     progress step, so those queries must not rescan all P^2 potential
@@ -180,6 +301,8 @@ class Network:
     creation sequence number so ``pending_among`` still enumerates channels
     in exactly the order the un-indexed scan did (drain order is part of the
     deterministic simulation)."""
+
+    shared_address_space = True
 
     def __init__(self, nlocs: int, aggregation: int):
         self.nlocs = nlocs

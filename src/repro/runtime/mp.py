@@ -1,0 +1,1072 @@
+"""Real-parallelism execution backend: one OS process per location.
+
+The simulated backend executes every RMI handler in one address space and
+*models* parallelism with virtual clocks.  This module provides the other
+half of ROADMAP item 1: the same SPMD programs, containers, views and
+algorithms running with **real** concurrency — each location is a forked OS
+process, scalar RMIs travel over per-destination ``multiprocessing`` queues,
+and bulk slabs move through ``multiprocessing.shared_memory`` segments so
+their payload bytes never pass through a pipe or the pickler.
+
+Design (BCL-style: a handful of transport primitives behind a stable
+runtime API):
+
+* :class:`MpLocation` subclasses the simulated :class:`Location`, so the
+  aggregation/combining bookkeeping, virtual-clock charging and the whole
+  container-facing API are inherited verbatim.  Only the methods that
+  *deliver* work are overridden: sync/split-phase RMIs become
+  request/reply token exchanges, collectives ride a gather/scatter engine,
+  and the fence becomes a counting protocol.
+* Asynchronous sends (including combining-buffer flushes and bulk slab
+  pushes) funnel unchanged through ``Location`` into
+  :meth:`MpTransport.enqueue`, which hands the message to the destination
+  process's queue — the narrow waist of
+  :class:`~repro.runtime.comm.TransportBackend`.
+* Collectives never pickle reduction operators: members exchange raw
+  payloads through the group's lowest-lid coordinator and every member
+  computes the result locally with
+  :func:`~repro.runtime.scheduler.collective_results` — the exact code the
+  simulated conductor runs, so the two backends cannot drift.
+* ``rmi_fence`` is a counting fence: rounds of (messages sent, messages
+  executed) exchanges until the global totals are equal and stable for two
+  consecutive rounds; every blocked wait services incoming requests, so
+  fences, sync RMIs and slab exchanges can never deadlock against each
+  other.  ``os_fence`` uses weighted ack credits: every executed request
+  acknowledges its *origin* with the number of same-origin requests its
+  handler spawned, so one-sided quiescence needs no collective.
+* Every blocking wait carries a deadline (``timeout``/``REPRO_MP_TIMEOUT``):
+  a genuinely deadlocked program fails fast with a diagnostic instead of
+  hanging the test runner, and the parent enforces a wall-clock cap on the
+  whole run as a second line of defence.
+
+Guarantees relative to the simulated oracle: per-(src, dst) FIFO holds
+(one queue per destination, one feeder per producer), async completion is
+guaranteed at fences exactly as Ch. VII.B specifies — asyncs may execute
+*earlier* than the simulator would (any service point), which the
+completion model permits.  Cross-source interleaving is real and
+nondeterministic, so programs must order conflicting writes the same way
+they must on any real machine; the differential suite
+(``tests/backend/``) pins down byte-identical *final* results for all six
+container families and the algorithm drivers.
+"""
+
+from __future__ import annotations
+
+import glob
+import io
+import marshal
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import sys
+import time
+import traceback
+import types
+import uuid
+from collections import deque
+
+import numpy as np
+
+from .comm import (
+    Message,
+    TransportBackend,
+    apply_toggles,
+    estimate_size,
+    snapshot_toggles,
+)
+from .machine import get_machine
+from .scheduler import (
+    Location,
+    LocationGroup,
+    SpmdError,
+    SpmdReport,
+    collective_results,
+)
+from .stats import RunStats
+
+#: default per-blocking-operation deadline (seconds); a stuck fence,
+#: collective or reply raises SpmdError instead of hanging the runner
+_OP_TIMEOUT = float(os.environ.get("REPRO_MP_TIMEOUT", "60"))
+#: default wall-clock cap for one whole run, enforced by the parent
+_RUN_TIMEOUT = float(os.environ.get("REPRO_MP_RUN_TIMEOUT", "300"))
+#: how long one task_yield blocks waiting for an incoming message
+_YIELD_TIMEOUT = 0.05
+#: ndarray payloads at least this big travel as shared-memory segments
+#: instead of being pickled into the queue pipe
+_SHM_THRESHOLD = int(os.environ.get("REPRO_MP_SHM_THRESHOLD", "2048"))
+#: seconds of group-wide silence before the task-graph executor's blocked
+#: wait declares a dependence deadlock
+_STALL_PATIENCE = 10.0
+
+_PACK_DEPTH = 8
+
+
+class ShmSlab:
+    """Wire placeholder for an ndarray moved through shared memory."""
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape, dtype: str):
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+
+    def __reduce__(self):
+        return (ShmSlab, (self.name, self.shape, self.dtype))
+
+
+class _TrackerShim:
+    """No-op stand-in for the multiprocessing resource tracker during slab
+    segment calls.  Slab lifetime is managed explicitly — the receiver
+    unlinks after copy-out and the parent sweeps leftovers — while
+    Python < 3.13 registers every create *and* attach with one tracker
+    daemon shared by all forked workers, so the matching unregisters race
+    and spam KeyErrors from the tracker thread."""
+
+    @staticmethod
+    def register(name, rtype):
+        pass
+
+    @staticmethod
+    def unregister(name, rtype):
+        pass
+
+
+def _shm_call(fn, *args, **kwargs):
+    """Invoke an ``shared_memory`` operation with tracker registration
+    suppressed (single-threaded per worker, so swapping the module
+    attribute is race-free within the process)."""
+    from multiprocessing import shared_memory
+
+    real = shared_memory.resource_tracker
+    shared_memory.resource_tracker = _TrackerShim
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        shared_memory.resource_tracker = real
+
+
+def pack_payload(obj, namer, threshold: int = _SHM_THRESHOLD, _depth: int = 0):
+    """Replace large ndarrays inside ``obj`` (recursing through tuples,
+    lists and dicts) with :class:`ShmSlab` references backed by freshly
+    written ``multiprocessing.shared_memory`` segments.  ``namer()`` must
+    return a globally fresh segment name."""
+    if isinstance(obj, np.ndarray) and obj.dtype != object \
+            and obj.nbytes >= threshold:
+        from multiprocessing import shared_memory
+
+        seg = _shm_call(shared_memory.SharedMemory, create=True,
+                        size=obj.nbytes, name=namer())
+        np.ndarray(obj.shape, dtype=obj.dtype, buffer=seg.buf)[...] = obj
+        ref = ShmSlab(seg.name, obj.shape, str(obj.dtype))
+        seg.close()
+        return ref
+    if _depth >= _PACK_DEPTH:
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(pack_payload(o, namer, threshold, _depth + 1) for o in obj)
+    if isinstance(obj, list):
+        return [pack_payload(o, namer, threshold, _depth + 1) for o in obj]
+    if isinstance(obj, dict):
+        return {k: pack_payload(v, namer, threshold, _depth + 1)
+                for k, v in obj.items()}
+    return obj
+
+
+def unpack_payload(obj, _depth: int = 0):
+    """Inverse of :func:`pack_payload`: materialise :class:`ShmSlab`
+    references (copy out of the segment, then unlink it — the reader owns
+    the segment's lifetime)."""
+    if isinstance(obj, ShmSlab):
+        from multiprocessing import shared_memory
+
+        seg = _shm_call(shared_memory.SharedMemory, name=obj.name)
+        arr = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
+                         buffer=seg.buf).copy()
+        seg.close()
+        try:
+            _shm_call(seg.unlink)
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+        return arr
+    if _depth >= _PACK_DEPTH:
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(unpack_payload(o, _depth + 1) for o in obj)
+    if isinstance(obj, list):
+        return [unpack_payload(o, _depth + 1) for o in obj]
+    if isinstance(obj, dict):
+        return {k: unpack_payload(v, _depth + 1) for k, v in obj.items()}
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Wire serialization
+#
+# The simulated oracle passes *closures* in RMI arguments (SSSP's visitor
+# factories, p_generate's per-gid lambdas, Paragraph task bodies) — in one
+# address space that is free.  Crossing a process boundary needs two things
+# plain pickle cannot do:
+#
+# * nested/lambda functions serialize by value: code object (marshal) plus
+#   captured cell contents, rebuilt against the defining module's globals
+#   on the receiving side.  Cell contents are filled through the reduce
+#   state setter, so mutually recursive closures (SSSP's expand <-> visit)
+#   survive the round trip.
+# * a captured runtime/location resolves to the *receiver's* runtime: every
+#   closure written against the simulator uses ``rt.current_location`` /
+#   ``rt.lookup(handle, ...)`` idioms, and the only correct meaning on
+#   another process is that process's own runtime.  MpRuntime/MpLocation
+#   reduce to per-process sentinels.
+#
+# Messages are serialized *at the send site* (`MpRuntime._put`), not by the
+# queue's feeder thread: an unserializable payload raises in the sender's
+# stack with a real traceback instead of hanging the run from a daemon
+# thread.
+# ---------------------------------------------------------------------------
+
+#: the process's active runtime, installed by ``_worker_main`` — the anchor
+#: every deserialized runtime/location reference resolves to
+_CURRENT_RUNTIME: "MpRuntime | None" = None
+
+
+def _resolve_runtime() -> "MpRuntime":
+    if _CURRENT_RUNTIME is None:
+        raise SpmdError("no multiprocessing runtime active in this process")
+    return _CURRENT_RUNTIME
+
+
+def _resolve_location() -> "MpLocation":
+    return _resolve_runtime().loc
+
+
+def _resolve_transport() -> "MpTransport":
+    return _resolve_runtime().network
+
+
+def _rebuild_fn(code_bytes: bytes, modname: str, qualname: str, nfree: int):
+    code = marshal.loads(code_bytes)
+    mod = sys.modules.get(modname)
+    if mod is None:  # pragma: no cover - fork inherits sys.modules
+        raise SpmdError(
+            f"cannot rebuild function {qualname}: defining module "
+            f"{modname!r} not loaded in this process")
+    closure = tuple(types.CellType() for _ in range(nfree)) or None
+    fn = types.FunctionType(code, mod.__dict__, code.co_name, None, closure)
+    fn.__qualname__ = qualname
+    return fn
+
+
+def _set_fn_state(fn, state):
+    defaults, kwdefaults, cellvals = state
+    fn.__defaults__ = defaults
+    fn.__kwdefaults__ = kwdefaults
+    if cellvals is not None:
+        for cell, value in zip(fn.__closure__, cellvals):
+            cell.cell_contents = value
+
+
+def _lookup_qualname(obj) -> bool:
+    """Is ``obj`` reachable as module.qualname (i.e. plain pickle works)?"""
+    mod = sys.modules.get(getattr(obj, "__module__", None))
+    if mod is None:
+        return False
+    found = mod
+    try:
+        for part in obj.__qualname__.split("."):
+            found = getattr(found, part)
+    except AttributeError:
+        return False
+    return found is obj
+
+
+class _WirePickler(pickle.Pickler):
+    def reducer_override(self, obj):
+        if isinstance(obj, types.FunctionType) and not _lookup_qualname(obj):
+            closure = obj.__closure__ or ()
+            cellvals = tuple(c.cell_contents for c in closure)
+            return (_rebuild_fn,
+                    (marshal.dumps(obj.__code__), obj.__module__,
+                     obj.__qualname__, len(closure)),
+                    (obj.__defaults__, obj.__kwdefaults__,
+                     cellvals if closure else None),
+                    None, None, _set_fn_state)
+        return NotImplemented
+
+
+def wire_dumps(obj) -> bytes:
+    """Serialize one wire item (closure-capable, runtime-reference-safe)."""
+    buf = io.BytesIO()
+    _WirePickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buf.getvalue()
+
+
+def wire_loads(data: bytes):
+    return pickle.loads(data)
+
+
+class MpFuture:
+    """Split-phase handle over a real request/reply token exchange.
+    API-compatible with the simulated :class:`~repro.runtime.future.Future`."""
+
+    __slots__ = ("_rt", "token", "ready", "value", "ready_time")
+
+    def __init__(self, rt: "MpRuntime", token: int):
+        self._rt = rt
+        self.token = token
+        self.ready = False
+        self.value = None
+        self.ready_time = 0.0
+
+    def test(self) -> bool:
+        return self.ready
+
+    def get(self):
+        if not self.ready:
+            self._rt._service_until(lambda: self.ready,
+                                    f"split-phase reply (token {self.token})")
+        return self.value
+
+
+class MpTransport(TransportBackend):
+    """Eager queue transport: enqueue hands the message to the destination
+    process immediately; there is no buffered channel to drain."""
+
+    shared_address_space = False
+    total_pending = 0  # sends are eager; nothing buffers sender-side
+
+    def __init__(self, rt: "MpRuntime"):
+        self.rt = rt
+
+    def __reduce__(self):
+        return (_resolve_transport, ())
+
+    def enqueue(self, msg: Message) -> bool:
+        rt = self.rt
+        if msg.future is not None:  # pragma: no cover - defensive
+            raise SpmdError("mp transport: futures ride the token protocol")
+        rt.req_sent += 1
+        if rt._spawn_frames:
+            # handler-spawned (forwarded) request: accounted by the ack
+            # credit this handler sends to the message's origin
+            rt._spawn_frames[-1] += 1
+        elif msg.origin == rt.lid:
+            rt.outstanding += 1
+        rt._put(msg.dst, ("req", msg.src, msg.origin, msg.handle, msg.method,
+                          rt._pack(msg.args)))
+        return True
+
+
+class MpRuntime:
+    """Per-process runtime: one local location, queues to every peer.
+
+    Duck-typed against the simulated :class:`~repro.runtime.scheduler.
+    Runtime` surface that containers and algorithms actually touch
+    (``current_location``/``current_origin``/``lookup``/``machine``/
+    ``world``/progress hooks); representative lookup is local-only —
+    there is no shared address space to reach across.
+    """
+
+    shared_address_space = False
+
+    def __init__(self, lid: int, nlocs: int, machine, placement: str,
+                 queues, run_id: str, op_timeout: float = _OP_TIMEOUT):
+        self.lid = lid
+        self.nlocs = nlocs
+        self.machine = get_machine(machine)
+        self.placement = placement
+        self.world = LocationGroup(range(nlocs))
+        self.network = MpTransport(self)
+        self.op_timeout = op_timeout
+        self.yield_timeout = _YIELD_TIMEOUT
+        self.run_id = run_id
+        self._queues = queues
+        self._selfq: deque = deque()
+        self.loc = MpLocation(self, lid)
+        self.registry: dict[int, object] = {}
+        self._next_handle = 0
+        self._exec_stack: list = []
+        self._exec_depth = 0
+        # transport state
+        self.req_sent = 0
+        self.req_executed = 0
+        self.outstanding = 0
+        self._spawn_frames: list[int] = []
+        self._futures: dict[int, MpFuture] = {}
+        self._reply_credit: dict[int, int] = {}
+        self._next_token = 0
+        self._shm_count = 0
+        self._coll_gather: dict = {}
+        self._coll_results: dict = {}
+        self._slab_inbox: dict = {}
+        self._stopped = False
+
+    def __reduce__(self):
+        # a runtime reference captured in a shipped closure means "the
+        # runtime of whatever process executes this"
+        return (_resolve_runtime, ())
+
+    # -- identity / registry ---------------------------------------------
+    @property
+    def current_location(self) -> "MpLocation":
+        if self._exec_stack:
+            return self._exec_stack[-1][0]
+        return self.loc
+
+    @property
+    def current_origin(self) -> int:
+        if self._exec_stack:
+            return self._exec_stack[-1][1]
+        return self.lid
+
+    def lookup(self, handle: int, lid: int):
+        if lid != self.lid:
+            raise SpmdError(
+                f"location {self.lid}: cross-location representative access "
+                f"(handle {handle} on location {lid}) — the multiprocessing "
+                "backend has no shared address space")
+        try:
+            return self.registry[handle]
+        except KeyError:
+            raise SpmdError(f"unknown p_object handle {handle}") from None
+
+    # -- wire helpers ------------------------------------------------------
+    def _pack(self, obj):
+        return pack_payload(obj, self._new_shm_name)
+
+    def _new_shm_name(self) -> str:
+        self._shm_count += 1
+        return f"rs{self.run_id}_{self.lid}_{self._shm_count}"
+
+    def new_token(self) -> int:
+        self._next_token += 1
+        return self._next_token
+
+    def _put(self, dest: int, item) -> None:
+        if dest == self.lid:
+            # self-sends bypass the queue: synchronously visible, so a
+            # singleton fence can drain to true quiescence
+            self._selfq.append(item)
+        else:
+            # serialize here, in the sender's stack — not in the queue's
+            # feeder thread, whose pickle failures would hang the run —
+            # with the closure-capable wire pickler
+            self._queues[dest].put(wire_dumps(item))
+
+    def _send_credit(self, origin: int, spawned: int) -> None:
+        if origin == self.lid:
+            self.outstanding += spawned - 1
+        else:
+            self._put(origin, ("ack", spawned))
+
+    # -- handler execution -------------------------------------------------
+    def _run_handler(self, dst_loc, handle, method, args, origin):
+        obj = self.lookup(handle, self.lid)
+        self._exec_stack.append((dst_loc, origin))
+        self._exec_depth += 1
+        try:
+            result = getattr(obj, method)(*args)
+        finally:
+            self._exec_stack.pop()
+            self._exec_depth -= 1
+        dst_loc.stats.rmi_executed += 1
+        return result
+
+    def _execute_req(self, item) -> None:
+        _, _src, origin, handle, method, packed = item
+        args = unpack_payload(packed)
+        self.req_executed += 1
+        self._spawn_frames.append(0)
+        try:
+            self._run_handler(self.loc, handle, method, args, origin)
+        finally:
+            spawned = self._spawn_frames.pop()
+        self._send_credit(origin, spawned)
+
+    def _execute_sync(self, item) -> None:
+        _, src, token, handle, method, packed = item
+        args = unpack_payload(packed)
+        self.req_executed += 1
+        self._spawn_frames.append(0)
+        try:
+            result = self._run_handler(self.loc, handle, method, args, src)
+        finally:
+            spawned = self._spawn_frames.pop()
+        self._put(src, ("reply", token, self._pack(result), spawned))
+
+    # -- service engine ----------------------------------------------------
+    def _next_item(self, block: bool, timeout: float):
+        if self._selfq:
+            return self._selfq.popleft()
+        try:
+            if block:
+                item = self._queues[self.lid].get(timeout=timeout)
+            else:
+                item = self._queues[self.lid].get_nowait()
+        except queue_mod.Empty:
+            return None
+        # peer traffic is wire-serialized; parent control messages
+        # ("stop",) arrive as plain tuples
+        return wire_loads(item) if isinstance(item, bytes) else item
+
+    def _service_one(self, block: bool = False, timeout: float = 0.02):
+        """Receive and process one incoming item; returns its kind, or
+        None if nothing arrived.  This is the single progress point every
+        blocking wait spins on — requests execute here, so two locations
+        blocked on each other always make progress."""
+        item = self._next_item(block, timeout)
+        if item is None:
+            return None
+        kind = item[0]
+        if kind == "req":
+            self._execute_req(item)
+        elif kind == "sync":
+            self._execute_sync(item)
+        elif kind == "reply":
+            _, token, packed, spawned = item
+            self.outstanding += spawned + self._reply_credit.pop(token, 0)
+            fut = self._futures.pop(token)
+            fut.value = unpack_payload(packed)
+            fut.ready = True
+        elif kind == "ack":
+            self.outstanding += item[1] - 1
+        elif kind == "coll":
+            _, key, op, src, payload = item
+            self._coll_gather.setdefault(key, {})[src] = (op, payload)
+        elif kind == "collres":
+            _, key, arrived = item
+            self._coll_results[key] = arrived
+        elif kind == "slab":
+            _, key, src, packed = item
+            self._slab_inbox.setdefault(key, {})[src] = packed
+        elif kind == "stop":
+            self._stopped = True
+        return kind
+
+    def _service_until(self, cond, desc: str, timeout: float | None = None):
+        deadline = time.monotonic() + (timeout or self.op_timeout)
+        while not cond():
+            if self._stopped:
+                raise SpmdError(
+                    f"location {self.lid}: run aborted while waiting for "
+                    f"{desc} (another location failed or the run was "
+                    "stopped)")
+            if self._service_one(block=True, timeout=0.02) is not None:
+                continue
+            if time.monotonic() > deadline:
+                raise SpmdError(
+                    f"location {self.lid}: timed out after "
+                    f"{timeout or self.op_timeout:.0f}s waiting for {desc} "
+                    "— likely deadlock (mismatched collectives, a lost "
+                    "peer, or a dependence cycle)")
+
+    # -- progress engine API (simulated-Runtime surface) -------------------
+    def drain_available(self) -> int:
+        """Process everything currently receivable; returns the number of
+        requests executed."""
+        before = self.req_executed
+        while self._service_one(block=False) is not None:
+            pass
+        return self.req_executed - before
+
+    def drain_to(self, dst: int) -> int:
+        return self.drain_available()
+
+    def drain_one(self, dst: int) -> bool:
+        return self._service_one(block=False) is not None
+
+    def flush_channel(self, src: int, dst: int, until_future=None) -> int:
+        # sends are eager: there is nothing buffered sender-side.  Flushing
+        # "my own channel" (the pList self-send fast path) means processing
+        # what has already arrived.
+        if dst != self.lid:
+            return 0
+        return self.drain_available()
+
+    def drain_origin(self, origin: int) -> int:  # pragma: no cover - parity
+        return self.drain_available()
+
+    def group_progress(self, members) -> int:
+        # local view: requests executed here plus local tasks run.  A
+        # blocked location observes progress exactly when something
+        # arrives — group-wide silence is what the stall limit measures.
+        return self.req_executed + self.loc.stats.tasks_executed
+
+    def stall_limit(self) -> int:
+        return max(16, int(_STALL_PATIENCE / self.yield_timeout))
+
+    # -- fence protocols ---------------------------------------------------
+    def fence(self, loc: "MpLocation", group: LocationGroup) -> None:
+        """Counting fence: drain, exchange (sent, executed) snapshots, and
+        finish once the global totals are equal and stable for two
+        consecutive rounds (the second round certifies no message was in
+        flight past anyone's snapshot)."""
+        if len(group) == 1 or self.nlocs == 1:
+            while self.drain_available():
+                pass
+            # anything still in the self-queue was spawned by the drain
+            while self._selfq:
+                self.drain_available()
+            return
+        deadline = time.monotonic() + self.op_timeout
+        prev = None
+        while True:
+            self.drain_available()
+            snap = (self.req_sent, self.req_executed)
+            arrived = loc._gather_exchange("fence", snap, group)
+            sent = sum(v[0] for v in arrived.values())
+            done = sum(v[1] for v in arrived.values())
+            if sent == done and prev == (sent, done):
+                return
+            prev = (sent, done)
+            if time.monotonic() > deadline:
+                raise SpmdError(
+                    f"location {self.lid}: fence never quiesced "
+                    f"(sent={sent}, executed={done}) — likely deadlock")
+
+    # -- SPMD entry --------------------------------------------------------
+    def run_local(self, fn, args: tuple):
+        return fn(self.loc, *args)
+
+
+class MpLocation(Location):
+    """Location whose transport is real: overrides exactly the delivery
+    paths; identity, timers, charging, aggregation and combining-buffer
+    bookkeeping are inherited from the simulated :class:`Location`."""
+
+    def __init__(self, runtime: MpRuntime, lid: int):
+        super().__init__(runtime, lid)
+        self._slab_seq: dict = {}
+
+    def __reduce__(self):
+        # like MpRuntime: a captured location reference re-anchors to the
+        # executing process's own location
+        return (_resolve_location, ())
+
+    # real transport: the simulated intra-node shortcut does not exist —
+    # *every* same-node message already moves through shared memory
+    def zero_copy_local(self, dest: int) -> bool:
+        return False
+
+    # -- point-to-point ----------------------------------------------------
+    # async_rmi / bulk_set_range / combine_rmi / flush_combining are
+    # inherited: they funnel into MpTransport.enqueue.
+
+    def sync_rmi(self, dest: int, handle: int, method: str, *args):
+        rt = self.runtime
+        m = rt.machine
+        self.stats.sync_rmi_sent += 1
+        if self._combining:
+            self.flush_combining(dest)
+        size = 32 + estimate_size(args)
+        if dest == self.id:
+            rt.drain_available()  # source FIFO with pending self-sends
+            self.clock += m.o_send + m.o_recv
+            return rt._run_handler(rt.loc, handle, method, args, self.id)
+        self.clock += m.o_send
+        self.stats.bytes_sent += size
+        self.stats.physical_messages += 2  # request + reply
+        rt.req_sent += 1
+        token = rt.new_token()
+        fut = MpFuture(rt, token)
+        rt._futures[token] = fut
+        rt._put(dest, ("sync", self.id, token, handle, method,
+                       rt._pack(args)))
+        rt._service_until(lambda: fut.ready,
+                          f"sync_rmi reply from location {dest} "
+                          f"({method})")
+        return fut.value
+
+    def opaque_rmi(self, dest: int, handle: int, method: str, *args) -> MpFuture:
+        rt = self.runtime
+        m = rt.machine
+        if self._combining:
+            self.flush_combining(dest)
+        size = 32 + estimate_size(args)
+        self.stats.opaque_rmi_sent += 1
+        self.clock += m.o_send
+        self.stats.bytes_sent += size
+        self.stats.physical_messages += 1
+        rt.req_sent += 1
+        token = rt.new_token()
+        fut = MpFuture(rt, token)
+        rt._futures[token] = fut
+        if not rt._spawn_frames:
+            # top-level split-phase request: os_fence must wait for it, so
+            # count it outstanding until its reply (credit -1) arrives
+            rt.outstanding += 1
+            rt._reply_credit[token] = -1
+        rt._put(dest, ("sync", self.id, token, handle, method,
+                       rt._pack(args)))
+        return fut
+
+    # -- bulk transport ----------------------------------------------------
+    def bulk_get_range(self, dest: int, handle: int, method: str, *args,
+                       nelems: int = 0):
+        rt = self.runtime
+        m = rt.machine
+        self.stats.bulk_rmi_sent += 1
+        self.stats.bulk_elements_moved += nelems
+        if self._combining:
+            self.flush_combining(dest)
+        size = 64 + estimate_size(args)
+        if dest == self.id:
+            rt.drain_available()
+            self.clock += m.o_send + m.o_recv
+            return rt._run_handler(rt.loc, handle, method, args, self.id)
+        self.clock += m.o_send
+        self.stats.bytes_sent += size
+        self.stats.physical_messages += 2  # request + slab reply
+        rt.req_sent += 1
+        token = rt.new_token()
+        fut = MpFuture(rt, token)
+        rt._futures[token] = fut
+        rt._put(dest, ("sync", self.id, token, handle, method,
+                       rt._pack(args)))
+        rt._service_until(lambda: fut.ready,
+                          f"bulk slab reply from location {dest}")
+        return fut.value
+
+    def _slab_exchange(self, tag: str, per_dest, group: LocationGroup):
+        """Common engine of bulk_exchange/bulk_gather: eager point-to-point
+        slab sends (shared-memory backed) plus a parked-inbox collection —
+        no coordinator in the data path.  ``per_dest(member)`` yields the
+        payload for one destination."""
+        rt = self.runtime
+        seq = self._slab_seq.get((tag, group.key), 0)
+        self._slab_seq[(tag, group.key)] = seq + 1
+        key = (tag, group.key, seq)
+        others = [m for m in group.members if m != self.id]
+        for member in others:
+            payload = per_dest(member)
+            size = 64 + estimate_size(payload)
+            self.clock += rt.machine.o_send
+            self.stats.bulk_rmi_sent += 1
+            self.stats.bytes_sent += size
+            self.stats.physical_messages += 1
+            rt._put(member, ("slab", key, self.id, rt._pack(payload)))
+        rt._service_until(
+            lambda: len(rt._slab_inbox.get(key, ())) == len(others),
+            f"bulk slab exchange {key}")
+        box = rt._slab_inbox.pop(key, {})
+        return {m: unpack_payload(p) for m, p in box.items()}
+
+    def bulk_exchange(self, slabs: list, group: LocationGroup | None = None,
+                      nelems: int = 0) -> list:
+        rt = self.runtime
+        group = group or rt.world
+        self.stats.bulk_elements_moved += nelems
+        by_member = dict(zip(group.members, slabs))
+        received = self._slab_exchange("x", lambda m: by_member[m], group)
+        return [by_member[m] if m == self.id else received[m]
+                for m in group.members]
+
+    def bulk_gather(self, payload, group: LocationGroup | None = None,
+                    nelems: int = 0) -> list:
+        rt = self.runtime
+        group = group or rt.world
+        self.stats.bulk_elements_moved += nelems
+        received = self._slab_exchange("g", lambda m: payload, group)
+        return [payload if m == self.id else received[m]
+                for m in group.members]
+
+    # -- collectives -------------------------------------------------------
+    def _gather_exchange(self, op: str, payload, group: LocationGroup) -> dict:
+        """One collective round: every member's payload lands on every
+        member (gather through the group's lowest-lid coordinator, scatter
+        of the complete set back).  Returns {lid: payload}."""
+        rt = self.runtime
+        seq = self._coll_seq.get(group.key, 0)
+        self._coll_seq[group.key] = seq + 1
+        self.stats.collectives += 1
+        self.clock += rt.machine.collective_cost(len(group))
+        if len(group) == 1:
+            return {self.id: payload}
+        key = (group.key, seq)
+        coord = group.members[0]
+        if self.id == coord:
+            box = rt._coll_gather.setdefault(key, {})
+            box[self.id] = (op, payload)
+            rt._service_until(
+                lambda: len(rt._coll_gather.get(key, ())) == len(group),
+                f"collective '{op}' on {group}")
+            box = rt._coll_gather.pop(key)
+            ops = {o for o, _ in box.values()}
+            if len(ops) != 1:
+                raise SpmdError(
+                    f"collective mismatch on {group}: {sorted(ops)} "
+                    "called concurrently")
+            arrived = {lid: p for lid, (o, p) in box.items()}
+            for member in group.members[1:]:
+                rt._put(member, ("collres", key, arrived))
+            return arrived
+        rt._put(coord, ("coll", key, op, self.id, payload))
+        rt._service_until(lambda: key in rt._coll_results,
+                          f"collective '{op}' result on {group}")
+        return rt._coll_results.pop(key)
+
+    def _collective(self, op: str, payload, group: LocationGroup | None):
+        rt = self.runtime
+        group = group or rt.world
+        if self.id not in group:
+            raise SpmdError(f"location {self.id} not in {group}")
+        if rt._exec_depth:
+            raise SpmdError(
+                f"location {self.id}: collective '{op}' invoked inside an "
+                "RMI handler; handlers must not block")
+        members = group.members
+        if op == "fence":  # pragma: no cover - rmi_fence overrides
+            rt.fence(self, group)
+            return None
+        if op == "barrier":
+            self._gather_exchange("barrier", None, group)
+            return None
+        if op == "register":
+            proposed = rt._next_handle
+            arrived = self._gather_exchange("register", proposed, group)
+            if len(set(arrived.values())) != 1:
+                raise SpmdError(
+                    "p_object registration diverged across processes "
+                    f"(proposed handles {sorted(set(arrived.values()))}); "
+                    "the multiprocessing backend requires registrations "
+                    "in one collective program order")
+            rt.registry[proposed] = payload
+            rt._next_handle = proposed + 1
+            return proposed
+        if op == "unregister":
+            arrived = self._gather_exchange("unregister", payload, group)
+            if len(set(arrived.values())) != 1:
+                raise SpmdError(
+                    f"unregister called with differing handles "
+                    f"{sorted(set(arrived.values()))}")
+            rt.registry.pop(payload, None)
+            return None
+        # value-bearing collectives: exchange raw values, apply the shared
+        # member-side math locally — reduction callables never cross a
+        # process boundary
+        if op == "allreduce":
+            value, op_fn = payload
+            arrived = self._gather_exchange(op, value, group)
+            arrived = {i: (v, op_fn) for i, v in arrived.items()}
+        elif op == "scan":
+            value, op_fn, exclusive = payload
+            arrived = self._gather_exchange(op, value, group)
+            arrived = {i: (v, op_fn, exclusive) for i, v in arrived.items()}
+        elif op == "broadcast":
+            root, value = payload
+            arrived = self._gather_exchange(
+                op, (root, value if self.id == root else None), group)
+        elif op in ("allgather", "alltoall"):
+            arrived = self._gather_exchange(op, payload, group)
+        else:
+            raise SpmdError(f"unknown collective {op!r}")
+        return collective_results(op, arrived, members)[self.id]
+
+    def rmi_fence(self, group: LocationGroup | None = None) -> None:
+        rt = self.runtime
+        group = group or rt.world
+        if self.id not in group:
+            raise SpmdError(f"location {self.id} not in {group}")
+        if rt._exec_depth:
+            raise SpmdError(
+                f"location {self.id}: collective 'fence' invoked inside an "
+                "RMI handler; handlers must not block")
+        self.stats.fences += 1
+        self.flush_combining()
+        rt.fence(self, group)
+
+    def os_fence(self) -> None:
+        rt = self.runtime
+        self.flush_combining()
+        rt._service_until(lambda: rt.outstanding <= 0,
+                          "os_fence (one-sided quiescence of originated "
+                          "RMIs)")
+
+    # -- progress / task-graph hooks ---------------------------------------
+    def poll(self) -> int:
+        return self.runtime.drain_available()
+
+    def task_yield(self, drain: bool = True) -> int:
+        rt = self.runtime
+        if rt._exec_depth:
+            raise SpmdError(
+                f"location {self.id}: task_yield inside an RMI handler")
+        n = rt.drain_available()
+        if n == 0:
+            # block briefly for an incoming message: this is the real
+            # backend's analogue of handing the baton to the conductor
+            if rt._service_one(block=True, timeout=rt.yield_timeout):
+                n += 1
+        if drain:
+            n += rt.drain_available()
+        return n
+
+
+# ---------------------------------------------------------------------------
+# Process orchestration
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(lid, nlocs, machine, placement, queues, result_q, fn, args,
+                 toggles, run_id, op_timeout):
+    # re-apply the parent's toggle snapshot: inherited state under fork,
+    # but explicit application keeps semantics under any start method and
+    # guards against toggles mutated between runtime import and launch
+    apply_toggles(toggles)
+    global _CURRENT_RUNTIME
+    rt = MpRuntime(lid, nlocs, machine, placement, queues, run_id,
+                   op_timeout=op_timeout)
+    _CURRENT_RUNTIME = rt
+    t0 = time.perf_counter()
+    result, err = None, None
+    try:
+        result = rt.run_local(fn, args)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        err = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+    wall = time.perf_counter() - t0
+    try:
+        pickle.dumps(result)
+    except Exception as exc:
+        result, err = None, (f"location {lid} returned an unpicklable "
+                             f"result: {exc}")
+    try:
+        result_q.put((lid, result, err, rt.loc.stats, rt.loc.clock, wall))
+    except Exception as exc:  # pragma: no cover - defensive
+        result_q.put((lid, None, f"result delivery failed: {exc}",
+                      rt.loc.stats, rt.loc.clock, wall))
+    # keep servicing peers (sync replies, collective gathers) until the
+    # parent has collected every result: a location must not vanish while
+    # stragglers still depend on it
+    deadline = time.monotonic() + op_timeout
+    while not rt._stopped and time.monotonic() < deadline:
+        rt._service_one(block=True, timeout=0.05)
+
+
+def _cleanup_shm(run_id: str) -> None:
+    for path in glob.glob(f"/dev/shm/rs{run_id}_*"):
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced with a reader
+            pass
+
+
+def mp_spmd_run_detailed(fn, nlocs: int = 4, machine="smp", args: tuple = (),
+                         placement: str = "packed",
+                         timeout: float | None = None,
+                         op_timeout: float | None = None) -> SpmdReport:
+    """Run ``fn(ctx, *args)`` with one forked OS process per location.
+
+    ``timeout`` caps the whole run's wall clock (default
+    ``REPRO_MP_RUN_TIMEOUT``/300 s): on expiry every worker is terminated
+    and an :class:`SpmdError` is raised — a deadlocked fence fails fast
+    instead of hanging the runner.  ``op_timeout`` caps each worker-side
+    blocking wait (default ``REPRO_MP_TIMEOUT``/60 s).
+    """
+    if nlocs < 1:
+        raise ValueError("need at least one location")
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise SpmdError(
+            "multiprocessing backend requires the fork start method "
+            "(POSIX); use the simulated backend on this platform")
+    ctx = multiprocessing.get_context("fork")
+    run_timeout = timeout if timeout is not None else _RUN_TIMEOUT
+    worker_timeout = op_timeout if op_timeout is not None else \
+        min(_OP_TIMEOUT, run_timeout)
+    run_id = uuid.uuid4().hex[:8]
+    queues = [ctx.Queue() for _ in range(nlocs)]
+    result_q = ctx.Queue()
+    toggles = snapshot_toggles()
+    procs = []
+    for lid in range(nlocs):
+        p = ctx.Process(
+            target=_worker_main,
+            args=(lid, nlocs, machine, placement, queues, result_q, fn,
+                  args, toggles, run_id, worker_timeout),
+            name=f"repro-loc-{lid}", daemon=True)
+        procs.append(p)
+    t0 = time.perf_counter()
+    for p in procs:
+        p.start()
+    collected: dict[int, tuple] = {}
+    stop_sent = False
+
+    def _stop_all():
+        nonlocal stop_sent
+        if not stop_sent:
+            for q in queues:
+                try:
+                    q.put(("stop",))
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            stop_sent = True
+
+    try:
+        deadline = time.monotonic() + run_timeout
+        while len(collected) < nlocs:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = sorted(set(range(nlocs)) - set(collected))
+                raise SpmdError(
+                    f"multiprocessing run exceeded {run_timeout:.0f}s; "
+                    f"locations {missing} never returned — deadlock or "
+                    "worker crash")
+            try:
+                item = result_q.get(timeout=min(0.2, remaining))
+            except queue_mod.Empty:
+                dead = [p for p in procs if not p.is_alive()
+                        and procs.index(p) not in collected]
+                if dead:
+                    missing = sorted(set(range(nlocs)) - set(collected))
+                    raise SpmdError(
+                        f"worker process(es) for locations {missing} died "
+                        "without reporting a result")
+                continue
+            collected[item[0]] = item
+            if item[2] is not None:
+                # first failure: unblock the other workers so they report
+                # promptly instead of waiting out their op timeouts
+                _stop_all()
+    finally:
+        _stop_all()
+        grace = time.monotonic() + 5.0
+        for p in procs:
+            p.join(timeout=max(0.1, grace - time.monotonic()))
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - stuck worker
+                p.terminate()
+                p.join(timeout=5.0)
+        for q in [*queues, result_q]:
+            q.cancel_join_thread()
+            q.close()
+        _cleanup_shm(run_id)
+    wall = time.perf_counter() - t0
+    ordered = [collected[lid] for lid in range(nlocs)]
+    errors = [(lid, err) for lid, _, err, _, _, _ in ordered
+              if err is not None]
+    if errors:
+        primary = next((e for e in errors if "run aborted while" not in e[1]),
+                       errors[0])
+        raise SpmdError(
+            f"location {primary[0]} failed under the multiprocessing "
+            f"backend: {primary[1]}")
+    return SpmdReport(
+        [res for _, res, _, _, _, _ in ordered],
+        clocks=[clock for _, _, _, _, clock, _ in ordered],
+        stats=RunStats([st for _, _, _, st, _, _ in ordered]),
+        wall_seconds=wall,
+        backend="multiprocessing")
+
+
+def mp_spmd_run(fn, nlocs: int = 4, machine="smp", args: tuple = (),
+                placement: str = "packed", timeout: float | None = None,
+                op_timeout: float | None = None) -> list:
+    """Process-per-location :func:`~repro.runtime.scheduler.spmd_run`."""
+    return mp_spmd_run_detailed(fn, nlocs=nlocs, machine=machine, args=args,
+                                placement=placement, timeout=timeout,
+                                op_timeout=op_timeout).results
+
+
+__all__ = ["MpFuture", "MpLocation", "MpRuntime", "MpTransport", "ShmSlab",
+           "mp_spmd_run", "mp_spmd_run_detailed", "pack_payload",
+           "unpack_payload"]

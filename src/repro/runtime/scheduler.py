@@ -34,6 +34,7 @@ where neither moves across a full conductor round is stuck).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
 
 from .comm import (
@@ -41,6 +42,7 @@ from .comm import (
     Network,
     combining_enabled,
     combining_window,
+    current_backend,
     estimate_size,
     zero_copy_enabled,
 )
@@ -92,6 +94,70 @@ class LocationGroup:
 
     def __repr__(self):
         return f"LocationGroup{self.members}"
+
+
+def collective_results(op: str, arrived: dict, members) -> dict:
+    """Member-side math of the value-bearing collectives, shared by both
+    execution backends: given every member's payload (``arrived`` maps lid
+    -> payload, in the per-op shape documented on the Location methods),
+    return the per-member results.  The simulated conductor calls this at
+    rendezvous completion; the multiprocessing backend calls it on every
+    member after its gather/scatter engine delivers the full payload set —
+    one implementation, so the real backend cannot drift from the oracle.
+
+    Handles ``allreduce`` / ``broadcast`` / ``allgather`` / ``alltoall`` /
+    ``scan``.  ``fence`` / ``barrier`` / ``register`` / ``unregister``
+    touch backend state and stay with their backend's engine.
+    """
+    members = tuple(members)
+    if op == "allreduce":
+        ordered = [arrived[i] for i in members]
+        op_fn = ordered[0][1]
+        acc = ordered[0][0]
+        for val, _ in ordered[1:]:
+            acc = (acc + val) if op_fn is None else op_fn(acc, val)
+        return {i: acc for i in members}
+    if op == "broadcast":
+        root, value = None, None
+        for i in members:
+            r, v = arrived[i]
+            if i == r:
+                root, value = r, v
+        if root is None:
+            raise SpmdError("broadcast: root did not participate")
+        return {i: value for i in members}
+    if op == "allgather":
+        gathered = [arrived[i] for i in members]
+        return {i: list(gathered) for i in members}
+    if op == "alltoall":
+        n = len(members)
+        for i in members:
+            if len(arrived[i]) != n:
+                raise SpmdError(
+                    f"alltoall: location {i} passed {len(arrived[i])} "
+                    f"values for a group of {n}")
+        results = {}
+        for idx, i in enumerate(members):
+            results[i] = [arrived[j][idx] for j in members]
+        return results
+    if op == "scan":
+        op_fn = arrived[members[0]][1]
+        exclusive = arrived[members[0]][2]
+        vals = [arrived[i][0] for i in members]
+        results = {}
+        acc = None
+        for idx, i in enumerate(members):
+            if exclusive:
+                results[i] = acc
+            if acc is None:
+                acc = vals[idx]
+            else:
+                acc = (acc + vals[idx]) if op_fn is None else op_fn(acc, vals[idx])
+            if not exclusive:
+                results[i] = acc
+        total = acc
+        return {i: (results[i], total) for i in members}
+    raise SpmdError(f"unknown collective {op!r}")
 
 
 class _Rendezvous:
@@ -1070,57 +1136,32 @@ class Runtime:
                 raise SpmdError(f"unregister called with differing handles {handles}")
             self.registry.pop(handles.pop(), None)
             results = {i: None for i in rv.members}
-        elif op == "allreduce":
-            ordered = [rv.arrived[i] for i in rv.members]
-            op_fn = ordered[0][1]
-            acc = ordered[0][0]
-            for val, _ in ordered[1:]:
-                acc = (acc + val) if op_fn is None else op_fn(acc, val)
-            results = {i: acc for i in rv.members}
-        elif op == "broadcast":
-            root, value = None, None
-            for i in rv.members:
-                r, v = rv.arrived[i]
-                if i == r:
-                    root, value = r, v
-            if root is None:
-                raise SpmdError("broadcast: root did not participate")
-            results = {i: value for i in rv.members}
-        elif op == "allgather":
-            gathered = [rv.arrived[i] for i in rv.members]
-            results = {i: list(gathered) for i in rv.members}
-        elif op == "alltoall":
-            n = len(rv.members)
-            for i in rv.members:
-                if len(rv.arrived[i]) != n:
-                    raise SpmdError(
-                        f"alltoall: location {i} passed {len(rv.arrived[i])} "
-                        f"values for a group of {n}")
-            results = {}
-            for idx, i in enumerate(rv.members):
-                results[i] = [rv.arrived[j][idx] for j in rv.members]
-        elif op == "scan":
-            op_fn = rv.arrived[rv.members[0]][1]
-            exclusive = rv.arrived[rv.members[0]][2]
-            vals = [rv.arrived[i][0] for i in rv.members]
-            results = {}
-            acc = None
-            for idx, i in enumerate(rv.members):
-                if exclusive:
-                    results[i] = acc
-                if acc is None:
-                    acc = vals[idx]
-                else:
-                    acc = (acc + vals[idx]) if op_fn is None else op_fn(acc, vals[idx])
-                if not exclusive:
-                    results[i] = acc
-            total = acc
-            results = {i: (results[i], total) for i in rv.members}
-        else:  # pragma: no cover - defensive
-            raise SpmdError(f"unknown collective {op!r}")
+        else:
+            results = collective_results(op, rv.arrived, rv.members)
         for loc in members:
             loc._coll_result = results[loc.id]
             loc.state = _READY
+
+    # -- backend capability/progress hooks -----------------------------------
+    #: the simulator shares one address space across representatives;
+    #: containers consult this before cross-representative shortcuts
+    #: (e.g. pVector's shared partition metadata)
+    shared_address_space = True
+
+    def group_progress(self, members) -> int:
+        """Monotone progress metric over ``members`` watched by the
+        task-graph executor's deadlock detection (messages executed plus
+        tasks run).  The simulator can read every location's counters; a
+        distributed backend overrides this with its local view."""
+        return sum(self.locations[lid].stats.rmi_executed
+                   + self.locations[lid].stats.tasks_executed
+                   for lid in members)
+
+    def stall_limit(self) -> int:
+        """How many progress-free blocked-executor rounds mean deadlock.
+        One full conductor round suffices in the deterministic simulator;
+        a real backend scales this to a wall-clock patience window."""
+        return self.nlocs + 1
 
     # -- reporting -----------------------------------------------------------
     def stats(self) -> RunStats:
@@ -1130,25 +1171,62 @@ class Runtime:
         return max(loc.clock for loc in self.locations)
 
 
+def _backend_runners(backend: str | None):
+    """Resolve (run, run_detailed) for the requested or current backend;
+    None means the in-process simulated pair."""
+    name = backend or current_backend()
+    if name == "simulated":
+        return None
+    if name == "multiprocessing":
+        from . import mp  # imported lazily: pulls in multiprocessing machinery
+
+        return mp.mp_spmd_run, mp.mp_spmd_run_detailed
+    raise SpmdError(f"unknown execution backend {name!r}")
+
+
 def spmd_run(fn: Callable, nlocs: int = 4, machine="smp", args: tuple = (),
-             placement: str = "packed") -> list:
+             placement: str = "packed", backend: str | None = None,
+             **backend_opts) -> list:
     """Run an SPMD program; returns the per-location return values.
 
     ``fn(ctx, *args)`` is executed once per location with a
     :class:`Location` context, exactly like a ``stapl_main`` under
     ``mpiexec -n nlocs``.
+
+    ``backend`` overrides the process-wide :func:`~.comm.set_backend`
+    selection for this run ("simulated" or "multiprocessing");
+    ``backend_opts`` (e.g. ``timeout=...``) are passed to a real backend's
+    launcher and must be empty for the simulator.
     """
-    return Runtime(nlocs, machine, placement).run(fn, args)
+    runners = _backend_runners(backend)
+    if runners is None:
+        if backend_opts:
+            raise TypeError(
+                f"simulated backend takes no options {sorted(backend_opts)}")
+        return Runtime(nlocs, machine, placement).run(fn, args)
+    return runners[0](fn, nlocs=nlocs, machine=machine, args=args,
+                      placement=placement, **backend_opts)
 
 
 class SpmdReport:
-    """Result bundle from :func:`spmd_run_detailed`."""
+    """Result bundle from :func:`spmd_run_detailed`.
 
-    def __init__(self, results, runtime: Runtime):
+    ``wall_seconds`` is real elapsed time: meaningful for the
+    multiprocessing backend (the longest worker's wall clock), reported
+    alongside the virtual ``clocks``/``max_clock`` of the cost model."""
+
+    def __init__(self, results, runtime: Runtime | None = None, *,
+                 clocks=None, stats=None, wall_seconds: float = 0.0,
+                 backend: str = "simulated"):
         self.results = results
         self.runtime = runtime
-        self.clocks = [loc.clock for loc in runtime.locations]
-        self.stats = runtime.stats()
+        if runtime is not None:
+            clocks = [loc.clock for loc in runtime.locations]
+            stats = runtime.stats()
+        self.clocks = clocks
+        self.stats = stats
+        self.wall_seconds = wall_seconds
+        self.backend = backend
 
     @property
     def max_clock(self) -> float:
@@ -1156,8 +1234,20 @@ class SpmdReport:
 
 
 def spmd_run_detailed(fn: Callable, nlocs: int = 4, machine="smp",
-                      args: tuple = (), placement: str = "packed") -> SpmdReport:
-    """Like :func:`spmd_run` but also returns clocks and traffic stats."""
-    rt = Runtime(nlocs, machine, placement)
-    results = rt.run(fn, args)
-    return SpmdReport(results, rt)
+                      args: tuple = (), placement: str = "packed",
+                      backend: str | None = None,
+                      **backend_opts) -> SpmdReport:
+    """Like :func:`spmd_run` but also returns clocks, traffic stats and —
+    for a real backend — wall-clock time."""
+    runners = _backend_runners(backend)
+    if runners is None:
+        if backend_opts:
+            raise TypeError(
+                f"simulated backend takes no options {sorted(backend_opts)}")
+        rt = Runtime(nlocs, machine, placement)
+        t0 = time.perf_counter()
+        results = rt.run(fn, args)
+        return SpmdReport(results, rt,
+                          wall_seconds=time.perf_counter() - t0)
+    return runners[1](fn, nlocs=nlocs, machine=machine, args=args,
+                      placement=placement, **backend_opts)

@@ -1,0 +1,264 @@
+"""Protocol-level tests of the multiprocessing backend: collectives with
+unpicklable operators, sync/split-phase round trips, fence quiescence,
+one-sided fences, shared-memory slab transport, failure propagation and
+fail-fast deadlock detection."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    PObject,
+    SpmdError,
+    spmd_run,
+    spmd_run_detailed,
+)
+from repro.runtime.mp import ShmSlab, pack_payload, unpack_payload
+
+TIMEOUT = 60.0
+
+
+def mp_run(prog, nlocs=4, args=(), **kw):
+    kw.setdefault("timeout", TIMEOUT)
+    return spmd_run(prog, nlocs=nlocs, args=args,
+                    backend="multiprocessing", **kw)
+
+
+class Cell(PObject):
+    """Minimal shared object: one slot per location."""
+
+    def __init__(self, ctx, value=0):
+        super().__init__(ctx)
+        self.value = value
+        self.log = []
+
+    def set(self, v):
+        self.value = v
+
+    def add(self, v):
+        self.value += v
+
+    def get(self):
+        return self.value
+
+    def record(self, v):
+        self.log.append(v)
+
+    def forward(self, dest, v):
+        """Handler-spawned continuation: re-sends from inside a handler."""
+        if dest == self.ctx.id:
+            self.value += v
+        else:
+            self.async_to(dest, "forward", dest, v)
+
+    def async_to(self, dest, method, *args):
+        self.runtime.current_location.async_rmi(dest, self.handle, method,
+                                                *args)
+
+
+class TestCollectives:
+    def test_allreduce_with_lambda_op(self):
+        def prog(ctx):
+            return ctx.allreduce_rmi(ctx.id + 1, lambda a, b: a * b)
+        assert mp_run(prog, 4) == [24] * 4
+
+    def test_scan_inclusive_exclusive(self):
+        def prog(ctx):
+            inc = ctx.scan_rmi(ctx.id + 1)
+            exc = ctx.scan_rmi(ctx.id + 1, exclusive=True)
+            return inc, exc
+        out = mp_run(prog, 3)
+        assert [r[0] for r in out] == [(1, 6), (3, 6), (6, 6)]
+        assert [r[1] for r in out] == [(None, 6), (1, 6), (3, 6)]
+
+    def test_broadcast_allgather_alltoall(self):
+        def prog(ctx):
+            b = ctx.broadcast_rmi(1, "payload" if ctx.id == 1 else None)
+            g = ctx.allgather_rmi(ctx.id * 2)
+            a = ctx.alltoall_rmi([f"{ctx.id}->{d}" for d in range(ctx.nlocs)])
+            return b, g, a
+        out = mp_run(prog, 3)
+        assert all(r[0] == "payload" for r in out)
+        assert all(r[1] == [0, 2, 4] for r in out)
+        assert out[1][2] == ["0->1", "1->1", "2->1"]
+
+    def test_reduce_rooted(self):
+        def prog(ctx):
+            return ctx.reduce_rmi(ctx.id, root=2)
+        assert mp_run(prog, 4) == [None, None, 6, None]
+
+    def test_barrier_and_subgroup_collective(self):
+        from repro.runtime import LocationGroup
+
+        def prog(ctx):
+            ctx.barrier()
+            if ctx.id < 2:
+                g = LocationGroup([0, 1])
+                return ctx.allreduce_rmi(10 + ctx.id, group=g)
+            return None
+        assert mp_run(prog, 4) == [21, 21, None, None]
+
+
+class TestPointToPoint:
+    def test_sync_rmi_round_trip(self):
+        def prog(ctx):
+            c = Cell(ctx, value=ctx.id * 100)
+            ctx.rmi_fence()
+            got = ctx.sync_rmi((ctx.id + 1) % ctx.nlocs, c.handle, "get")
+            ctx.rmi_fence()
+            return got
+        assert mp_run(prog, 4) == [100, 200, 300, 0]
+
+    def test_opaque_rmi_future(self):
+        def prog(ctx):
+            c = Cell(ctx, value=ctx.id + 7)
+            ctx.rmi_fence()
+            fut = ctx.opaque_rmi((ctx.id + 1) % ctx.nlocs, c.handle, "get")
+            val = fut.get()
+            ctx.rmi_fence()
+            return val
+        assert mp_run(prog, 3) == [8, 9, 7]
+
+    def test_async_completes_at_fence(self):
+        def prog(ctx):
+            c = Cell(ctx, value=0)
+            ctx.rmi_fence()
+            # everyone bombs location 0 with commutative adds
+            for k in range(5):
+                ctx.async_rmi(0, c.handle, "add", 1)
+            ctx.rmi_fence()
+            return c.value
+        out = mp_run(prog, 4)
+        assert out[0] == 20 and out[1:] == [0, 0, 0]
+
+    def test_source_fifo_per_channel(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            ctx.rmi_fence()
+            for k in range(30):
+                ctx.async_rmi(0, c.handle, "record", (ctx.id, k))
+            ctx.rmi_fence()
+            return c.log
+        log = mp_run(prog, 4)[0]
+        for src in range(4):
+            seq = [k for (s, k) in log if s == src]
+            assert seq == sorted(seq), f"FIFO violated for source {src}"
+
+    def test_os_fence_completes_forwarded_chain(self):
+        def prog(ctx):
+            c = Cell(ctx, value=0)
+            ctx.rmi_fence()
+            if ctx.id == 0:
+                # 0 -> 1 -> 2 -> 3 forwarded continuation chain; os_fence on
+                # the origin alone must cover the whole chain
+                c.async_to(1, "forward", 3, 5)
+                ctx.os_fence()
+            ctx.barrier()
+            val = c.value
+            ctx.rmi_fence()
+            return val
+        assert mp_run(prog, 4)[3] == 5
+
+
+class TestSlabTransport:
+    def test_big_array_via_shared_memory(self):
+        def prog(ctx):
+            big = np.arange(50_000, dtype=np.float64) + ctx.id
+            slabs = [big if d != ctx.id else None for d in range(ctx.nlocs)]
+            got = ctx.bulk_exchange(slabs)
+            checks = [float(got[d][0]) for d in range(ctx.nlocs)
+                      if d != ctx.id]
+            ctx.rmi_fence()
+            return checks
+        out = mp_run(prog, 3)
+        assert out[0] == [1.0, 2.0] and out[2] == [0.0, 1.0]
+
+    def test_bulk_gather_order(self):
+        def prog(ctx):
+            got = ctx.bulk_gather(np.full(4, ctx.id))
+            ctx.rmi_fence()
+            return [int(g[0]) for g in got]
+        assert mp_run(prog, 4) == [[0, 1, 2, 3]] * 4
+
+    def test_pack_unpack_threshold(self):
+        small = np.arange(8)
+        big = np.arange(4096, dtype=np.int64)
+        names = iter(f"rstest_pk_{i}" for i in range(10))
+        packed = pack_payload((small, {"x": big}), lambda: next(names),
+                              threshold=1024)
+        assert isinstance(packed[0], np.ndarray)  # below threshold: inline
+        assert isinstance(packed[1]["x"], ShmSlab)
+        out = unpack_payload(packed)
+        np.testing.assert_array_equal(out[0], small)
+        np.testing.assert_array_equal(out[1]["x"], big)
+
+
+class TestReporting:
+    def test_detailed_report_wall_clock_and_stats(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            ctx.rmi_fence()
+            ctx.async_rmi((ctx.id + 1) % ctx.nlocs, c.handle, "add", 1)
+            ctx.rmi_fence()
+            return ctx.id
+        rep = spmd_run_detailed(prog, nlocs=2, backend="multiprocessing",
+                                timeout=TIMEOUT)
+        assert rep.backend == "multiprocessing"
+        assert rep.results == [0, 1]
+        assert rep.wall_seconds > 0
+        assert len(rep.clocks) == 2 and rep.max_clock > 0
+        assert rep.stats.total.async_rmi_sent == 2
+
+    def test_toggle_options_reach_runner(self):
+        with pytest.raises(TypeError):
+            spmd_run(lambda ctx: 0, nlocs=1, backend="simulated",
+                     timeout=1.0)
+
+
+class TestFailures:
+    def test_handler_error_propagates(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            ctx.rmi_fence()
+            if ctx.id == 0:
+                ctx.sync_rmi(1, c.handle, "no_such_method")
+            ctx.rmi_fence()
+        with pytest.raises(SpmdError, match="no_such_method"):
+            mp_run(prog, 2)
+
+    def test_worker_exception_propagates(self):
+        def prog(ctx):
+            if ctx.id == 1:
+                raise ValueError("worker boom")
+            ctx.rmi_fence()
+        with pytest.raises(SpmdError, match="worker boom"):
+            mp_run(prog, 2)
+
+    def test_mismatched_collective_fails_fast(self):
+        def prog(ctx):
+            if ctx.id == 0:
+                ctx.allreduce_rmi(1)
+            else:
+                ctx.barrier()
+        with pytest.raises(SpmdError, match="mismatch|timed out|aborted"):
+            mp_run(prog, 2, op_timeout=5.0, timeout=30.0)
+
+    def test_lone_collective_times_out(self):
+        def prog(ctx):
+            if ctx.id == 0:
+                ctx.allreduce_rmi(1)  # location 1 never joins
+            return ctx.id
+        with pytest.raises(SpmdError, match="timed out|aborted"):
+            mp_run(prog, 2, op_timeout=5.0, timeout=30.0)
+
+    def test_cross_location_lookup_rejected(self):
+        def prog(ctx):
+            c = Cell(ctx)
+            ctx.rmi_fence()
+            try:
+                ctx.runtime.lookup(c.handle, (ctx.id + 1) % ctx.nlocs)
+                return "reached"
+            except SpmdError as exc:
+                res = "denied" if "shared address space" in str(exc) else "?"
+            ctx.rmi_fence()
+            return res
+        assert mp_run(prog, 2) == ["denied", "denied"]
