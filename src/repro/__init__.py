@@ -36,6 +36,7 @@ from .algorithms import (
     p_partial_sum,
     p_reduce,
     p_sample_sort,
+    p_stencil,
     p_transform,
 )
 from .containers import (
@@ -64,6 +65,15 @@ from .runtime import (
     spmd_run,
     spmd_run_detailed,
 )
-from .views import Array1DView, BalancedView, GraphView, ListView, MapView
+from .views import (
+    Array1DView,
+    BalancedView,
+    GraphView,
+    ListView,
+    MapView,
+    overlap_view,
+    segmented_view,
+    zip_view,
+)
 
 __version__ = "1.0.0"

@@ -55,6 +55,12 @@ from .predicates import (
     p_swap_ranges,
     p_unique_count,
 )
+from .nested import (
+    p_bucket_sort_nested,
+    p_segmented_reduce,
+    p_segmented_scan,
+    p_stencil,
+)
 from .pipelines import p_sort_scan_pipeline
 from .prange import (
     Executor,

@@ -1,0 +1,312 @@
+"""Nested-parallel workloads (Fig. 1 / Ch. IV.C): the composed-container
+scenario family — a 1-D iterative stencil over overlap views, per-bucket
+sample sort with an inner PARAGRAPH per bucket, and segmented reduce/scan
+over :class:`~repro.views.derived_views.SegmentedView`.
+
+The stencil is the headline trade the overlap view buys: the fenced
+baseline re-reads its halo cells with per-element sync RMIs and pays one
+``rmi_fence`` *per iteration* (writes of iteration k must commit before
+any neighbour may read them in k+1).  The data-flow form materializes the
+initial core+halo slab through the overlap view (one bulk read covering
+boundary and interior alike), then lets subsequent halos travel as
+PARAGRAPH dependence messages between neighbour tasks — iteration k+1 on
+one location fires as soon as *its* neighbours finish k, and the whole
+run closes with a single fence.  Results are byte-identical: both forms
+evaluate the same windows in the same order.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..core.partitions import balanced_sizes
+from ..views.base import sync_views
+from ..views.derived_views import overlap_view, slab_read, slab_write
+from .prange import Paragraph
+from .sorting import _bucket_elements, _local_sorted_sample, _select_splitters
+
+
+def _blur(w: list):
+    """Default stencil workfunction: integer mean of the window (order-
+    and width-stable, so fenced and data-flow runs are byte-identical)."""
+    return sum(w) // len(w)
+
+
+# ---------------------------------------------------------------------------
+# 1-D iterative stencil over overlap views
+# ---------------------------------------------------------------------------
+
+def p_stencil(view, iters: int = 1, left: int = 1, right: int = 1,
+              fn=None, dataflow: bool = True, scratch_dtype=int) -> None:
+    """In-place iterative stencil (collective): for each iteration,
+    ``x[i] <- fn(x[i-left : i+right+1])`` for every interior index
+    ``i in [left, n-right)``; the ``left`` leading and ``right`` trailing
+    cells are fixed boundary conditions.
+
+    ``dataflow=True`` runs the overlap-view PARAGRAPH form (halo slabs +
+    dependence messages, one closing fence); ``dataflow=False`` the
+    fence-per-iteration baseline.  Both produce identical results.  The
+    data-flow form falls back to the baseline when the balanced slices
+    are too small to carry the halo protocol (every slice must hold at
+    least ``2 * max(left, right)`` cells)."""
+    if iters <= 0:
+        return
+    wf = fn or _blur
+    n = view.size()
+    if dataflow and iters >= 2:
+        # iters == 1 has no k=2 dependence to order one location's final
+        # write after its neighbour's initial halo read — keep it fenced
+        sizes = balanced_sizes(n, len(view.group.members))
+        if min(sizes) >= 2 * max(left, right, 1):
+            _stencil_dataflow(view, wf, left, right, iters)
+            return
+    _stencil_fenced(view, wf, left, right, iters, scratch_dtype)
+
+
+def _stencil_fenced(view, wf, left, right, iters, scratch_dtype) -> None:
+    """Baseline: ping-pong between the view and a scratch pArray with one
+    fence per iteration; halo cells are re-read with per-element sync
+    RMIs every iteration."""
+    from ..containers.parray import PArray
+    from ..views.array_views import Array1DView
+
+    ctx = view.ctx
+    n = view.size()
+    sl = view.balanced_slices()
+    out_lo, out_hi = max(sl.lo, left), min(sl.hi, n - right)
+    scratch = PArray(ctx, n, value=0, dtype=scratch_dtype, group=view.group)
+    other = Array1DView(scratch)
+    src, dst = view, other
+    w = left + 1 + right
+    for _ in range(iters):
+        if out_hi > out_lo:
+            interior = slab_read(src, out_lo, out_hi)
+            halo_l = [src.read(j) for j in range(out_lo - left, out_lo)]
+            halo_r = [src.read(j) for j in range(out_hi, out_hi + right)]
+            buf = halo_l + interior + halo_r
+            slab_write(dst, out_lo,
+                       [wf(buf[k:k + w]) for k in range(len(interior))])
+        # boundary cells ping-pong unchanged
+        if sl.lo < left and sl.hi > sl.lo:
+            hi = min(left, sl.hi)
+            slab_write(dst, sl.lo, slab_read(src, sl.lo, hi))
+        if sl.hi > n - right and sl.hi > sl.lo:
+            lo = max(n - right, sl.lo)
+            slab_write(dst, lo, slab_read(src, lo, sl.hi))
+        sync_views([src, dst])  # one fence per iteration
+        src, dst = dst, src
+    if src is not view:  # odd iteration count: copy the result back
+        if sl.hi > sl.lo:
+            slab_write(view, sl.lo, slab_read(src, sl.lo, sl.hi))
+        sync_views([view, src])
+    scratch.destroy()
+
+
+def _stencil_dataflow(view, wf, left, right, iters) -> None:
+    """One PARAGRAPH for all iterations: per-location iteration tasks
+    chain locally; halo values for iteration k+1 arrive as dependence
+    messages from the neighbours' iteration-k tasks.  The initial
+    core+halo slab materializes through the overlap view (boundary
+    elements ride the same bulk read as the cores)."""
+    ctx = view.ctx
+    members = view.group.members
+    me = members.index(ctx.id)
+    P = len(members)
+    n = view.size()
+    sl = view.balanced_slices()
+    out_lo, out_hi = max(sl.lo, left), min(sl.hi, n - right)
+    m = out_hi - out_lo
+    ov = overlap_view(view, core=1, left=left, right=right)
+    pg = Paragraph(ctx, views=(view,), group=view.group)
+    if m > 0:
+        # producers: a neighbour exists iff my halo cells on that side are
+        # interior cells (computed by it) rather than fixed boundary
+        left_nb = members[me - 1] if sl.lo > left else None
+        right_nb = members[me + 1] if sl.hi < n - right else None
+        wlo, whi = out_lo - left, out_hi - left  # my window index range
+        w = left + 1 + right
+        st: dict = {}
+
+        def make_iter(k):
+            def act(_c, inputs=None):
+                if k == 1:
+                    _base_lo, cur = ov.materialize(wlo, whi)
+                    st["cur"] = cur = list(cur)
+                else:
+                    cur = st["cur"]
+                    if left_nb is not None:
+                        cur[0:left] = inputs["L"]
+                    if right_nb is not None:
+                        cur[m + left:] = inputs["R"]
+                cur[left:left + m] = [wf(cur[j:j + w]) for j in range(m)]
+                if k < iters:
+                    if left_nb is not None:
+                        pg.send(left_nb, ("st", k + 1),
+                                cur[left:left + right], tag="R")
+                    if right_nb is not None:
+                        pg.send(right_nb, ("st", k + 1),
+                                cur[m:m + left], tag="L")
+            return act
+
+        prev = pg.add_task(make_iter(1))
+        needs = (left_nb is not None) + (right_nb is not None)
+        for k in range(2, iters + 1):
+            prev = pg.add_task(make_iter(k), deps=(prev,),
+                               key=("st", k), needs=needs)
+        pg.add_task(lambda _c: slab_write(view, out_lo,
+                                          st["cur"][left:left + m]),
+                    deps=(prev,))
+    pg.run()  # the single closing fence
+    pg.destroy()
+
+
+# ---------------------------------------------------------------------------
+# per-bucket sample sort: an inner PARAGRAPH sorts each bucket (Fig. 1)
+# ---------------------------------------------------------------------------
+
+def p_bucket_sort_nested(view, oversample: int = 4, fanout: int = 4,
+                         dtype=int) -> None:
+    """Sort a 1D view in place; the bucket each location receives is
+    stored in a *nested* pArray on the owner's singleton group and sorted
+    by a real inner PARAGRAPH (``fanout`` sort tasks feeding a merge task)
+    spawned from the outer graph's bucket task — two-level parallelism
+    observable in the ``nested_paragraphs`` / ``nested_tasks_executed``
+    counters.  Output is identical to :func:`~repro.algorithms.sorting.
+    p_sample_sort` (both produce the globally sorted sequence)."""
+    from ..containers.composition import make_nested, run_nested_paragraph
+    from ..containers.parray import PArray
+
+    ctx = view.ctx
+    group = view.group
+    members = group.members
+    me = members.index(ctx.id)
+    P = len(members)
+    mach = ctx.machine
+    sl = view.balanced_slices()
+    pg = Paragraph(ctx, views=(view,), group=group)
+    st: dict = {}
+
+    def t_sample(_c):
+        local, samples = _local_sorted_sample(view, sl, oversample)
+        st["local"] = local
+        for lid in members:
+            pg.send(lid, "samples", samples, tag=me)
+
+    sample_t = pg.add_task(t_sample)
+
+    def t_split(_c, inputs):
+        splitters = _select_splitters([inputs[i] for i in range(P)], P)
+        buckets = _bucket_elements(st["local"], splitters, P)
+        ctx.charge(mach.t_access * len(st["local"]))
+        for idx, lid in enumerate(members):
+            pg.send(lid, "bucket", buckets[idx], tag=me)
+
+    split_t = pg.add_task(t_split, deps=(sample_t,), key="samples", needs=P)
+
+    def t_sort(_c, inputs):
+        data: list = []
+        for i in range(P):
+            data.extend(inputs[i])
+        if not data:
+            st["merged"] = []
+            return
+        ref = make_nested(
+            ctx, lambda c, g: PArray(c, len(data), value=0, dtype=dtype,
+                                     group=g))
+        st["ref"] = ref
+        ref.resolve(ctx.runtime).set_range(0, data)
+
+        def build(ipg, iv, _inner):
+            parts = balanced_sizes(len(data), max(1, fanout))
+            runs: dict = {}
+            stasks = []
+            lo = 0
+            for j, ln in enumerate(parts):
+                if not ln:
+                    continue
+
+                def make_sorter(j=j, lo=lo, hi=lo + ln):
+                    def s(_c2):
+                        runs[j] = sorted(slab_read(iv, lo, hi))
+                        slab_write(iv, lo, runs[j])
+                    return s
+
+                stasks.append(ipg.add_task(make_sorter()))
+                lo += ln
+
+            def t_merge(_c2):
+                merged = list(heapq.merge(*runs.values()))
+                ctx.charge(mach.t_access * len(merged))
+                slab_write(iv, 0, merged)
+                st["merged"] = merged
+
+            ipg.add_task(t_merge, deps=tuple(stasks))
+
+        run_nested_paragraph(ctx, ref, build)
+
+    sort_t = pg.add_task(t_sort, deps=(split_t,), key="bucket", needs=P)
+
+    def t_offset(_c, inputs=None):
+        st["offset"] = inputs["offset"] if me else 0
+        if me + 1 < P:
+            pg.send(members[me + 1], "offset",
+                    st["offset"] + len(st["merged"]), tag="offset")
+
+    offset_t = pg.add_task(t_offset, deps=(sort_t,), key="offset",
+                           needs=1 if me else 0)
+
+    pg.add_task(lambda _c: slab_write(view, st["offset"], st["merged"]),
+                deps=(offset_t,))
+    pg.run()
+    pg.destroy()
+    ref = st.get("ref")
+    if ref is not None:
+        ref.resolve(ctx.runtime).destroy()
+
+
+# ---------------------------------------------------------------------------
+# segmented reduce / scan over SegmentedView (the vw_overlap.cc workload)
+# ---------------------------------------------------------------------------
+
+def p_segmented_reduce(seg_view, op, init) -> list:
+    """Per-segment reductions over a :class:`SegmentedView`: each location
+    reduces the segments it owns through the segment's whole-slice chunk
+    (slab transport), then one allgather assembles the result list on
+    every location.  ``init`` must be an identity of ``op``."""
+    ctx = seg_view.ctx
+    local: dict = {}
+    for ch in seg_view.local_chunks():
+        for si in ch.gids():
+            seg = seg_view.read(si)
+            local[si] = seg.whole_chunk().reduce_values(op, init)
+    gathered = ctx.allgather_rmi(local, group=seg_view.group)
+    merged: dict = {}
+    for d in gathered:
+        merged.update(d)
+    return [merged[i] for i in range(seg_view.size())]
+
+
+def p_segmented_scan(seg_view, op, init, exclusive: bool = False) -> None:
+    """In-place prefix scan within each segment of a
+    :class:`SegmentedView` (segments are independent, so no carries cross
+    segment boundaries and the only synchronisation is the closing
+    fence).  ``init`` must be an identity of ``op``."""
+    for ch in seg_view.local_chunks():
+        for si in ch.gids():
+            seg = seg_view.read(si)
+            vals = slab_read(seg, 0, seg.size())
+            carry = init
+            out = []
+            for v in vals:
+                if exclusive:
+                    out.append(carry)
+                    carry = op(carry, v)
+                else:
+                    carry = op(carry, v)
+                    out.append(carry)
+            slab_write(seg, 0, out)
+    seg_view.post_execute()
+
+
+__all__ = ["p_bucket_sort_nested", "p_segmented_reduce", "p_segmented_scan",
+           "p_stencil"]

@@ -23,7 +23,9 @@ STAPL work.  Two layers live here:
   level-async SSSP) need no global ``rmi_fence`` between phases: one fence
   at the very end commits container writes.  Dynamic graphs terminate by a
   quiescence reduction: all locations idle and #dependence messages sent ==
-  #executed, snapshot consistently at an allreduce rendezvous.
+  #executed, snapshot consistently at an allreduce rendezvous.  ``run`` is
+  re-entrant: a task may spawn and drain an *inner* Paragraph over a nested
+  container (two-level parallelism, Ch. IV.C) — see :meth:`Paragraph._enter`.
 
 The data-parallel pAlgorithms of :mod:`repro.algorithms.generic` compile to
 single-phase pRanges; the sorting/scan/SSSP algorithms build Paragraphs when
@@ -290,6 +292,9 @@ class Paragraph(PObject):
                 self._maybe_ready(s)
         if n:
             loc.count_task(n)
+            stack = loc._paragraph_stack
+            if len(stack) > 1 and stack[-1] is self:
+                loc.stats.nested_tasks_executed += n
         return n
 
     def _group_progress(self) -> int:
@@ -322,21 +327,40 @@ class Paragraph(PObject):
                 f"unsatisfied dependences (keys {waiting!r})")
         return stall
 
+    def _enter(self, loc) -> None:
+        """Push this graph on the location's executor stack.  ``run`` is
+        re-entrant: a task of the currently-running graph may construct an
+        inner Paragraph (usually over a nested container on a singleton
+        group, Ch. IV.C) and drain it to completion before returning —
+        the outer graph's ready queue, key registry and quiescence
+        counters are all per-instance, so the inner graph never observes
+        outer state.  While the inner graph blocks it yields the *outer*
+        baton (``task_yield``), so other locations keep progressing and
+        outer dependence messages drained meanwhile simply park on the
+        outer instance."""
+        if loc._paragraph_stack:
+            loc.stats.nested_paragraphs += 1
+        loc._paragraph_stack.append(self)
+
     def run(self, fence: bool = True) -> int:
         """Execute until every local task has run (tasks added while
         running — by incoming messages — extend the goal).  Returns the
         number of tasks executed.  ``fence=True`` closes with the
         Ch. VII.H synchronisation point over the Paragraph's views."""
         loc = self.ctx
-        stall = 0
-        while True:
-            ran = self._run_ready(loc)
-            if self._executed >= len(self.tasks):
-                break
-            if ran or self._drain_until_ready(loc):
-                stall = 0
-                continue
-            stall = self._blocked_wait(loc, stall)
+        self._enter(loc)
+        try:
+            stall = 0
+            while True:
+                ran = self._run_ready(loc)
+                if self._executed >= len(self.tasks):
+                    break
+                if ran or self._drain_until_ready(loc):
+                    stall = 0
+                    continue
+                stall = self._blocked_wait(loc, stall)
+        finally:
+            loc._paragraph_stack.pop()
         if fence:
             self.post_execute()
         return self._executed
@@ -349,22 +373,27 @@ class Paragraph(PObject):
         Returns the number of quiescence reduction rounds."""
         loc = self.ctx
         rounds = 0
-        while True:
-            progress = True
-            while progress:
-                progress = bool(self._run_ready(loc) or loc.poll())
-                if not progress and loc.flush_combining():
-                    # buffered combining-path ops (e.g. apply_vertex
-                    # relaxations) count as sent the moment they were
-                    # issued: push them into the channels before the
-                    # quiescence snapshot, or sent == received never holds
-                    progress = True
-            rounds += 1
-            sent, received = loc.allreduce_rmi(
-                (self._sent, self._received),
-                lambda a, b: (a[0] + b[0], a[1] + b[1]), group=self.group)
-            if sent == received:
-                return rounds
+        self._enter(loc)
+        try:
+            while True:
+                progress = True
+                while progress:
+                    progress = bool(self._run_ready(loc) or loc.poll())
+                    if not progress and loc.flush_combining():
+                        # buffered combining-path ops (e.g. apply_vertex
+                        # relaxations) count as sent the moment they were
+                        # issued: push them into the channels before the
+                        # quiescence snapshot, or sent == received never
+                        # holds
+                        progress = True
+                rounds += 1
+                sent, received = loc.allreduce_rmi(
+                    (self._sent, self._received),
+                    lambda a, b: (a[0] + b[0], a[1] + b[1]), group=self.group)
+                if sent == received:
+                    return rounds
+        finally:
+            loc._paragraph_stack.pop()
 
     def post_execute(self) -> None:
         """Closing synchronisation: fence the group, then commit every

@@ -10,7 +10,11 @@ from .composition import (
     make_nested,
     nested_apply,
     nested_get,
+    nested_map,
     nested_set,
+    run_nested_paragraph,
+    segmented_reduce,
+    segmented_scan,
 )
 from .parray import PArray
 from .pgraph import DIRECTED, UNDIRECTED, EdgeRef, PGraph, VertexRef

@@ -10,6 +10,14 @@ pContainer hierarchy ... this can preserve existing locality".
 Elements of the outer container store :class:`NestedRef` handles.  Nested
 pAlgorithm invocations (Fig. 61) run inline on the owner through the
 singleton-group fast path of the scheduler.
+
+Two-level parallelism (Fig. 1) is expressed with re-entrant PARAGRAPHs:
+:func:`nested_map`, :func:`segmented_reduce` and :func:`segmented_scan`
+build an outer task graph with one task per locally-stored segment, and
+each task spawns and drains an *inner* PARAGRAPH over its nested container
+(:func:`run_nested_paragraph`) — inner graphs run on the owner's singleton
+group, so their collectives complete inline while the outer graph is
+mid-flight.
 """
 
 from __future__ import annotations
@@ -86,11 +94,22 @@ def nested_apply(outer_container, gid, fn):
     """Apply ``fn(inner_container)`` at the owner of the nested container
     stored at ``gid`` of the outer container (synchronous).  This is the
     composed-method dispatch of Ch. IV.C —
-    ``pApA.get_element(i).get_element(j)`` style chains."""
+    ``pApA.get_element(i).get_element(j)`` style chains.
+
+    Accounting matches the container shared-object interface: one charged
+    directory lookup to resolve the inner container's home, then either a
+    local invocation (plus the local access charge) or a remote one riding
+    a sync RMI — previously this path bypassed the lookup/invocation
+    counters entirely, so composed accesses were invisible to the
+    evaluation's traffic columns."""
     ref = outer_container.get_element(gid)
     loc = outer_container.here
+    loc.charge_lookup()
     if ref.owner == loc.id:
+        loc.stats.local_invocations += 1
+        loc.charge_access()
         return fn(ref.resolve(outer_container.runtime))
+    loc.stats.remote_invocations += 1
     return loc.sync_rmi(ref.owner, outer_container.handle,
                         "_nested_apply_handler", ref.handle, fn)
 
@@ -142,6 +161,186 @@ def composition_height(container) -> int:
     local elements learn the height from the reduction."""
     local = _local_height(container, container.runtime)
     return container.ctx.allreduce_rmi(local, max, group=container.group)
+
+
+# ---------------------------------------------------------------------------
+# nested-parallel helpers (two-level PARAGRAPHs, Fig. 1 / Ch. IV.C)
+# ---------------------------------------------------------------------------
+
+def _local_nested_refs(outer) -> list:
+    """(gid, NestedRef) pairs stored on this location, in gid order."""
+    out = []
+    if hasattr(outer, "local_gids"):  # pList: stable handle order
+        for gid in outer.local_gids():
+            v = outer.get_element(gid)
+            if isinstance(v, NestedRef):
+                out.append((gid, v))
+        return out
+    for bc in outer.local_bcontainers():
+        vals = bc.values() if hasattr(bc, "values") else None
+        if vals is None:
+            continue
+        vals = vals.tolist() if hasattr(vals, "tolist") else list(vals)
+        for gid, v in zip(bc.domain, vals):
+            if isinstance(v, NestedRef):
+                out.append((gid, v))
+    out.sort(key=lambda gv: gv[0])
+    return out
+
+
+def run_nested_paragraph(ctx, ref: NestedRef, build):
+    """Spawn and drain an inner PARAGRAPH over the nested container
+    ``ref`` (must run on its owner — typically from inside an outer
+    Paragraph task).  ``build(ipg, inner_view, inner)`` adds the inner
+    tasks; the inner graph then runs to completion (its closing fence is
+    the singleton-group fast path, so this is legal while the outer graph
+    is mid-flight) and is destroyed.  Returns ``build``'s return value."""
+    from ..algorithms.prange import Paragraph
+    from ..views.array_views import Array1DView
+
+    inner = ref.resolve(ctx.runtime)
+    iv = Array1DView(inner)
+    ipg = Paragraph(ctx, views=(iv,), group=inner.group)
+    out = build(ipg, iv, inner)
+    ipg.run()
+    ipg.destroy()
+    return out
+
+
+def _ordered_chunk_domains(iv) -> list:
+    """The inner view's chunk index ranges in ascending order (inner
+    containers live wholly on their owner, so every chunk is local)."""
+    from ..core.domains import RangeDomain
+
+    doms = []
+    for ch in iv.local_chunks():
+        dom = getattr(ch, "index_domain", None)
+        if dom is None:
+            dom = ch.bc.domain  # NativeChunk
+        doms.append(RangeDomain(dom.lo, dom.hi))
+    doms.sort(key=lambda d: d.lo)
+    return doms
+
+
+def nested_map(outer, fn, vector=None) -> None:
+    """Two-level parallel map: ``x <- fn(x)`` for every element of every
+    nested container.  Outer level: one PARAGRAPH task per locally-stored
+    :class:`NestedRef`; inner level: that task spawns and drains an inner
+    PARAGRAPH over the nested container, one task per inner chunk — the
+    deployment Ch. IV.C describes, each nesting level working on the
+    matching level of the container hierarchy."""
+    from ..algorithms.prange import Paragraph
+    from ..views.base import Workfunction
+
+    ctx = outer.ctx
+    wf = Workfunction(fn, vector=vector)
+    pg = Paragraph(ctx, group=outer.group)
+
+    def make_task(ref):
+        def act(_c):
+            def build(ipg, iv, _inner):
+                for chunk in iv.local_chunks():
+                    ipg.add_task(lambda ch: ch.map_values(wf), chunk)
+            run_nested_paragraph(ctx, ref, build)
+        return act
+
+    for _gid, ref in _local_nested_refs(outer):
+        pg.add_task(make_task(ref))
+    pg.run()
+    pg.destroy()
+
+
+def segmented_reduce(outer, op, init) -> list:
+    """Per-segment reductions of a composed container: ``result[i]``
+    reduces nested container *i*; every location returns the full result
+    list.  Each locally-owned segment reduces inside an inner PARAGRAPH —
+    one partial task per inner chunk plus a combine task wired by
+    intra-graph dependences — then one allgather merges the per-location
+    ``{gid: value}`` maps.  ``init`` must be an identity of ``op`` (it
+    seeds every partial)."""
+    from ..algorithms.prange import Paragraph
+
+    ctx = outer.ctx
+    local: dict = {}
+    pg = Paragraph(ctx, group=outer.group)
+
+    def make_task(gid, ref):
+        def act(_c):
+            def build(ipg, iv, _inner):
+                parts: list = []
+
+                def make_part(ch):
+                    return lambda _c2: parts.append(
+                        ch.reduce_values(op, init))
+
+                ptasks = [ipg.add_task(make_part(ch))
+                          for ch in iv.local_chunks()]
+
+                def combine(_c2):
+                    acc = init
+                    for p in parts:
+                        acc = op(acc, p)
+                    local[gid] = acc
+
+                ipg.add_task(combine, deps=tuple(ptasks))
+            run_nested_paragraph(ctx, ref, build)
+        return act
+
+    for gid, ref in _local_nested_refs(outer):
+        pg.add_task(make_task(gid, ref))
+    pg.run(fence=False)
+    pg.destroy()
+    gathered = ctx.allgather_rmi(local, group=outer.group)
+    merged = {}
+    for d in gathered:
+        merged.update(d)
+    return [merged[g] for g in sorted(merged)]
+
+
+def segmented_scan(outer, op, init, exclusive: bool = False) -> None:
+    """In-place prefix scan *within* each nested container (the segmented
+    scan of the composed structure).  Segments are independent, so the
+    outer PARAGRAPH runs them in parallel; inside a segment the per-chunk
+    prefix tasks chain through intra-graph dependences carrying the
+    running carry.  ``init`` must be an identity of ``op``."""
+    from ..algorithms.prange import Paragraph
+    from ..views.derived_views import slab_read, slab_write
+
+    ctx = outer.ctx
+    pg = Paragraph(ctx, group=outer.group)
+
+    def make_task(ref):
+        def act(_c):
+            def build(ipg, iv, _inner):
+                st = {"carry": init}
+                prev = None
+
+                def make_step(dom):
+                    def step(_c2):
+                        vals = slab_read(iv, dom.lo, dom.hi)
+                        carry = st["carry"]
+                        out = []
+                        for v in vals:
+                            if exclusive:
+                                out.append(carry)
+                                carry = op(carry, v)
+                            else:
+                                carry = op(carry, v)
+                                out.append(carry)
+                        st["carry"] = carry
+                        slab_write(iv, dom.lo, out)
+                    return step
+
+                for dom in _ordered_chunk_domains(iv):
+                    prev = ipg.add_task(make_step(dom),
+                                        deps=(prev,) if prev else ())
+            run_nested_paragraph(ctx, ref, build)
+        return act
+
+    for _gid, ref in _local_nested_refs(outer):
+        pg.add_task(make_task(ref))
+    pg.run()
+    pg.destroy()
 
 
 # RMI handler attached to the container classes used as outer containers

@@ -8,6 +8,7 @@ from .ablations import (
 )
 from .assoc_figs import fig59_mapreduce_wordcount, fig60_assoc_algorithms
 from .backend_figs import backend_scaling_study, backend_speedup
+from .bench import bench_payload, bench_suite, write_bench
 from .bulk_figs import bulk_transport_study
 from .combining_figs import combining_containers_study, combining_study
 from .composition_figs import fig62_row_min
@@ -20,7 +21,12 @@ from .migration_figs import (
     migration_skew_study,
 )
 from .mixed_mode_figs import mixed_mode_study, mixed_mode_topology_study
-from .paragraph_figs import paragraph_study, sort_transport_study
+from .nested_figs import nested_study
+from .paragraph_figs import (
+    paragraph_backend_study,
+    paragraph_study,
+    sort_transport_study,
+)
 from .parray_figs import (
     fig27_constructor,
     fig28_local_methods,

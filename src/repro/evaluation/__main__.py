@@ -22,6 +22,7 @@ from . import (
     ablation_lazy_size,
     ablation_view_alignment,
     backend_scaling_study,
+    bench_suite,
     bulk_transport_study,
     combining_containers_study,
     combining_study,
@@ -53,6 +54,8 @@ from . import (
     migration_skew_study,
     mixed_mode_study,
     mixed_mode_topology_study,
+    nested_study,
+    paragraph_backend_study,
     paragraph_study,
     sort_transport_study,
 )
@@ -91,6 +94,9 @@ DRIVERS = {
     "migration_graph": migration_graph_study,
     "lookup_cache": lookup_cache_study,
     "paragraph": paragraph_study,
+    "paragraph_mp": paragraph_backend_study,
+    "nested": nested_study,
+    "bench": bench_suite,
     "sort_transport": sort_transport_study,
     "ablation_aggregation": ablation_aggregation,
     "ablation_alignment": ablation_view_alignment,

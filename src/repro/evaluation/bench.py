@@ -1,0 +1,150 @@
+"""Perf-trajectory snapshot: a fixed kernel set whose simulated times and
+message counts are persisted as ``BENCH_<date>.json`` at the repo root, so
+regressions across PRs are visible as a diff between snapshots.
+
+The kernel set is deliberately small and stable — one representative per
+subsystem (element RMI, slab transport, PARAGRAPH data-flow, nested
+parallelism, migration) — and every kernel is deterministic: identical
+inputs, virtual clocks from the machine model, so two runs of the same
+tree produce byte-identical JSON (modulo the ``generated`` stamp).
+
+Run via ``python -m repro.evaluation.bench [outfile]`` or the ``bench``
+driver name in ``python -m repro.evaluation``.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+
+from ..algorithms.generic import p_generate, p_partial_sum, p_reduce
+from ..algorithms.nested import p_bucket_sort_nested, p_stencil
+from ..algorithms.sorting import p_sample_sort
+from ..containers.parray import PArray
+from ..views.array_views import Array1DView
+from .harness import ExperimentResult, run_spmd_timed
+
+
+def _scrambled(i):
+    return (i * 2654435761) % 100003
+
+
+def _filled(ctx, n):
+    pa = PArray(ctx, n, dtype=int)
+    v = Array1DView(pa)
+    p_generate(v, _scrambled, vector=None)
+    ctx.rmi_fence()
+    return pa, v
+
+
+def _timed(body):
+    """Wrap ``body(ctx, v)`` on a fresh filled array in a timed region."""
+    def prog(ctx, n):
+        _pa, v = _filled(ctx, n)
+        m0 = ctx.stats.physical_messages
+        t0 = ctx.start_timer()
+        body(ctx, v)
+        t = ctx.stop_timer(t0)
+        return t, ctx.stats.physical_messages - m0
+    return prog
+
+
+def _k_reduce(ctx, v):
+    p_reduce(v, op=operator.add)
+
+
+def _k_scan(ctx, v):
+    p_partial_sum(v, v)
+
+
+def _k_sort(ctx, v):
+    p_sample_sort(v)
+
+
+def _k_sort_nested(ctx, v):
+    p_bucket_sort_nested(v)
+
+
+def _k_stencil(ctx, v):
+    p_stencil(v, iters=4, dataflow=True)
+
+
+def _k_stencil_fenced(ctx, v):
+    p_stencil(v, iters=4, dataflow=False)
+
+
+def _k_rebalance(ctx, v):
+    v.container.rebalance()
+
+
+KERNELS = [
+    ("reduce", _k_reduce),
+    ("scan", _k_scan),
+    ("sample_sort", _k_sort),
+    ("bucket_sort_nested", _k_sort_nested),
+    ("stencil_dataflow", _k_stencil),
+    ("stencil_fenced", _k_stencil_fenced),
+    ("rebalance", _k_rebalance),
+]
+
+
+def bench_suite(P: int = 8, n_per_loc: int = 2048,
+                machine: str = "cray4") -> ExperimentResult:
+    """Run the fixed kernel set; one row per kernel."""
+    n = P * n_per_loc
+    res = ExperimentResult(
+        "Perf trajectory: fixed kernel set (simulated us + messages)",
+        ["kernel", "N", "time_us", "physical_msgs", "bytes_sent", "fences"],
+        notes=f"{machine}, P={P}")
+    for name, body in KERNELS:
+        prog = _timed(body)
+        results, _, stats = run_spmd_timed(
+            lambda ctx: prog(ctx, n), P, machine)
+        res.add(name, n, max(r[0] for r in results),
+                sum(r[1] for r in results), stats.bytes_sent, stats.fences)
+    return res
+
+
+def bench_payload(P: int = 8, n_per_loc: int = 2048,
+                  machine: str = "cray4", generated: str = "") -> dict:
+    """The JSON payload: one object per kernel keyed by name."""
+    res = bench_suite(P, n_per_loc, machine)
+    kernels = {}
+    for row in res.rows:
+        kernels[row[0]] = {
+            "N": row[1], "time_us": round(row[2], 2),
+            "physical_msgs": row[3], "bytes_sent": row[4],
+            "fences": row[5]}
+    return {"generated": generated, "machine": machine, "P": P,
+            "n_per_loc": n_per_loc, "kernels": kernels}
+
+
+def write_bench(path: str, P: int = 8, n_per_loc: int = 2048,
+                machine: str = "cray4", generated: str = "") -> dict:
+    payload = bench_payload(P, n_per_loc, machine, generated)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    import datetime
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    machine = "cray4"
+    if "--machine" in args:
+        i = args.index("--machine")
+        args.pop(i)
+        machine = args.pop(i)
+    date = datetime.date.today().isoformat()
+    path = args[0] if args else f"BENCH_{date}.json"
+    payload = write_bench(path, machine=machine, generated=date)
+    print(f"[bench: {len(payload['kernels'])} kernels on {machine} "
+          f"-> {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

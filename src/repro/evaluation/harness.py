@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..runtime import Runtime
+from ..runtime import spmd_run_detailed
 
 
 @dataclass
@@ -56,13 +56,28 @@ class ExperimentResult:
         print(self.format_table())
 
 
+def run_spmd_report(fn, nlocs: int, machine="cray4", args: tuple = (),
+                    placement: str = "packed", backend: str | None = None,
+                    **backend_opts):
+    """Run an SPMD program and return the full :class:`SpmdReport`
+    (results, virtual clocks, stats, wall-clock seconds, backend name).
+
+    ``backend=None`` uses the deterministic simulator; figure drivers pass
+    ``backend="multiprocessing"`` to run the same program on real OS
+    processes and report wall-clock time next to the virtual clocks."""
+    return spmd_run_detailed(fn, nlocs=nlocs, machine=machine, args=args,
+                             placement=placement, backend=backend,
+                             **backend_opts)
+
+
 def run_spmd_timed(fn, nlocs: int, machine="cray4", args: tuple = (),
-                   placement: str = "packed"):
+                   placement: str = "packed", backend: str | None = None,
+                   **backend_opts):
     """Run an SPMD program and return (per-location results, max virtual
     clock in us, aggregate stats)."""
-    rt = Runtime(nlocs, machine, placement)
-    results = rt.run(fn, args)
-    return results, rt.max_clock(), rt.stats().total
+    rep = run_spmd_report(fn, nlocs, machine, args, placement,
+                          backend=backend, **backend_opts)
+    return rep.results, rep.max_clock, rep.stats.total
 
 
 def method_kernel(container_factory, op, n_per_loc: int):

@@ -1,0 +1,214 @@
+"""Composed-container study: nested PARAGRAPHs + derived views (Fig. 1,
+Ch. IV.C; the SNIPPETS.md ``vw_overlap.cc`` workload family).
+
+``nested_study`` regenerates three workloads and asserts their contracts:
+
+* **stencil** — iterative 1-D stencil, fenced flat baseline (one fence +
+  per-element halo sync-reads per iteration) vs the overlap-view
+  data-flow form (initial core+halo slab through the overlap view, later
+  halos as dependence messages, one closing fence).  Asserts byte-identical
+  results and >= 2x fewer fences.
+* **bucket_sort** — per-bucket sample sort where every bucket lands in a
+  nested pArray and sorts inside an inner PARAGRAPH spawned by the outer
+  graph's bucket task.  Asserts output identical to ``p_sample_sort`` and
+  that real nested graphs ran (``nested_paragraphs`` >= P, nested tasks
+  observed).
+* **segmented** — segmented reduce + scan, both over a composed
+  pArray-of-pArrays (inner PARAGRAPH per segment) and over a
+  ``segmented_view`` of a flat array (slab path per segment).  Asserts
+  both agree with the flat sequential recurrence byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import operator
+
+from ..algorithms.generic import p_generate
+from ..algorithms.nested import (
+    p_bucket_sort_nested,
+    p_segmented_reduce,
+    p_segmented_scan,
+    p_stencil,
+)
+from ..algorithms.sorting import p_sample_sort
+from ..containers.composition import (
+    _local_nested_refs,
+    compose_parray_of_parrays,
+    segmented_reduce,
+    segmented_scan,
+)
+from ..containers.parray import PArray
+from ..views.array_views import Array1DView
+from ..views.derived_views import segmented_view
+from .harness import ExperimentResult, run_spmd_timed
+
+
+def _scrambled(i):
+    return (i * 2654435761) % 100003
+
+
+def _segment_lengths(n: int, nseg: int) -> list:
+    """Deterministically uneven segment lengths summing to n."""
+    base = n // nseg
+    lens = []
+    rem = n
+    for s in range(nseg - 1):
+        ln = max(1, base + (-1) ** s * (s % max(1, base // 2)))
+        ln = min(ln, rem - (nseg - 1 - s))
+        lens.append(ln)
+        rem -= ln
+    lens.append(rem)
+    return lens
+
+
+def _stencil_prog(n: int, iters: int, dataflow: bool):
+    def prog(ctx):
+        pa = PArray(ctx, n, dtype=int)
+        v = Array1DView(pa)
+        p_generate(v, _scrambled, vector=None)
+        ctx.rmi_fence()
+        f0, s0 = ctx.stats.fences, ctx.stats.sync_rmi_sent
+        t0 = ctx.start_timer()
+        p_stencil(v, iters=iters, dataflow=dataflow)
+        t = ctx.stop_timer(t0)
+        return (t, ctx.stats.fences - f0, ctx.stats.sync_rmi_sent - s0,
+                pa.to_list())
+    return prog
+
+
+def _sort_prog(n: int, nested: bool):
+    def prog(ctx):
+        pa = PArray(ctx, n, dtype=int)
+        v = Array1DView(pa)
+        p_generate(v, _scrambled, vector=None)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        if nested:
+            p_bucket_sort_nested(v)
+        else:
+            p_sample_sort(v)
+        t = ctx.stop_timer(t0)
+        return t, pa.to_list()
+    return prog
+
+
+def _segmented_prog(n: int, lens: list, composed: bool):
+    def prog(ctx):
+        t0 = ctx.start_timer()
+        if composed:
+            outer = compose_parray_of_parrays(ctx, lens, value=0, dtype=int)
+            off = 0
+            starts = []
+            for ln in lens:
+                starts.append(off)
+                off += ln
+            for gid, ref in _local_nested_refs(outer):
+                ref.resolve(ctx.runtime).set_range(
+                    0, [_scrambled(starts[gid] + j) for j in range(lens[gid])])
+            ctx.rmi_fence(outer.group)
+            sums = segmented_reduce(outer, operator.add, 0)
+            segmented_scan(outer, operator.add, 0)
+            scanned: list = []
+            local = {gid: ref.resolve(ctx.runtime).to_list()
+                     for gid, ref in _local_nested_refs(outer)}
+            for d in ctx.allgather_rmi(local, group=outer.group):
+                for gid, vals in d.items():
+                    while len(scanned) <= gid:
+                        scanned.append(None)
+                    scanned[gid] = vals
+            flat = [x for seg in scanned for x in seg]
+        else:
+            pa = PArray(ctx, n, dtype=int)
+            v = Array1DView(pa)
+            p_generate(v, _scrambled, vector=None)
+            ctx.rmi_fence()
+            sv = segmented_view(v, lens)
+            sums = p_segmented_reduce(sv, operator.add, 0)
+            p_segmented_scan(sv, operator.add, 0)
+            flat = pa.to_list()
+        t = ctx.stop_timer(t0)
+        return t, sums, flat
+    return prog
+
+
+def nested_study(P: int = 8, n_per_loc: int = 2048, machine: str = "cray4",
+                 iters: int = 6) -> ExperimentResult:
+    """The composed-container workload family; raises on any broken
+    contract (see module docstring)."""
+    n = P * n_per_loc
+
+    res = ExperimentResult(
+        "Nested parallelism: overlap/segmented views + inner PARAGRAPHs",
+        ["workload", "mode", "N", "time_us", "fences", "sync_rmis",
+         "dep_msgs", "nested_pgs", "nested_tasks", "physical_msgs"],
+        notes=f"{machine}, P={P}; stencil iters={iters}")
+
+    # -- stencil: fenced baseline vs overlap-view data-flow ----------------
+    outcome = {}
+    for label, df in (("fenced", False), ("overlap_dataflow", True)):
+        results, _, stats = run_spmd_timed(
+            _stencil_prog(n, iters, df), P, machine)
+        outcome[label] = (max(r[0] for r in results),
+                         max(r[1] for r in results), results[0][3])
+        res.add("stencil", label, n, outcome[label][0], outcome[label][1],
+                sum(r[2] for r in results), stats.dependence_messages,
+                stats.nested_paragraphs, stats.nested_tasks_executed,
+                stats.physical_messages)
+    if outcome["fenced"][2] != outcome["overlap_dataflow"][2]:
+        raise AssertionError(
+            "stencil: overlap-view data-flow result differs from the "
+            "fenced flat baseline (expected byte-identical)")
+    f_base, f_df = outcome["fenced"][1], outcome["overlap_dataflow"][1]
+    if f_base < 2 * max(1, f_df):
+        raise AssertionError(
+            f"stencil: baseline paid {f_base} fences vs {f_df} with "
+            "overlap views (expected >= 2x reduction)")
+
+    # -- per-bucket sort: inner PARAGRAPH per bucket -----------------------
+    sort_out = {}
+    for label, nested in (("sample_sort", False), ("nested_buckets", True)):
+        results, _, stats = run_spmd_timed(_sort_prog(n, nested), P, machine)
+        sort_out[label] = (results[0][1], stats)
+        res.add("bucket_sort", label, n, max(r[0] for r in results), 0, 0,
+                stats.dependence_messages, stats.nested_paragraphs,
+                stats.nested_tasks_executed, stats.physical_messages)
+    if sort_out["nested_buckets"][0] != sort_out["sample_sort"][0]:
+        raise AssertionError(
+            "nested bucket sort result differs from p_sample_sort")
+    nstats = sort_out["nested_buckets"][1]
+    if nstats.nested_paragraphs < P or nstats.nested_tasks_executed <= 0:
+        raise AssertionError(
+            f"nested bucket sort: expected a real inner Paragraph per "
+            f"bucket (P={P}), saw nested_paragraphs="
+            f"{nstats.nested_paragraphs}, nested_tasks="
+            f"{nstats.nested_tasks_executed}")
+
+    # -- segmented reduce/scan: composed container vs segmented view -------
+    lens = _segment_lengths(n, 4 * P)
+    seg_out = {}
+    for label, composed in (("seg_view_flat", False), ("composed", True)):
+        results, _, stats = run_spmd_timed(
+            _segmented_prog(n, lens, composed), P, machine)
+        seg_out[label] = (results[0][1], results[0][2])
+        res.add("segmented", label, n, max(r[0] for r in results), 0, 0,
+                stats.dependence_messages, stats.nested_paragraphs,
+                stats.nested_tasks_executed, stats.physical_messages)
+    exp_sums, exp_scan, off = [], [], 0
+    for ln in lens:
+        seg = [_scrambled(off + j) for j in range(ln)]
+        exp_sums.append(sum(seg))
+        c = 0
+        for x in seg:
+            c += x
+            exp_scan.append(c)
+        off += ln
+    for label in seg_out:
+        if seg_out[label][0] != exp_sums or seg_out[label][1] != exp_scan:
+            raise AssertionError(
+                f"segmented {label}: reduce/scan differ from the flat "
+                "sequential recurrence")
+
+    res.notes += (f"; stencil fences {f_base} -> {f_df}, nested graphs "
+                  f"{nstats.nested_paragraphs}, nested tasks "
+                  f"{nstats.nested_tasks_executed}")
+    return res

@@ -35,7 +35,7 @@ from ..core.mappers import GeneralMapper
 from ..core.traits import Traits
 from ..views.array_views import Array1DView
 from ..views.base import set_bulk_transport
-from .harness import ExperimentResult, run_spmd_timed
+from .harness import ExperimentResult, run_spmd_report, run_spmd_timed
 
 
 def _scrambled(i):
@@ -44,11 +44,17 @@ def _scrambled(i):
 
 
 def paragraph_study(P: int = 8, n_per_loc: int = 4000,
-                    machine: str = "cray4") -> ExperimentResult:
+                    machine: str = "cray4",
+                    backend: str | None = None) -> ExperimentResult:
     """Multi-phase sort + scan workload, data-flow executor on vs off.
 
     Raises if the two modes disagree on any output array, if the baseline
     does not pay at least 2x the fences, or if data-flow is not faster.
+
+    ``backend="multiprocessing"`` runs the same pipeline on real OS
+    processes (ROADMAP item 1): the virtual-clock columns stay meaningful
+    (the cost model runs inside each worker) and the ``wall_s`` column
+    becomes real elapsed time instead of simulator overhead.
     """
     n = P * n_per_loc
 
@@ -73,23 +79,26 @@ def paragraph_study(P: int = 8, n_per_loc: int = 4000,
 
     res = ExperimentResult(
         "PARAGRAPH executor: data-flow edges vs fence-per-phase baseline",
-        ["mode", "N", "time_us", "fences", "collectives", "dep_msgs",
-         "tasks", "physical_msgs"],
-        notes=f"{machine}, P={P}; workload: sample sort -> prefix sums -> "
-              "adjacent differences of the sorted data")
+        ["mode", "N", "time_us", "wall_s", "fences", "collectives",
+         "dep_msgs", "tasks", "physical_msgs"],
+        notes=f"{machine}, P={P}, backend={backend or 'simulated'}; "
+              "workload: sample sort -> prefix sums -> adjacent "
+              "differences of the sorted data")
 
     outcome = {}
     for label, on in (("fenced", False), ("dataflow", True)):
         prev = set_dataflow(on)
         try:
-            results, _, stats = run_spmd_timed(prog, P, machine)
+            rep = run_spmd_report(prog, P, machine, backend=backend)
         finally:
             set_dataflow(prev)
+        results, stats = rep.results, rep.stats.total
         outcome[label] = (max(r[0] for r in results),
                          max(r[1] for r in results), results[0][3])
-        res.add(label, n, outcome[label][0], outcome[label][1],
-                max(r[2] for r in results), stats.dependence_messages,
-                stats.tasks_executed, stats.physical_messages)
+        res.add(label, n, outcome[label][0], rep.wall_seconds,
+                outcome[label][1], max(r[2] for r in results),
+                stats.dependence_messages, stats.tasks_executed,
+                stats.physical_messages)
 
     if outcome["dataflow"][2] != outcome["fenced"][2]:
         raise AssertionError(
@@ -109,6 +118,15 @@ def paragraph_study(P: int = 8, n_per_loc: int = 4000,
             f"paragraph study: data-flow not faster ({t_df:.1f}us vs "
             f"{t_base:.1f}us baseline)")
     return res
+
+
+def paragraph_backend_study(P: int = 4, n_per_loc: int = 1000,
+                            machine: str = "cray4") -> ExperimentResult:
+    """The sort->scan pipeline routed through ``backend="multiprocessing"``
+    (ROADMAP item 1): one OS process per location, identical assertions,
+    real wall-clock in the ``wall_s`` column."""
+    return paragraph_study(P, n_per_loc, machine,
+                           backend="multiprocessing")
 
 
 def sort_transport_study(P: int = 8, n_per_loc: int = 8192,

@@ -199,6 +199,10 @@ class Location:
         #: buffers, so issue order across p_objects is preserved and
         #: interleaved streams to different containers still batch
         self._combining: dict[int, list] = {}
+        #: PARAGRAPHs currently executing on this location, outermost
+        #: first — a task of the top graph may spawn and drain an inner
+        #: graph (nested parallelism, Ch. IV.C); depth > 1 means nested
+        self._paragraph_stack: list = []
 
     # -- identity ------------------------------------------------------
     @property

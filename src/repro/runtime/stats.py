@@ -27,6 +27,13 @@ both pRange tasks and PARAGRAPH tasks, including dynamically spawned ones;
 sent by producer tasks to consumer tasks on other locations (local edges
 are satisfied in place and not counted).
 
+Nested-parallelism counters (Ch. IV.C two-level composition):
+``nested_paragraphs`` counts PARAGRAPHs entered while another PARAGRAPH
+was already executing on the same location (an inner graph spawned by an
+outer task, usually over a nested container on a singleton group);
+``nested_tasks_executed`` counts the tasks those inner graphs ran — a
+subset of ``tasks_executed``.
+
 Migration-subsystem counters: ``lookups_charged`` counts metadata lookups
 actually charged to the virtual clock (``charge_lookup``);
 ``lookup_cache_hits`` counts address resolutions served by the
@@ -69,6 +76,8 @@ class LocationStats:
     collectives: int = 0
     tasks_executed: int = 0
     dependence_messages: int = 0
+    nested_paragraphs: int = 0
+    nested_tasks_executed: int = 0
     lookups_charged: int = 0
     lookup_cache_hits: int = 0
     lookup_cache_invalidations: int = 0

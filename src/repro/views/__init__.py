@@ -21,8 +21,14 @@ What each view models:
   chunks regardless of the underlying distribution; the alignment ablation
   measures what that flexibility costs in remote traffic.
 * ``StridedView`` — every k-th element; ``TransformView`` — reads pass
-  through a user function (Table II row O); ``OverlapView`` — sliding
-  windows with core/left/right overlap (Fig. 2), the stencil idiom.
+  through a user function (Table II row O).
+* Derived (composed) views (:mod:`.derived_views`) — views over views,
+  all sharing the ``DerivedView`` base whose chunk caches are keyed to
+  the *composed* distribution epoch: ``OverlapView`` — sliding windows
+  with core/left/right overlap (Fig. 2), the stencil idiom, halos riding
+  the slab transport; ``SegmentedView`` — contiguous segments as
+  elements, each itself a view (``SliceView``) an inner Paragraph can
+  recurse into; ``ZipView`` — equal-sized views zipped elementwise.
 * ``MatrixRowsView`` / ``MatrixColsView`` / ``MatrixLinearView``
   (:mod:`.matrix_views`) — the same pMatrix viewed as rows-as-elements,
   columns-as-elements, or a linearised 1D array ("the same pMatrix can be
@@ -42,10 +48,21 @@ from .array_views import (
     Array1DROView,
     Array1DView,
     BalancedView,
-    OverlapView,
     StridedView,
     TransformView,
     native_view,
+)
+from .derived_views import (
+    DerivedView,
+    OverlapView,
+    SegmentedView,
+    SliceView,
+    ZipView,
+    overlap_view,
+    segmented_view,
+    slab_read,
+    slab_write,
+    zip_view,
 )
 from .base import (
     Chunk,

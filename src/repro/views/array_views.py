@@ -1,5 +1,6 @@
 """One-dimensional pViews (Table II): array_1d, array_1d_ro, balanced,
-native, strided_1D, overlap and transform views."""
+native, strided_1D and transform views (the overlap view lives with the
+other composed views in :mod:`repro.views.derived_views`)."""
 
 from __future__ import annotations
 
@@ -226,43 +227,7 @@ class _TransformChunk(Chunk):
         return self.base.reduce_values(lambda acc, v: op(acc, f(v)), initial)
 
 
-class OverlapView(PView):
-    """``overlap_pview`` (Fig. 2): element *i* is the window
-    ``base[c*i, c*i + l + c + r)`` with core ``c``, left ``l``, right ``r``.
-    Reads return the window as a list; windows whose tail crosses a
-    distribution boundary fetch the remote part element-wise."""
-
-    def __init__(self, base_view: PView, c: int = 1, l: int = 0, r: int = 0,
-                 group=None):
-        super().__init__(base_view.container, group or base_view.group)
-        if c < 1 or l < 0 or r < 0:
-            raise ValueError("need c >= 1, l >= 0, r >= 0")
-        self.base = base_view
-        self.c, self.l, self.r = c, l, r
-        n = base_view.size()
-        w = l + c + r
-        self._n = 0 if n < w else (n - w) // c + 1
-
-    @property
-    def window(self) -> int:
-        return self.l + self.c + self.r
-
-    def size(self) -> int:
-        return self._n
-
-    def read(self, i) -> list:
-        if not 0 <= i < self._n:
-            raise IndexError(i)
-        lo = self.c * i
-        return [self.base.read(j) for j in range(lo, lo + self.window)]
-
-    def write(self, i, value) -> None:
-        raise TypeError("overlap views are read-only")
-
-    def local_chunks(self) -> list:
-        members = self.group.members
-        sizes = balanced_sizes(self._n, len(members))
-        me = members.index(self.ctx.id)
-        lo = sum(sizes[:me])
-        dom = RangeDomain(lo, lo + sizes[me])
-        return [GenericChunk(self, dom)] if dom.size() else []
+# OverlapView moved to repro.views.derived_views (it is a DerivedView now:
+# windows materialize through the slab path, halos included); re-exported
+# here for backwards compatibility.
+from .derived_views import OverlapView  # noqa: E402,F401

@@ -1,0 +1,263 @@
+"""Nested-parallelism tests (Fig. 1, Ch. IV.C): re-entrant PARAGRAPHs,
+the stencil / bucket-sort / segmented workloads, and the composition
+helpers (`nested_map`, `segmented_reduce`, `segmented_scan`)."""
+
+import operator
+
+from repro.algorithms.generic import p_generate
+from repro.algorithms.nested import (
+    p_bucket_sort_nested,
+    p_segmented_reduce,
+    p_segmented_scan,
+    p_stencil,
+)
+from repro.algorithms.prange import Paragraph
+from repro.algorithms.sorting import p_sample_sort
+from repro.containers.composition import (
+    compose_parray_of_parrays,
+    make_nested,
+    nested_map,
+    run_nested_paragraph,
+    segmented_reduce,
+    segmented_scan,
+)
+from repro.containers.parray import PArray
+from repro.views.array_views import Array1DView
+from repro.views.derived_views import segmented_view
+from tests.conftest import run, run_detailed
+
+
+def _scrambled(i):
+    return (i * 2654435761) % 1009
+
+
+def _filled(ctx, n, fn=_scrambled):
+    pa = PArray(ctx, n, dtype=int)
+    v = Array1DView(pa)
+    p_generate(v, fn, vector=None)
+    ctx.rmi_fence()
+    return pa, v
+
+
+def _ref_stencil(vals, iters, left=1, right=1):
+    """Sequential reference: mean-window stencil with fixed boundaries."""
+    cur = list(vals)
+    n = len(cur)
+    w = left + 1 + right
+    for _ in range(iters):
+        nxt = list(cur)
+        for i in range(left, n - right):
+            win = cur[i - left:i - left + w]
+            nxt[i] = sum(win) // w
+        cur = nxt
+    return cur
+
+
+class TestStencil:
+    def _run(self, n, iters, nlocs, dataflow, left=1, right=1):
+        def prog(ctx):
+            pa, v = _filled(ctx, n)
+            p_stencil(v, iters=iters, left=left, right=right,
+                      dataflow=dataflow)
+            return pa.to_list()
+        return run(prog, nlocs=nlocs)
+
+    def test_fenced_matches_reference(self):
+        exp = _ref_stencil([_scrambled(i) for i in range(24)], 3)
+        assert self._run(24, 3, 4, dataflow=False) == [exp] * 4
+
+    def test_dataflow_matches_reference(self):
+        exp = _ref_stencil([_scrambled(i) for i in range(24)], 4)
+        assert self._run(24, 4, 4, dataflow=True) == [exp] * 4
+
+    def test_modes_byte_identical_wide_halo(self):
+        exp = _ref_stencil([_scrambled(i) for i in range(40)], 3,
+                           left=2, right=2)
+        assert (self._run(40, 3, 4, dataflow=True, left=2, right=2)
+                == self._run(40, 3, 4, dataflow=False, left=2, right=2)
+                == [exp] * 4)
+
+    def test_single_iteration(self):
+        exp = _ref_stencil([_scrambled(i) for i in range(16)], 1)
+        for df in (False, True):
+            assert self._run(16, 1, 2, dataflow=df) == [exp] * 2
+
+    def test_tiny_slices_fall_back(self):
+        """Slices too small for the halo protocol still compute correctly
+        (data-flow falls back to the fenced form)."""
+        exp = _ref_stencil([_scrambled(i) for i in range(6)], 3,
+                           left=2, right=2)
+        assert self._run(6, 3, 3, dataflow=True, left=2, right=2) \
+            == [exp] * 3
+
+    def test_dataflow_fences_reduced(self):
+        def prog(ctx, dataflow):
+            _pa, v = _filled(ctx, 32)
+            f0 = ctx.stats.fences
+            p_stencil(v, iters=5, dataflow=dataflow)
+            return ctx.stats.fences - f0
+        fenced = run(prog, nlocs=4, args=(False,))
+        dflow = run(prog, nlocs=4, args=(True,))
+        assert max(fenced) >= 2 * max(dflow)
+
+
+class TestBucketSortNested:
+    def test_matches_sample_sort(self):
+        def prog(ctx, nested):
+            pa, v = _filled(ctx, 64)
+            if nested:
+                p_bucket_sort_nested(v)
+            else:
+                p_sample_sort(v)
+            return pa.to_list()
+        a = run(prog, nlocs=4, args=(True,))
+        b = run(prog, nlocs=4, args=(False,))
+        assert a == b
+        assert a[0] == sorted(_scrambled(i) for i in range(64))
+
+    def test_inner_paragraphs_observed(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 64)
+            p_bucket_sort_nested(v, fanout=3)
+            return None
+        rep = run_detailed(prog, nlocs=4)
+        st = rep.stats.total
+        assert st.nested_paragraphs == 4  # one inner graph per bucket
+        # per bucket: 3 sorters + 1 merge
+        assert st.nested_tasks_executed == 16
+
+    def test_duplicates_and_empty_buckets(self):
+        def prog(ctx):
+            pa, v = _filled(ctx, 32, lambda i: i % 3)
+            p_bucket_sort_nested(v)
+            return pa.to_list()
+        out = run(prog, nlocs=4)
+        assert out[0] == sorted(i % 3 for i in range(32))
+
+
+class TestSegmentedAlgorithms:
+    LENS = [3, 5, 2, 6]
+
+    def _expected(self):
+        sums, scan, off = [], [], 0
+        for ln in self.LENS:
+            seg = [_scrambled(off + j) for j in range(ln)]
+            sums.append(sum(seg))
+            c = 0
+            for x in seg:
+                c += x
+                scan.append(c)
+            off += ln
+        return sums, scan
+
+    def test_seg_view_reduce_scan(self):
+        exp_sums, exp_scan = self._expected()
+
+        def prog(ctx):
+            pa, v = _filled(ctx, sum(self.LENS))
+            sv = segmented_view(v, self.LENS)
+            sums = p_segmented_reduce(sv, operator.add, 0)
+            p_segmented_scan(sv, operator.add, 0)
+            return sums, pa.to_list()
+        out = run(prog, nlocs=4)
+        assert all(o == (exp_sums, exp_scan) for o in out)
+
+    def test_exclusive_scan(self):
+        def prog(ctx):
+            pa, v = _filled(ctx, 8, lambda i: 1)
+            sv = segmented_view(v, [4, 4])
+            p_segmented_scan(sv, operator.add, 0, exclusive=True)
+            return pa.to_list()
+        assert run(prog, nlocs=2) == [[0, 1, 2, 3] * 2] * 2
+
+
+class TestCompositionHelpers:
+    def test_nested_map(self):
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [3] * ctx.nlocs, value=2,
+                                              dtype=int)
+            nested_map(outer, lambda x: x * 10)
+            vals = []
+            rt = outer.runtime
+            for bc in outer.local_bcontainers():
+                for i in bc.domain:
+                    vals.extend(bc.get(i).resolve(rt).to_list())
+            return vals
+        out = run(prog, nlocs=3)
+        assert all(v == 20 for vals in out for v in vals)
+
+    def test_segmented_reduce_composed(self):
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [2, 3, 4], value=5,
+                                              dtype=int)
+            return segmented_reduce(outer, operator.add, 0)
+        assert run(prog, nlocs=3) == [[10, 15, 20]] * 3
+
+    def test_segmented_scan_composed(self):
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [3, 2], value=1,
+                                              dtype=int)
+            segmented_scan(outer, operator.add, 0)
+            rt = outer.runtime
+            got = {}
+            for bc in outer.local_bcontainers():
+                for i in bc.domain:
+                    got[i] = bc.get(i).resolve(rt).to_list()
+            merged = {}
+            for d in ctx.allgather_rmi(got):
+                merged.update(d)
+            return [merged[i] for i in sorted(merged)]
+        assert run(prog, nlocs=2) == [[[1, 2, 3], [1, 2]]] * 2
+
+    def test_nested_map_spawns_inner_graphs(self):
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [4] * ctx.nlocs, value=1,
+                                              dtype=int)
+            nested_map(outer, lambda x: -x)
+            return None
+        rep = run_detailed(prog, nlocs=3)
+        assert rep.stats.total.nested_paragraphs >= 3
+        assert rep.stats.total.nested_tasks_executed >= 3
+
+
+class TestReentrantParagraph:
+    def test_inner_graph_inside_outer_task(self):
+        """A task of an outer PARAGRAPH spawns and drains an inner one
+        over a nested container — the executor re-enters run()."""
+        def prog(ctx):
+            pg = Paragraph(ctx)
+            out = {}
+
+            def outer_task(_c):
+                ref = make_nested(
+                    ctx, lambda c, g: PArray(c, 4, value=3, dtype=int,
+                                             group=g))
+
+                def build(ipg, iv, _inner):
+                    def t(_c2):
+                        out["sum"] = sum(
+                            iv.read(j) for j in range(iv.size()))
+                    ipg.add_task(t)
+
+                run_nested_paragraph(ctx, ref, build)
+
+            pg.add_task(outer_task)
+            pg.run()
+            pg.destroy()
+            return (out["sum"], ctx.stats.nested_paragraphs,
+                    ctx.stats.nested_tasks_executed)
+        out = run(prog, nlocs=2)
+        assert out == [(12, 1, 1)] * 2
+
+    def test_depth_counter_not_fooled_by_sequential_graphs(self):
+        """Two PARAGRAPHs run back-to-back (not nested) must not count
+        as nested."""
+        def prog(ctx):
+            for _ in range(2):
+                pg = Paragraph(ctx)
+                pg.add_task(lambda _c: None)
+                pg.run()
+                pg.destroy()
+            return (ctx.stats.nested_paragraphs,
+                    ctx.stats.nested_tasks_executed)
+        assert run(prog, nlocs=2) == [(0, 0)] * 2

@@ -139,3 +139,44 @@ class TestMakeNested:
             ctx.rmi_fence()
             return composition_height(outer)
         assert run(prog, nlocs=2) == [3, 3]
+
+
+class TestNestedAccounting:
+    """nested_get/nested_set must hit the lookup/invocation counters like
+    any other container method (previously they bypassed accounting)."""
+
+    def test_local_invocation_counted(self):
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [2] * ctx.nlocs, value=1,
+                                              dtype=int)
+            ctx.rmi_fence()
+            lk0 = ctx.stats.lookups_charged
+            li0 = ctx.stats.local_invocations
+            ri0 = ctx.stats.remote_invocations
+            # gid == ctx.id is owned locally under the balanced partition;
+            # the composed access charges the outer get, the nested
+            # dispatch itself, and the inner get — all local
+            val = nested_get(outer, ctx.id, 0)
+            ctx.rmi_fence()
+            return (val, ctx.stats.lookups_charged - lk0,
+                    ctx.stats.local_invocations - li0,
+                    ctx.stats.remote_invocations - ri0)
+        out = run(prog, nlocs=2)
+        assert all(o == (1, 3, 3, 0) for o in out)
+
+    def test_remote_invocation_counted(self):
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [2] * ctx.nlocs, value=4,
+                                              dtype=int)
+            ctx.rmi_fence()
+            lk0 = ctx.stats.lookups_charged
+            ri0 = ctx.stats.remote_invocations
+            target = (ctx.id + 1) % ctx.nlocs
+            val = nested_get(outer, target, 1)
+            nested_set(outer, target, 1, 7)
+            ctx.rmi_fence()
+            back = nested_get(outer, target, 1)
+            return (val, back, ctx.stats.lookups_charged - lk0 >= 3,
+                    ctx.stats.remote_invocations - ri0 >= 3)
+        out = run(prog, nlocs=3)
+        assert all(o == (4, 7, True, True) for o in out)

@@ -175,7 +175,9 @@ class TestAblations:
 class TestParagraphFigures:
     def test_paragraph_dataflow_wins(self):
         res = ev.paragraph_study(P=4, n_per_loc=800)
-        t = {r[0]: (r[2], r[3]) for r in res.rows}
+        ti = res.columns.index("time_us")
+        fi = res.columns.index("fences")
+        t = {r[0]: (r[ti], r[fi]) for r in res.rows}
         assert t["fenced"][1] >= 2 * t["dataflow"][1]  # fences
         assert t["dataflow"][0] < t["fenced"][0]       # simulated time
 

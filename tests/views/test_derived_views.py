@@ -1,0 +1,236 @@
+"""Derived-view tests: overlap / segmented / zip / slice composition
+(Ch. IV, the ``vw_overlap.cc`` family), equivalence with flat views, and
+survival across a migration epoch."""
+
+from repro.algorithms.generic import p_generate
+from repro.containers.parray import PArray
+from repro.views.array_views import Array1DView
+from repro.views.derived_views import (
+    OverlapView,
+    SegmentedView,
+    SliceView,
+    ZipView,
+    overlap_view,
+    segmented_view,
+    slab_read,
+    slab_write,
+    zip_view,
+)
+from tests.conftest import run
+
+
+def _filled(ctx, n, fn=lambda i: 10 * i):
+    pa = PArray(ctx, n, dtype=int)
+    v = Array1DView(pa)
+    p_generate(v, fn, vector=None)
+    ctx.rmi_fence()
+    return pa, v
+
+
+class TestOverlapViewDerived:
+    def test_windows_match_flat_reads(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 12)
+            ov = overlap_view(v, core=2, left=1, right=1)
+            flat = [v.read(i) for i in range(12)]
+            exp = [flat[2 * w:2 * w + 4] for w in range(ov.size())]
+            got = [ov.read(w) for w in range(ov.size())]
+            ctx.rmi_fence()
+            return got == exp, ov.size()
+        out = run(prog, nlocs=3)
+        # n=12, window=4, core=2 -> (12-4)//2 + 1 = 5 windows
+        assert out == [(True, 5)] * 3
+
+    def test_read_range_one_slab(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 16)
+            ov = overlap_view(v, core=1, left=1, right=1)
+            whole = ov.read_range(0, ov.size())
+            exp = [[v.read(j) for j in range(w, w + 3)]
+                   for w in range(ov.size())]
+            ctx.rmi_fence()
+            return whole == exp
+        assert all(run(prog, nlocs=4))
+
+    def test_materialize_base_span(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 10)
+            ov = overlap_view(v, core=1, left=2, right=1)
+            lo, buf = ov.materialize(3, 6)  # windows 3..5, base [3, 9)
+            ctx.rmi_fence()
+            return lo, list(buf) == [v.read(j) for j in range(3, 9)]
+        assert run(prog, nlocs=2) == [(3, True)] * 2
+
+    def test_read_only(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 8)
+            ov = overlap_view(v, core=1, left=1, right=1)
+            try:
+                ov.write(0, [0, 0, 0])
+            except TypeError:
+                return True
+            return False
+        assert all(run(prog, nlocs=2))
+
+
+class TestSegmentedViewDerived:
+    def test_segments_are_views(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 12)
+            sv = segmented_view(v, [3, 4, 5])
+            seg = sv.read(1)
+            ok = (isinstance(seg, SliceView) and seg.size() == 4
+                  and [seg.read(j) for j in range(4)]
+                  == [v.read(3 + j) for j in range(4)])
+            ctx.rmi_fence()
+            return ok, sv.size()
+        assert run(prog, nlocs=3) == [(True, 3)] * 3
+
+    def test_pairs_partitioner(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 10)
+            sv = segmented_view(v, [(0, 2), (2, 7), (7, 10)])
+            sizes = [sv.read(i).size() for i in range(sv.size())]
+            ctx.rmi_fence()
+            return sizes
+        assert run(prog, nlocs=2) == [[2, 5, 3]] * 2
+
+    def test_segment_writes_hit_base(self):
+        def prog(ctx):
+            pa, v = _filled(ctx, 9)
+            sv = segmented_view(v, [3, 3, 3])
+            if ctx.id == 0:
+                seg = sv.read(1)
+                slab_write(seg, 0, [-1, -2, -3])
+            sv.post_execute()
+            return pa.to_list()[3:6]
+        assert run(prog, nlocs=3) == [[-1, -2, -3]] * 3
+
+    def test_bad_lengths_rejected(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 8)
+            try:
+                segmented_view(v, [3, 3])  # sums to 6, base is 8
+            except ValueError:
+                return True
+            return False
+        assert all(run(prog, nlocs=2))
+
+
+class TestZipViewDerived:
+    def test_tuple_reads(self):
+        def prog(ctx):
+            _pa, a = _filled(ctx, 8, lambda i: i)
+            _pb, b = _filled(ctx, 8, lambda i: 100 + i)
+            zv = zip_view(a, b)
+            got = [zv.read(i) for i in range(8)]
+            ctx.rmi_fence()
+            return got == [(i, 100 + i) for i in range(8)]
+        assert all(run(prog, nlocs=4))
+
+    def test_slab_round_trip(self):
+        def prog(ctx):
+            pa, a = _filled(ctx, 8, lambda i: i)
+            pb, b = _filled(ctx, 8, lambda i: -i)
+            zv = zip_view(a, b)
+            pairs = slab_read(zv, 2, 6)
+            if ctx.id == 0:
+                slab_write(zv, 0, [(7, 7)] * 2)
+            zv.post_execute()
+            return pairs, pa.to_list()[:2], pb.to_list()[:2]
+        out = run(prog, nlocs=2)
+        assert out[0][0] == [(i, -i) for i in range(2, 6)]
+        assert out[0][1] == [7, 7] and out[0][2] == [7, 7]
+
+    def test_size_mismatch_rejected(self):
+        def prog(ctx):
+            _pa, a = _filled(ctx, 8)
+            _pb, b = _filled(ctx, 9)
+            try:
+                zip_view(a, b)
+            except ValueError:
+                return True
+            return False
+        assert all(run(prog, nlocs=2))
+
+
+class TestComposition:
+    def test_zip_of_overlap_and_slice(self):
+        """Derived views stack: zip(overlap windows, segment slice)."""
+        def prog(ctx):
+            _pa, v = _filled(ctx, 10)
+            ov = overlap_view(v, core=1, left=0, right=2)  # 8 windows
+            seg = segmented_view(v, [(1, 9), (9, 10)]).read(0)  # 8 cells
+            zv = zip_view(ov, seg)
+            got = slab_read(zv, 0, zv.size())
+            exp = [([v.read(j) for j in range(w, w + 3)], v.read(1 + w))
+                   for w in range(8)]
+            ctx.rmi_fence()
+            return [tuple(g) for g in got] == [
+                (list(w), s) for w, s in exp]
+        assert all(run(prog, nlocs=2))
+
+
+class TestMigrationEpoch:
+    def test_overlap_survives_rebalance(self):
+        """A derived view built before a rebalance reads correct values
+        after it — the chunk cache is keyed to the distribution epoch."""
+        def prog(ctx):
+            _pa, v = _filled(ctx, 16)
+            ov = overlap_view(v, core=1, left=1, right=1)
+            before = ov.read_range(0, ov.size())
+            e0 = ov._distribution_epoch()
+            v.container.rebalance()
+            e1 = ov._distribution_epoch()
+            after = ov.read_range(0, ov.size())
+            ctx.rmi_fence()
+            return before == after, e0 != e1
+        out = run(prog, nlocs=4)
+        assert all(o[0] for o in out)
+        assert all(o[1] for o in out)
+
+    def test_zip_survives_migrate(self):
+        """Migrating one bContainer of one base invalidates the composed
+        epoch key; reads through the zip view stay correct."""
+        def prog(ctx):
+            pa, a = _filled(ctx, 16, lambda i: i)
+            _pb, b = _filled(ctx, 16, lambda i: 2 * i)
+            zv = zip_view(a, b)
+            before = slab_read(zv, 0, 16)
+            e0 = zv._distribution_epoch()
+            pa.migrate({0: ctx.nlocs - 1})
+            e1 = zv._distribution_epoch()
+            after = slab_read(zv, 0, 16)
+            ctx.rmi_fence()
+            return before == after, e0 != e1
+        out = run(prog, nlocs=4)
+        assert all(o[0] for o in out)
+        assert all(o[1] for o in out)
+
+    def test_segmented_write_after_migrate(self):
+        def prog(ctx):
+            pa, v = _filled(ctx, 12)
+            sv = segmented_view(v, [4, 4, 4])
+            pa.migrate({1: 0})
+            if ctx.id == 0:
+                slab_write(sv.read(2), 0, [5, 6, 7, 8])
+            sv.post_execute()
+            return pa.to_list()[8:]
+        assert run(prog, nlocs=3) == [[5, 6, 7, 8]] * 3
+
+
+class TestDerivedChunks:
+    def test_overlap_local_chunks_cover_domain(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 12)
+            ov = overlap_view(v, core=2, left=1, right=1)
+            gids = sorted(g for ch in ov.local_chunks() for g in ch.gids())
+            gathered = ctx.allgather_rmi(gids)
+            ctx.rmi_fence()
+            return sorted(g for gs in gathered for g in gs), ov.size()
+        out = run(prog, nlocs=3)
+        for gids, nseg in out:
+            assert gids == list(range(nseg))
+
+    def test_classes_exported(self):
+        assert OverlapView and SegmentedView and ZipView
