@@ -1,0 +1,50 @@
+"""Benchmarks for the scalability sweep suite (PR 8): the strong/weak
+sweep driver, the toggle ablations, and the consistency contract between
+the sweep and the single-P trajectory suite the gate compares against."""
+
+import repro.evaluation as ev
+from benchmarks.conftest import run_and_report
+
+
+def test_sweep_p1_rows_match_single_p_suite(benchmark):
+    """The sweep's P=1 rows and ``bench_suite(P=1)`` are the same
+    measurement — a sweep refactor that drifts from the gated snapshot
+    path must show up here."""
+    res = run_and_report(benchmark, ev.bench_sweep_suite, p_list=(1, 2),
+                         n_strong=2048, n_per_loc=2048)
+    single = ev.bench_suite(P=1, n_per_loc=2048)
+    single_rows = {r[0]: r for r in single.rows}
+    weak_p1 = {r[1]: r for r in res.rows if r[0] == "weak" and r[2] == 1}
+    assert weak_p1.keys() == single_rows.keys()
+    for kernel, row in weak_p1.items():
+        # N, time_us, physical_msgs, bytes_sent, fences all identical
+        assert row[3:8] == single_rows[kernel][1:6], kernel
+        assert row[8] == 1.0 and row[9] == 1.0  # speedup/efficiency base
+
+
+def test_sweep_has_both_modes_with_scaling_columns(benchmark):
+    res = run_and_report(benchmark, ev.bench_sweep_suite,
+                         p_list=(1, 2, 4), n_strong=4096, n_per_loc=512)
+    modes = {r[0] for r in res.rows}
+    assert modes == {"strong", "weak"}
+    n_i = res.columns.index("N")
+    strong_n = {r[n_i] for r in res.rows if r[0] == "strong"}
+    assert strong_n == {4096}  # fixed total N
+    weak_n = sorted({r[n_i] for r in res.rows if r[0] == "weak"})
+    assert weak_n == [512, 1024, 2048]  # N grows with P
+    eff = res.columns.index("efficiency")
+    assert all(r[eff] > 0 for r in res.rows)
+
+
+def test_ablation_suite_flips_each_toggle(benchmark):
+    res = run_and_report(benchmark, ev.bench_ablation_suite, P=4,
+                         n_per_loc=256)
+    toggles = {r[0] for r in res.rows}
+    assert toggles == {"default"} | set(ev.bench.ABLATIONS)
+    ratio = res.columns.index("time_vs_default")
+    defaults = [r for r in res.rows if r[0] == "default"]
+    assert all(r[ratio] == 1.0 for r in defaults)
+    # dataflow off falls back to fenced algorithms: never faster than
+    # the default on the stencil kernel
+    rows = {(r[0], r[1]): r for r in res.rows}
+    assert rows[("dataflow_off", "stencil_dataflow")][ratio] >= 1.0

@@ -193,7 +193,6 @@ class Paragraph(PObject):
     def __init__(self, ctx, views=(), group=None):
         if group is None:
             group = views[0].group if views else ctx.runtime.world
-        super().__init__(ctx, group)
         self.views = list(views)
         self.tasks: list[Task] = []
         self._by_key: dict = {}
@@ -202,6 +201,11 @@ class Paragraph(PObject):
         self._executed = 0
         self._sent = 0
         self._received = 0
+        # fields must exist before collective_register publishes this
+        # representative: with the zero-copy fast path a peer that finished
+        # construction can deliver a _dependence RMI eagerly while we are
+        # still inside the registration collective.
+        super().__init__(ctx, group)
 
     # -- graph construction ----------------------------------------------
     def add_task(self, action, chunk=None, deps=(), key=None,

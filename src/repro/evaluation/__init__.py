@@ -8,7 +8,14 @@ from .ablations import (
 )
 from .assoc_figs import fig59_mapreduce_wordcount, fig60_assoc_algorithms
 from .backend_figs import backend_scaling_study, backend_speedup
-from .bench import bench_payload, bench_suite, write_bench
+from .bench import (
+    bench_ablation_suite,
+    bench_payload,
+    bench_suite,
+    bench_sweep_suite,
+    compare_payloads,
+    write_bench,
+)
 from .bulk_figs import bulk_transport_study
 from .combining_figs import combining_containers_study, combining_study
 from .composition_figs import fig62_row_min

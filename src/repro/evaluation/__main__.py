@@ -22,7 +22,9 @@ from . import (
     ablation_lazy_size,
     ablation_view_alignment,
     backend_scaling_study,
+    bench_ablation_suite,
     bench_suite,
+    bench_sweep_suite,
     bulk_transport_study,
     combining_containers_study,
     combining_study,
@@ -97,6 +99,8 @@ DRIVERS = {
     "paragraph_mp": paragraph_backend_study,
     "nested": nested_study,
     "bench": bench_suite,
+    "bench_sweep": bench_sweep_suite,
+    "bench_ablations": bench_ablation_suite,
     "sort_transport": sort_transport_study,
     "ablation_aggregation": ablation_aggregation,
     "ablation_alignment": ablation_view_alignment,

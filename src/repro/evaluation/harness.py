@@ -98,6 +98,36 @@ def method_kernel(container_factory, op, n_per_loc: int):
     return prog
 
 
+def scaling_columns(p_list, times, weak: bool = False):
+    """Derive ``(speedups, efficiencies)`` from a scaling series.
+
+    ``times[i]`` is the measured time at ``p_list[i]`` processors; the
+    smallest entry (normally P=1) is the base.  Both columns are normalised
+    so the ideal value of efficiency is 1.0 and of speedup is ``P``:
+
+    * strong scaling (fixed total N): ``speedup = T_b/T_P * P_b``,
+      ``efficiency = speedup / P``;
+    * weak scaling (fixed N per location, ``weak=True``): the work grows
+      with P, so ``efficiency = T_b / T_P`` (scaled efficiency) and
+      ``speedup = efficiency * P`` (scaled speedup).
+    """
+    if len(p_list) != len(times):
+        raise ValueError("p_list and times must have equal length")
+    base_p, base_t = p_list[0], times[0]
+    speedups, efficiencies = [], []
+    for p, t in zip(p_list, times):
+        ratio = base_t / t if t else 0.0
+        if weak:
+            eff = ratio
+            sp = eff * p / base_p
+        else:
+            sp = ratio * base_p
+            eff = sp / p
+        speedups.append(round(sp, 3))
+        efficiencies.append(round(eff, 3))
+    return speedups, efficiencies
+
+
 def max_time(results) -> float:
     """The paper reports the max time over processors."""
     return max(results)
