@@ -83,7 +83,9 @@ def _stencil_fenced(view, wf, left, right, iters, scratch_dtype) -> None:
             interior = slab_read(src, out_lo, out_hi)
             halo_l = [src.read(j) for j in range(out_lo - left, out_lo)]
             halo_r = [src.read(j) for j in range(out_hi, out_hi + right)]
-            buf = halo_l + interior + halo_r
+            # splat, not `+`: a zero-copy slab_read returns an ndarray,
+            # and list + ndarray would broadcast-add instead of chaining
+            buf = [*halo_l, *interior, *halo_r]
             slab_write(dst, out_lo,
                        [wf(buf[k:k + w]) for k in range(len(interior))])
         # boundary cells ping-pong unchanged

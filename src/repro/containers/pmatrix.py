@@ -17,6 +17,7 @@ from ..core.partitions import Matrix2DPartition
 from ..core.pcontainer import SLAB_ACCESS_FACTOR, PContainerIndexed
 from ..core.redistribution import RedistributableMixin
 from ..core.traits import Traits
+from ..runtime.comm import mp_zero_copy_enabled
 
 
 def default_grid(p: int) -> tuple:
@@ -126,8 +127,16 @@ class PMatrix(RedistributableMixin, PContainerIndexed):
         loc = self.here
         loc.charge(loc.machine.t_access * SLAB_ACCESS_FACTOR
                    * (r1 - r0) * (c1 - c0))
-        return self.location_manager.get_bcontainer(bcid).get_block(
-            r0, r1, c0, c1)
+        bc = self.location_manager.get_bcontainer(bcid)
+        rt = self.runtime
+        if (not rt.shared_address_space and mp_zero_copy_enabled()
+                and rt.current_origin != self.here.id):
+            # cross-process bulk reply: same zero-copy seam as
+            # PContainer._bulk_get_range (see there for the safety rules)
+            ref = getattr(bc, "get_block_ref", None)
+            if ref is not None:
+                return ref(r0, r1, c0, c1)
+        return bc.get_block(r0, r1, c0, c1)
 
     def _bulk_set_block(self, bcid, r0, c0, block) -> None:
         loc = self.here

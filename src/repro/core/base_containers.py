@@ -19,6 +19,36 @@ from .domains import Range2DDomain
 #: modelled per-element payload size in bytes (memory accounting)
 ELEM_BYTES = 8
 
+#: process-wide storage allocator hook.  The multiprocessing backend's
+#: worker bootstrap installs the location arena's ``storage_alloc`` here,
+#: making numpy bContainer storage live inside shared-memory segments so
+#: bulk replies can ship *references into live storage* instead of copies.
+#: ``None`` (the default, and always in the simulated backend) means plain
+#: process-private numpy allocation.
+_STORAGE_ALLOC = None
+
+
+def set_storage_allocator(alloc):
+    """Install ``alloc(shape, dtype) -> ndarray | None`` as the backing
+    allocator for numpy bContainer storage; returns the previous hook."""
+    global _STORAGE_ALLOC
+    prev = _STORAGE_ALLOC
+    _STORAGE_ALLOC = alloc
+    return prev
+
+
+def storage_allocator():
+    return _STORAGE_ALLOC
+
+
+def _backed_array(shape, dtype):
+    """An uninitialised array from the installed storage allocator, or
+    None when no allocator is installed or the dtype cannot be backed
+    (object dtype has no flat byte representation)."""
+    if _STORAGE_ALLOC is None:
+        return None
+    return _STORAGE_ALLOC(shape, np.dtype(dtype))
+
 
 class BaseContainer:
     """Minimal Table III interface."""
@@ -66,11 +96,26 @@ class ArrayBC(BaseContainer):
         super().__init__(domain, bcid)
         n = domain.size()
         if data is not None:
-            self.data = np.asarray(data)
-            if len(self.data) != n:
+            src = np.asarray(data)
+            if len(src) != n:
                 raise ValueError("data length does not match domain")
+            backed = _backed_array(src.shape, src.dtype)
+            if backed is not None:
+                backed[...] = src
+                self.data = backed
+            elif not src.flags.writeable:
+                # a zero-copy received slab: container storage must be
+                # mutable, so construction is the copy-on-write point
+                self.data = src.copy()
+            else:
+                self.data = src
         else:
-            self.data = np.full(n, fill, dtype=dtype)
+            backed = _backed_array((n,), dtype)
+            if backed is not None:
+                backed[...] = fill
+                self.data = backed
+            else:
+                self.data = np.full(n, fill, dtype=dtype)
 
     def size(self) -> int:
         return len(self.data)
@@ -102,6 +147,21 @@ class ArrayBC(BaseContainer):
         when the sub-domain enumerates GIDs contiguously (RangeDomain)."""
         off = self._domain.offset(lo)
         return self.data[off:off + (hi - lo)].copy()
+
+    def get_range_ref(self, lo, hi) -> np.ndarray:
+        """Read-only *view* of the GID range ``[lo, hi)`` — no copy.
+
+        Only the multiprocessing bulk-reply path may call this (the
+        pContainer seam gates on a remote origin with no shared address
+        space): handing a live view to a same-process caller would let it
+        observe later owner mutations, the aliasing bug the copying
+        ``get_range`` exists to prevent.  When storage is arena-backed the
+        transport recognises the view and ships a slab reference into
+        live storage."""
+        off = self._domain.offset(lo)
+        ref = self.data[off:off + (hi - lo)]
+        ref.setflags(write=False)
+        return ref
 
     def set_range(self, lo, values) -> None:
         """Overwrite the GID range starting at ``lo`` with a slab."""
@@ -140,9 +200,22 @@ class Matrix2DBC(BaseContainer):
         super().__init__(domain, bcid)
         shape = (domain.rows, domain.cols)
         if data is not None:
-            self.data = np.asarray(data).reshape(shape)
+            src = np.asarray(data).reshape(shape)
+            backed = _backed_array(shape, src.dtype)
+            if backed is not None:
+                backed[...] = src
+                self.data = backed
+            elif not src.flags.writeable:
+                self.data = src.copy()
+            else:
+                self.data = src
         else:
-            self.data = np.full(shape, fill, dtype=dtype)
+            backed = _backed_array(shape, dtype)
+            if backed is not None:
+                backed[...] = fill
+                self.data = backed
+            else:
+                self.data = np.full(shape, fill, dtype=dtype)
 
     def size(self) -> int:
         return int(self.data.size)
@@ -172,6 +245,18 @@ class Matrix2DBC(BaseContainer):
         coordinates clipped by the caller to this bContainer's domain)."""
         d = self._domain
         return self.data[r0 - d.r0:r1 - d.r0, c0 - d.c0:c1 - d.c0].copy()
+
+    def get_block_ref(self, r0, r1, c0, c1) -> np.ndarray:
+        """Read-only *view* of the sub-block — no copy.  Same contract as
+        :meth:`ArrayBC.get_range_ref`: multiprocessing bulk replies only.
+        Full-width blocks are C-contiguous and ship as live-storage
+        references; narrower blocks still avoid the sender-side
+        materialisation (the transport copies the strided view straight
+        into a pooled segment)."""
+        d = self._domain
+        ref = self.data[r0 - d.r0:r1 - d.r0, c0 - d.c0:c1 - d.c0]
+        ref.setflags(write=False)
+        return ref
 
     def set_block(self, r0, c0, block) -> None:
         """Overwrite the sub-block whose top-left corner is ``(r0, c0)``."""

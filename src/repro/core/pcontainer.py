@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.comm import mp_zero_copy_enabled
 from ..runtime.p_object import PObject
 from .distribution import ASYNC, SYNC, DataDistributionManager
 from .domains import RangeDomain
@@ -515,7 +516,23 @@ class PContainerIndexed(PContainerStatic):
         loc = self.here
         loc.charge(loc.machine.t_access * SLAB_ACCESS_FACTOR * (hi - lo))
         self.location_manager.note_access(bcid, hi - lo)
-        return self.location_manager.get_bcontainer(bcid).get_range(lo, hi)
+        bc = self.location_manager.get_bcontainer(bcid)
+        rt = self.runtime
+        if (not rt.shared_address_space and mp_zero_copy_enabled()
+                and rt.current_origin != self.here.id):
+            # cross-process bulk reply: ship a read-only view so the
+            # transport can pass a slab reference into live storage with
+            # no sender-side copy.  Sound under the epoch discipline every
+            # collective here follows (a range read remotely within an
+            # epoch is not written until after the separating fence);
+            # consumers that hold a slab across protocol events without a
+            # fence must snapshot (see OverlapView.materialize).  The
+            # same-process guard keeps sim and self-sends on the copying
+            # path — a live view would alias owner storage.
+            ref = getattr(bc, "get_range_ref", None)
+            if ref is not None:
+                return ref(lo, hi)
+        return bc.get_range(lo, hi)
 
     def _bulk_set_range(self, bcid, lo, values) -> None:
         if not self.location_manager.has_bcontainer(bcid):

@@ -7,7 +7,12 @@ from .ablations import (
     ablation_view_alignment,
 )
 from .assoc_figs import fig59_mapreduce_wordcount, fig60_assoc_algorithms
-from .backend_figs import backend_scaling_study, backend_speedup
+from .backend_figs import (
+    backend_scaling_study,
+    backend_speedup,
+    backend_zero_copy_study,
+    shm_threshold_sweep_study,
+)
 from .bench import (
     bench_ablation_suite,
     bench_payload,
@@ -24,11 +29,12 @@ from .harness import ExperimentResult, method_kernel, run_spmd_timed
 from .memory_figs import fig34_memory_study
 from .migration_figs import (
     lookup_cache_study,
+    migration_backend_study,
     migration_graph_study,
     migration_skew_study,
 )
 from .mixed_mode_figs import mixed_mode_study, mixed_mode_topology_study
-from .nested_figs import nested_study
+from .nested_figs import nested_backend_study, nested_study
 from .paragraph_figs import (
     paragraph_backend_study,
     paragraph_study,

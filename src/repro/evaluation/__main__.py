@@ -22,6 +22,7 @@ from . import (
     ablation_lazy_size,
     ablation_view_alignment,
     backend_scaling_study,
+    backend_zero_copy_study,
     bench_ablation_suite,
     bench_suite,
     bench_sweep_suite,
@@ -52,13 +53,16 @@ from . import (
     fig62_row_min,
     lookup_cache_study,
     mcm_demonstrations,
+    migration_backend_study,
     migration_graph_study,
     migration_skew_study,
     mixed_mode_study,
     mixed_mode_topology_study,
+    nested_backend_study,
     nested_study,
     paragraph_backend_study,
     paragraph_study,
+    shm_threshold_sweep_study,
     sort_transport_study,
 )
 
@@ -87,6 +91,8 @@ DRIVERS = {
     "fig62": fig62_row_min,
     "mcm": mcm_demonstrations,
     "backend": backend_scaling_study,
+    "backend_zero_copy": backend_zero_copy_study,
+    "shm_threshold": shm_threshold_sweep_study,
     "bulk_transport": bulk_transport_study,
     "combining": combining_study,
     "combining_containers": combining_containers_study,
@@ -94,10 +100,12 @@ DRIVERS = {
     "mixed_mode_topology": mixed_mode_topology_study,
     "migration": migration_skew_study,
     "migration_graph": migration_graph_study,
+    "migration_mp": migration_backend_study,
     "lookup_cache": lookup_cache_study,
     "paragraph": paragraph_study,
     "paragraph_mp": paragraph_backend_study,
     "nested": nested_study,
+    "nested_mp": nested_backend_study,
     "bench": bench_suite,
     "bench_sweep": bench_sweep_suite,
     "bench_ablations": bench_ablation_suite,

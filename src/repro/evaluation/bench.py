@@ -274,16 +274,42 @@ def _summarize(payload: dict) -> dict:
     return summary
 
 
+def _backend_wall_section() -> dict:
+    """Measured wall-clock comparison of the mp slab transports plus the
+    ShmSlab threshold sweep.  Real seconds on whatever host ran the bench
+    — machine-dependent and noisy by nature, so this section is recorded
+    for the artifact but deliberately NOT gated: ``_flatten`` only reads
+    the deterministic simulated sections, and ``_baseline_sections``
+    never re-measures it under ``--check``."""
+    from .backend_figs import backend_zero_copy_study, shm_threshold_sweep_study
+
+    zc = backend_zero_copy_study()
+    sweep = shm_threshold_sweep_study()
+    return {
+        "zero_copy_vs_copy_out": {
+            str(p): {"copy_out_wall_s": cw, "zero_copy_wall_s": zw,
+                     "ratio": ratio, "segs_created": created,
+                     "segs_reused": reused, "zc_views": views}
+            for p, cw, zw, ratio, created, reused, views in zc.rows},
+        "shm_threshold_sweep": {
+            str(t): {"wall_s": w, "via_shm": shm}
+            for t, w, shm in sweep.rows},
+    }
+
+
 def bench_payload(machine: str = "cray4", generated: str = "",
                   snapshot=(8, 2048),
                   strong=(DEFAULT_P_LIST, 16384),
                   weak=(DEFAULT_P_LIST, 2048),
-                  ablations=(8, 2048)) -> dict:
+                  ablations=(8, 2048),
+                  backend_wall: bool = False) -> dict:
     """The schema-v2 JSON payload.  Each section argument is either its
     config tuple — ``snapshot``/``ablations`` take ``(P, n_per_loc)``,
     ``strong`` takes ``(p_list, N)``, ``weak`` takes ``(p_list,
     n_per_loc)`` — or ``None`` to omit the section (``--check`` uses this
-    to re-measure only what a baseline records)."""
+    to re-measure only what a baseline records).  ``backend_wall=True``
+    additionally records the measured (real-seconds, un-gated)
+    multiprocessing transport comparison section."""
     payload = {"schema_version": SCHEMA_VERSION, "generated": generated,
                "machine": machine}
     if snapshot is not None:
@@ -318,6 +344,8 @@ def bench_payload(machine: str = "cray4", generated: str = "",
         abl = bench_ablation_suite(P, npl, machine)
         payload["ablations"] = {"P": P, "n_per_loc": npl,
                                 **_ablation_section(abl)}
+    if backend_wall:
+        payload["backend_wall"] = _backend_wall_section()
     summary = _summarize(payload)
     if summary:
         payload["summary"] = summary
@@ -545,6 +573,9 @@ def main(argv=None) -> int:
     machine = popval("--machine")
     check = popval("--check")
     update = popval("--update-baseline")
+    backend_wall = "--backend-wall" in args
+    if backend_wall:
+        args.remove("--backend-wall")
     date = datetime.date.today().isoformat()
     try:
         if check is not None:
@@ -558,10 +589,12 @@ def main(argv=None) -> int:
         print(f"perf gate: bad baseline — {e}", file=sys.stderr)
         return 2
     path = args[0] if args else f"BENCH_{date}.json"
-    payload = write_bench(path, machine=machine or "cray4", generated=date)
+    payload = write_bench(path, machine=machine or "cray4", generated=date,
+                          backend_wall=backend_wall)
     n_kernels = len(payload.get("snapshot", {}).get("kernels", {}))
-    print(f"[bench: {n_kernels} kernels, sections "
-          f"{[k for k in ('snapshot', 'strong', 'weak', 'ablations') if k in payload]} "
+    sections = [k for k in ("snapshot", "strong", "weak", "ablations",
+                            "backend_wall") if k in payload]
+    print(f"[bench: {n_kernels} kernels, sections {sections} "
           f"on {payload['machine']} -> {path}]")
     return 0
 

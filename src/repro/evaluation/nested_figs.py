@@ -40,7 +40,7 @@ from ..containers.composition import (
 from ..containers.parray import PArray
 from ..views.array_views import Array1DView
 from ..views.derived_views import segmented_view
-from .harness import ExperimentResult, run_spmd_timed
+from .harness import ExperimentResult, run_spmd_report, run_spmd_timed
 
 
 def _scrambled(i):
@@ -211,4 +211,44 @@ def nested_study(P: int = 8, n_per_loc: int = 2048, machine: str = "cray4",
     res.notes += (f"; stencil fences {f_base} -> {f_df}, nested graphs "
                   f"{nstats.nested_paragraphs}, nested tasks "
                   f"{nstats.nested_tasks_executed}")
+    return res
+
+
+def nested_backend_study(P: int = 4, n_per_loc: int = 512,
+                         machine: str = "cray4",
+                         iters: int = 4) -> ExperimentResult:
+    """The stencil workload family under the multiprocessing backend:
+    measured wall seconds next to the virtual clocks, with the simulated
+    run as the correctness oracle (byte-identical results required).
+
+    Until now the composed-container studies assumed virtual clocks only;
+    this study runs the same programs on real OS processes through
+    :func:`~.harness.run_spmd_report`."""
+    n = P * n_per_loc
+    res = ExperimentResult(
+        "Nested parallelism under real processes: stencil wall-clock",
+        ["workload", "mode", "N", "sim_time_us", "mp_wall_s", "fences"],
+        notes=f"{machine}, P={P}, stencil iters={iters}; mp rows are "
+              "measured wall seconds, sim rows the virtual oracle")
+    oracle = {}
+    for label, df in (("fenced", False), ("overlap_dataflow", True)):
+        prog = _stencil_prog(n, iters, df)
+        sim = run_spmd_report(prog, P, machine)
+        mp = run_spmd_report(prog, P, machine, backend="multiprocessing",
+                             timeout=300.0)
+        sim_out = [r[3] for r in sim.results]
+        mp_out = [r[3] for r in mp.results]
+        if sim_out != mp_out:
+            raise AssertionError(
+                f"stencil ({label}): multiprocessing backend diverged "
+                "from the simulated oracle")
+        oracle[label] = sim_out[0]
+        res.add("stencil", label, n,
+                max(r[0] for r in sim.results),
+                round(mp.wall_seconds, 4),
+                max(r[1] for r in mp.results))
+    if oracle["fenced"] != oracle["overlap_dataflow"]:
+        raise AssertionError(
+            "stencil: data-flow and fenced results differ under the "
+            "backend study")
     return res

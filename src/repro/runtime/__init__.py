@@ -15,10 +15,14 @@ from .comm import (
     combining_window,
     current_backend,
     estimate_size,
+    mp_zero_copy_enabled,
     set_backend,
     set_combining,
     set_combining_window,
+    set_mp_zero_copy,
+    set_shm_slab_threshold,
     set_zero_copy,
+    shm_slab_threshold,
     snapshot_toggles,
     zero_copy_enabled,
 )
@@ -62,11 +66,15 @@ __all__ = [
     "current_backend",
     "estimate_size",
     "get_machine",
+    "mp_zero_copy_enabled",
     "set_backend",
     "set_combining",
     "snapshot_toggles",
     "set_combining_window",
+    "set_mp_zero_copy",
+    "set_shm_slab_threshold",
     "set_zero_copy",
+    "shm_slab_threshold",
     "zero_copy_enabled",
     "pc_future",
     "spmd_run",

@@ -33,6 +33,7 @@ head-to-head.
 from __future__ import annotations
 
 import abc
+import os
 from itertools import islice
 from collections import deque
 
@@ -68,6 +69,53 @@ def set_zero_copy(on: bool) -> bool:
     global _ZERO_COPY
     prev = _ZERO_COPY
     _ZERO_COPY = bool(on)
+    return prev
+
+
+#: process-wide switch for the multiprocessing backend's *true* zero-copy
+#: slab transport: bulk ndarray payloads travel as references into pooled
+#: shared-memory arena segments (or straight into live bContainer storage)
+#: that the receiver maps read-only, instead of the copy-out path (fresh
+#: segment per slab, receiver copies and unlinks).  On by default; the
+#: simulator ignores it — its shared address space has no slab transport
+#: to optimize, and every simulated bulk accessor keeps returning copies.
+_MP_ZERO_COPY = True
+
+#: ndarray payloads at least this big (bytes) ride shared-memory segments
+#: under the multiprocessing backend instead of being pickled into the
+#: queue pipe; sweepable by the bench ablation suite.
+_SHM_SLAB_THRESHOLD = int(os.environ.get("REPRO_MP_SHM_THRESHOLD", "2048"))
+
+
+def mp_zero_copy_enabled() -> bool:
+    return _MP_ZERO_COPY
+
+
+def set_mp_zero_copy(on: bool) -> bool:
+    """Toggle the multiprocessing backend's zero-copy slab transport;
+    returns the previous setting.  Off means the copy-out ablation: every
+    slab is written to a fresh segment, copied out by the receiver and
+    unlinked.  Results are byte-identical either way (the differential
+    suite pins this down); only wall-clock cost changes."""
+    global _MP_ZERO_COPY
+    prev = _MP_ZERO_COPY
+    _MP_ZERO_COPY = bool(on)
+    return prev
+
+
+def shm_slab_threshold() -> int:
+    return _SHM_SLAB_THRESHOLD
+
+
+def set_shm_slab_threshold(nbytes: int) -> int:
+    """Set the minimum ndarray payload size (bytes) that travels through
+    shared memory under the multiprocessing backend; returns the previous
+    threshold.  Smaller payloads are pickled into the queue pipe."""
+    global _SHM_SLAB_THRESHOLD
+    if nbytes < 0:
+        raise ValueError("shm slab threshold must be >= 0")
+    prev = _SHM_SLAB_THRESHOLD
+    _SHM_SLAB_THRESHOLD = int(nbytes)
     return prev
 
 
@@ -199,6 +247,8 @@ def snapshot_toggles() -> dict:
         "lookup_cache": lookup_cache_enabled(),
         "dataflow": dataflow_enabled(),
         "bulk_transport": bulk_transport_enabled(),
+        "mp_zero_copy": mp_zero_copy_enabled(),
+        "shm_slab_threshold": shm_slab_threshold(),
     }
 
 
@@ -214,6 +264,11 @@ def apply_toggles(snapshot: dict) -> None:
     set_lookup_cache(snapshot["lookup_cache"])
     set_dataflow(snapshot["dataflow"])
     set_bulk_transport(snapshot["bulk_transport"])
+    # keys added after the snapshot contract shipped: tolerate captures
+    # from older payloads (e.g. a recorded bench baseline)
+    set_mp_zero_copy(snapshot.get("mp_zero_copy", True))
+    set_shm_slab_threshold(snapshot.get("shm_slab_threshold",
+                                        _SHM_SLAB_THRESHOLD))
 
 
 def estimate_size(obj, _depth: int = 0) -> int:

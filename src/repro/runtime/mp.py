@@ -53,6 +53,7 @@ container families and the algorithm drivers.
 from __future__ import annotations
 
 import glob
+import importlib
 import io
 import marshal
 import multiprocessing
@@ -73,6 +74,8 @@ from .comm import (
     TransportBackend,
     apply_toggles,
     estimate_size,
+    mp_zero_copy_enabled,
+    shm_slab_threshold,
     snapshot_toggles,
 )
 from .machine import get_machine
@@ -92,28 +95,55 @@ _OP_TIMEOUT = float(os.environ.get("REPRO_MP_TIMEOUT", "60"))
 _RUN_TIMEOUT = float(os.environ.get("REPRO_MP_RUN_TIMEOUT", "300"))
 #: how long one task_yield blocks waiting for an incoming message
 _YIELD_TIMEOUT = 0.05
-#: ndarray payloads at least this big travel as shared-memory segments
-#: instead of being pickled into the queue pipe
-_SHM_THRESHOLD = int(os.environ.get("REPRO_MP_SHM_THRESHOLD", "2048"))
 #: seconds of group-wide silence before the task-graph executor's blocked
 #: wait declares a dependence deadlock
 _STALL_PATIENCE = 10.0
 
 _PACK_DEPTH = 8
 
+#: smallest arena segment size class (bytes); classes double from here
+_ARENA_MIN_CLASS = 1024
+#: an exchange channel's round-S segments recycle when round S+2 begins:
+#: completing round S+1 proves every peer entered round S+1, i.e. finished
+#: consuming round S (the slab-view validity contract below)
+_CHANNEL_REUSE_LAG = 2
+
 
 class ShmSlab:
-    """Wire placeholder for an ndarray moved through shared memory."""
+    """Wire placeholder for an ndarray moved through shared memory.
 
-    __slots__ = ("name", "shape", "dtype")
+    ``mode`` selects the receiver's obligation:
 
-    def __init__(self, name: str, shape, dtype: str):
+    * ``"copy"`` — legacy copy-out: a fresh segment owned by this slab
+      alone; the receiver copies the bytes out and unlinks it.
+    * ``"pooled"`` — a warm arena segment owned by the *sender*: the
+      receiver maps it (cached per name) and hands out a read-only view;
+      the sender recycles the segment after the next world fence (or two
+      exchange rounds later on the same channel), never the receiver.
+    * ``"live"`` — a reference straight into the owner's bContainer
+      storage segment at ``offset``: same read-only view on the receiver,
+      but the segment lives as long as the storage does.
+
+    Validity contract for ``pooled``/``live`` views: a received zero-copy
+    slab view is guaranteed stable until the receiver's next world fence
+    (or its next bulk exchange on the same group, for exchange slabs).
+    Consumers that retain data past that point must copy — every internal
+    consumer (``set_range``/handler argument paths) already does.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "offset", "mode")
+
+    def __init__(self, name: str, shape, dtype: str, offset: int = 0,
+                 mode: str = "copy"):
         self.name = name
         self.shape = shape
         self.dtype = dtype
+        self.offset = offset
+        self.mode = mode
 
     def __reduce__(self):
-        return (ShmSlab, (self.name, self.shape, self.dtype))
+        return (ShmSlab,
+                (self.name, self.shape, self.dtype, self.offset, self.mode))
 
 
 class _TrackerShim:
@@ -147,15 +177,247 @@ def _shm_call(fn, *args, **kwargs):
         shared_memory.resource_tracker = real
 
 
-def pack_payload(obj, namer, threshold: int = _SHM_THRESHOLD, _depth: int = 0):
+class ShmArena:
+    """Per-location pooled ``SharedMemory`` allocator with explicit
+    epoch-based reclamation.
+
+    Slab sends draw warm segments from per-size-class free lists instead
+    of paying create/unlink per transfer.  A segment handed to the wire is
+    *retired*, not freed: the owner may not rewrite it until every
+    receiver has provably dropped its view.  Two reclamation triggers
+    certify that:
+
+    * **world fence** (:meth:`advance_epoch`): the counting fence proves
+      every in-flight message executed, and the slab-view validity
+      contract (:class:`ShmSlab`) says receivers hold no zero-copy view
+      across their own fence — so everything retired before the fence
+      recycles.
+    * **exchange channel lag** (:meth:`channel_advance`): for
+      ``bulk_exchange``/``bulk_gather`` slabs, completing round S+1 on a
+      channel proves every peer entered round S+1, i.e. finished
+      consuming round S — so round-S segments recycle when round S+2
+      begins, without waiting for a fence.  This is what makes repeated
+      un-fenced gathers (the latency kernel) reuse warm segments.
+
+    The arena also owns the *live storage* segments backing arena-
+    allocated bContainer arrays (:meth:`storage_alloc`) and can recognise
+    a C-contiguous ndarray view into one (:meth:`find_live`), which is
+    how a bulk reply ships a reference into live storage with no copy at
+    all.  Storage segments are never pooled or retired; they die with the
+    arena (:meth:`dispose`), which unlinks every owned segment — the
+    leak-audit contract that ``/dev/shm`` is clean after a run.
+    """
+
+    def __init__(self, namer, stats=None):
+        self._namer = namer
+        self.stats = stats
+        self._free: dict[int, list] = {}       # size class -> [segment]
+        self._retired: list = []               # [(epoch, class, segment)]
+        self._channels: dict = {}              # channel -> {seq: [(cls, seg)]}
+        self._owned: dict[str, object] = {}    # name -> segment (everything)
+        self._storage: list = []               # [(addr_lo, addr_hi, name)]
+        self._cur_channel = None
+        self._cur_seq = None
+        self.epoch = 0
+
+    @staticmethod
+    def _size_class(nbytes: int) -> int:
+        c = _ARENA_MIN_CLASS
+        while c < nbytes:
+            c <<= 1
+        return c
+
+    def alloc(self, nbytes: int):
+        """A ``(segment, size_class)`` with capacity >= ``nbytes``: warm
+        from the free list when possible, freshly created otherwise."""
+        from multiprocessing import shared_memory
+
+        cls = self._size_class(max(1, nbytes))
+        free = self._free.get(cls)
+        if free:
+            if self.stats is not None:
+                self.stats.shm_segments_reused += 1
+            return free.pop(), cls
+        seg = _shm_call(shared_memory.SharedMemory, create=True, size=cls,
+                        name=self._namer())
+        self._owned[seg.name] = seg
+        if self.stats is not None:
+            self.stats.shm_segments_created += 1
+        return seg, cls
+
+    def retire(self, seg, cls: int) -> None:
+        """The segment was handed to the wire: park it until a
+        reclamation trigger proves all receivers dropped their views."""
+        if self._cur_channel is not None:
+            self._channels.setdefault(self._cur_channel, {}) \
+                .setdefault(self._cur_seq, []).append((cls, seg))
+        else:
+            self._retired.append((self.epoch, cls, seg))
+
+    def begin_channel(self, channel, seq: int) -> None:
+        """Packs until :meth:`end_channel` retire into round ``seq`` of
+        ``channel`` (an exchange tag/group identity) instead of the fence
+        pool, and rounds older than the reuse lag recycle now."""
+        self._cur_channel, self._cur_seq = channel, seq
+        buckets = self._channels.get(channel)
+        if buckets:
+            for s in [s for s in buckets if s <= seq - _CHANNEL_REUSE_LAG]:
+                for cls, seg in buckets.pop(s):
+                    self._free.setdefault(cls, []).append(seg)
+
+    def end_channel(self) -> None:
+        self._cur_channel = self._cur_seq = None
+
+    def advance_epoch(self) -> None:
+        """A world fence completed: recycle everything retired before it
+        (including parked exchange rounds — a fence outranks the channel
+        lag)."""
+        self.epoch += 1
+        still = []
+        for ep, cls, seg in self._retired:
+            if ep < self.epoch:
+                self._free.setdefault(cls, []).append(seg)
+            else:  # pragma: no cover - retire after advance began
+                still.append((ep, cls, seg))
+        self._retired = still
+        for buckets in self._channels.values():
+            for s in list(buckets):
+                for cls, seg in buckets.pop(s):
+                    self._free.setdefault(cls, []).append(seg)
+
+    # -- live bContainer storage ------------------------------------------
+    def storage_alloc(self, shape, dtype):
+        """A writable ndarray living inside a dedicated owned segment, or
+        None when the dtype cannot live in flat shared memory.  Installed
+        as the bContainer storage allocator by the worker bootstrap, so
+        numpy-backed container storage is shippable by reference."""
+        dtype = np.dtype(dtype)
+        if dtype == object:
+            return None
+        from multiprocessing import shared_memory
+
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        seg = _shm_call(shared_memory.SharedMemory, create=True,
+                        size=nbytes, name=self._namer())
+        self._owned[seg.name] = seg
+        if self.stats is not None:
+            self.stats.shm_segments_created += 1
+        base = np.frombuffer(seg.buf, dtype=np.uint8)
+        addr = base.__array_interface__["data"][0]
+        self._storage.append((addr, addr + nbytes, seg.name))
+        return np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+
+    def find_live(self, arr: np.ndarray):
+        """``(name, offset)`` when ``arr`` is a C-contiguous view wholly
+        inside a registered storage segment, else None."""
+        if not self._storage or not arr.flags.c_contiguous:
+            return None
+        addr = arr.__array_interface__["data"][0]
+        end = addr + arr.nbytes
+        for lo, hi, name in self._storage:
+            if lo <= addr and end <= hi:
+                return name, addr - lo
+        return None
+
+    def dispose(self) -> None:
+        """Unlink every owned segment.  ``close`` may be refused while
+        container arrays still export the buffer (BufferError); the
+        *unlink* always proceeds, so ``/dev/shm`` is clean and the pages
+        fall with the process."""
+        for seg in self._owned.values():
+            try:
+                seg.close()
+            except (BufferError, OSError):  # pragma: no cover - exports
+                pass
+            try:
+                _shm_call(seg.unlink)
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._owned.clear()
+        self._free.clear()
+        self._retired.clear()
+        self._channels.clear()
+        self._storage.clear()
+
+
+class SegmentCache:
+    """Receiver-side name -> attached ``SharedMemory`` mapping cache.
+
+    Warm pooled segments recur under the same name (the owner recycles
+    them), so after the first attach a zero-copy receive is just an
+    ndarray view construction — no syscalls at all."""
+
+    def __init__(self, stats=None):
+        self._segs: dict[str, object] = {}
+        self.stats = stats
+
+    def attach(self, name: str):
+        from multiprocessing import shared_memory
+
+        seg = self._segs.get(name)
+        if seg is None:
+            seg = _shm_call(shared_memory.SharedMemory, name=name)
+            self._segs[name] = seg
+        return seg
+
+    def close(self) -> None:
+        for seg in self._segs.values():
+            try:
+                seg.close()
+            except (BufferError, OSError):  # pragma: no cover - exports
+                pass
+        self._segs.clear()
+
+
+def _slab_view(obj: ShmSlab, seg) -> np.ndarray:
+    """Read-only ndarray over ``seg`` as described by the slab ref."""
+    dt = np.dtype(obj.dtype)
+    count = 1
+    for d in obj.shape:
+        count *= d
+    arr = np.frombuffer(seg.buf, dtype=dt, count=count, offset=obj.offset)
+    arr.setflags(write=False)
+    return arr.reshape(obj.shape)
+
+
+def pack_payload(obj, namer, threshold: int | None = None, _depth: int = 0,
+                 live_ok: bool = False):
     """Replace large ndarrays inside ``obj`` (recursing through tuples,
-    lists and dicts) with :class:`ShmSlab` references backed by freshly
-    written ``multiprocessing.shared_memory`` segments.  ``namer()`` must
-    return a globally fresh segment name."""
+    lists and dicts) with :class:`ShmSlab` references.
+
+    ``namer`` is either a callable returning globally fresh segment names
+    — the legacy copy-out path: one fresh segment per slab, receiver
+    copies and unlinks — or a :class:`ShmArena`, which produces pooled
+    (warm, owner-reclaimed) segments and, when ``live_ok`` and the array
+    is recognised as container storage, zero-copy ``live`` references.
+    ``live_ok`` must only be set for synchronous replies, and is sound
+    under the collectives' epoch discipline: a range read remotely within
+    an epoch is not written until after the separating fence, so the
+    requester dereferences the view before the owner's next write to it.
+    A consumer that holds the view across protocol events without an
+    intervening fence must snapshot it (``OverlapView.materialize``
+    does)."""
+    if threshold is None:
+        threshold = shm_slab_threshold()
     if isinstance(obj, np.ndarray) and obj.dtype != object \
             and obj.nbytes >= threshold:
         from multiprocessing import shared_memory
 
+        arena = namer if isinstance(namer, ShmArena) else None
+        if arena is not None:
+            if live_ok:
+                live = arena.find_live(obj)
+                if live is not None:
+                    name, off = live
+                    if arena.stats is not None:
+                        arena.stats.live_storage_refs += 1
+                    return ShmSlab(name, obj.shape, str(obj.dtype),
+                                   offset=off, mode="live")
+            seg, cls = arena.alloc(obj.nbytes)
+            np.ndarray(obj.shape, dtype=obj.dtype, buffer=seg.buf)[...] = obj
+            ref = ShmSlab(seg.name, obj.shape, str(obj.dtype), mode="pooled")
+            arena.retire(seg, cls)
+            return ref
         seg = _shm_call(shared_memory.SharedMemory, create=True,
                         size=obj.nbytes, name=namer())
         np.ndarray(obj.shape, dtype=obj.dtype, buffer=seg.buf)[...] = obj
@@ -165,39 +427,59 @@ def pack_payload(obj, namer, threshold: int = _SHM_THRESHOLD, _depth: int = 0):
     if _depth >= _PACK_DEPTH:
         return obj
     if isinstance(obj, tuple):
-        return tuple(pack_payload(o, namer, threshold, _depth + 1) for o in obj)
+        return tuple(pack_payload(o, namer, threshold, _depth + 1, live_ok)
+                     for o in obj)
     if isinstance(obj, list):
-        return [pack_payload(o, namer, threshold, _depth + 1) for o in obj]
+        return [pack_payload(o, namer, threshold, _depth + 1, live_ok)
+                for o in obj]
     if isinstance(obj, dict):
-        return {k: pack_payload(v, namer, threshold, _depth + 1)
+        return {k: pack_payload(v, namer, threshold, _depth + 1, live_ok)
                 for k, v in obj.items()}
     return obj
 
 
-def unpack_payload(obj, _depth: int = 0):
-    """Inverse of :func:`pack_payload`: materialise :class:`ShmSlab`
-    references (copy out of the segment, then unlink it — the reader owns
-    the segment's lifetime)."""
+def unpack_payload(obj, cache: SegmentCache | None = None, _depth: int = 0):
+    """Inverse of :func:`pack_payload`.
+
+    ``"copy"`` slabs materialise the legacy way: copy out of the segment,
+    then unlink it — the reader owns that segment's lifetime.  ``"pooled"``
+    and ``"live"`` slabs are *owner-managed*: with a :class:`SegmentCache`
+    the receiver maps the segment (cached per name) and returns a
+    read-only zero-copy view; without one (standalone use) the bytes are
+    copied out and the mapping dropped, but the segment is never
+    unlinked."""
     if isinstance(obj, ShmSlab):
         from multiprocessing import shared_memory
 
+        if obj.mode == "copy":
+            seg = _shm_call(shared_memory.SharedMemory, name=obj.name)
+            arr = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
+                             buffer=seg.buf).copy()
+            seg.close()
+            try:
+                _shm_call(seg.unlink)
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+            return arr
+        if cache is not None:
+            if cache.stats is not None:
+                cache.stats.zero_copy_slab_views += 1
+            return _slab_view(obj, cache.attach(obj.name))
         seg = _shm_call(shared_memory.SharedMemory, name=obj.name)
-        arr = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
-                         buffer=seg.buf).copy()
-        seg.close()
+        arr = _slab_view(obj, seg).copy()
         try:
-            _shm_call(seg.unlink)
-        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            seg.close()
+        except BufferError:  # pragma: no cover - defensive
             pass
         return arr
     if _depth >= _PACK_DEPTH:
         return obj
     if isinstance(obj, tuple):
-        return tuple(unpack_payload(o, _depth + 1) for o in obj)
+        return tuple(unpack_payload(o, cache, _depth + 1) for o in obj)
     if isinstance(obj, list):
-        return [unpack_payload(o, _depth + 1) for o in obj]
+        return [unpack_payload(o, cache, _depth + 1) for o in obj]
     if isinstance(obj, dict):
-        return {k: unpack_payload(v, _depth + 1) for k, v in obj.items()}
+        return {k: unpack_payload(v, cache, _depth + 1) for k, v in obj.items()}
     return obj
 
 
@@ -248,10 +530,15 @@ def _resolve_transport() -> "MpTransport":
 def _rebuild_fn(code_bytes: bytes, modname: str, qualname: str, nfree: int):
     code = marshal.loads(code_bytes)
     mod = sys.modules.get(modname)
-    if mod is None:  # pragma: no cover - fork inherits sys.modules
-        raise SpmdError(
-            f"cannot rebuild function {qualname}: defining module "
-            f"{modname!r} not loaded in this process")
+    if mod is None:
+        # fork inherits sys.modules; a spawn worker starts fresh and must
+        # import the defining module to recover its globals
+        try:
+            mod = importlib.import_module(modname)
+        except ImportError:
+            raise SpmdError(
+                f"cannot rebuild function {qualname}: defining module "
+                f"{modname!r} not importable in this process") from None
     closure = tuple(types.CellType() for _ in range(nfree)) or None
     fn = types.FunctionType(code, mod.__dict__, code.co_name, None, closure)
     fn.__qualname__ = qualname
@@ -384,6 +671,8 @@ class MpRuntime:
         self._queues = queues
         self._selfq: deque = deque()
         self.loc = MpLocation(self, lid)
+        self.arena = ShmArena(self._new_shm_name, stats=self.loc.stats)
+        self.seg_cache = SegmentCache(stats=self.loc.stats)
         self.registry: dict[int, object] = {}
         self._next_handle = 0
         self._exec_stack: list = []
@@ -432,7 +721,9 @@ class MpRuntime:
             raise SpmdError(f"unknown p_object handle {handle}") from None
 
     # -- wire helpers ------------------------------------------------------
-    def _pack(self, obj):
+    def _pack(self, obj, live_ok: bool = False):
+        if mp_zero_copy_enabled():
+            return pack_payload(obj, self.arena, live_ok=live_ok)
         return pack_payload(obj, self._new_shm_name)
 
     def _new_shm_name(self) -> str:
@@ -475,7 +766,7 @@ class MpRuntime:
 
     def _execute_req(self, item) -> None:
         _, _src, origin, handle, method, packed = item
-        args = unpack_payload(packed)
+        args = unpack_payload(packed, self.seg_cache)
         self.req_executed += 1
         self._spawn_frames.append(0)
         try:
@@ -486,14 +777,20 @@ class MpRuntime:
 
     def _execute_sync(self, item) -> None:
         _, src, token, handle, method, packed = item
-        args = unpack_payload(packed)
+        args = unpack_payload(packed, self.seg_cache)
         self.req_executed += 1
         self._spawn_frames.append(0)
         try:
             result = self._run_handler(self.loc, handle, method, args, src)
         finally:
             spawned = self._spawn_frames.pop()
-        self._put(src, ("reply", token, self._pack(result), spawned))
+        # sync replies may ship live-storage references: under the epoch
+        # discipline a remotely-read range is not written again until the
+        # next fence, which the blocked requester reaches only after
+        # dereferencing (holders without a fence snapshot — see
+        # pack_payload)
+        self._put(src, ("reply", token, self._pack(result, live_ok=True),
+                        spawned))
 
     # -- service engine ----------------------------------------------------
     def _next_item(self, block: bool, timeout: float):
@@ -527,7 +824,7 @@ class MpRuntime:
             _, token, packed, spawned = item
             self.outstanding += spawned + self._reply_credit.pop(token, 0)
             fut = self._futures.pop(token)
-            fut.value = unpack_payload(packed)
+            fut.value = unpack_payload(packed, self.seg_cache)
             fut.ready = True
         elif kind == "ack":
             self.outstanding += item[1] - 1
@@ -608,6 +905,8 @@ class MpRuntime:
             # anything still in the self-queue was spawned by the drain
             while self._selfq:
                 self.drain_available()
+            if len(group) == self.nlocs:
+                self.arena.advance_epoch()
             return
         deadline = time.monotonic() + self.op_timeout
         prev = None
@@ -618,6 +917,12 @@ class MpRuntime:
             sent = sum(v[0] for v in arrived.values())
             done = sum(v[1] for v in arrived.values())
             if sent == done and prev == (sent, done):
+                # world quiescence: every receiver-side zero-copy view is
+                # dropped (the validity contract), so retired segments
+                # recycle.  Subgroup fences prove nothing about outside
+                # receivers, so only a world fence advances the epoch.
+                if len(group) == self.nlocs:
+                    self.arena.advance_epoch()
                 return
             prev = (sent, done)
             if time.monotonic() > deadline:
@@ -738,19 +1043,39 @@ class MpLocation(Location):
         self._slab_seq[(tag, group.key)] = seq + 1
         key = (tag, group.key, seq)
         others = [m for m in group.members if m != self.id]
-        for member in others:
-            payload = per_dest(member)
-            size = 64 + estimate_size(payload)
-            self.clock += rt.machine.o_send
-            self.stats.bulk_rmi_sent += 1
-            self.stats.bytes_sent += size
-            self.stats.physical_messages += 1
-            rt._put(member, ("slab", key, self.id, rt._pack(payload)))
+        zero_copy = mp_zero_copy_enabled()
+        if zero_copy:
+            # retire this round's segments into the exchange channel:
+            # completing round seq-1 proved every peer consumed round
+            # seq-2, so those recycle now without waiting for a fence
+            rt.arena.begin_channel((tag, group.key), seq)
+        packed_once: dict = {}  # id(payload) -> packed (gather multicast)
+        keep_alive: list = []   # pins ids: no reuse while packed_once lives
+        try:
+            for member in others:
+                payload = per_dest(member)
+                size = 64 + estimate_size(payload)
+                self.clock += rt.machine.o_send
+                self.stats.bulk_rmi_sent += 1
+                self.stats.bytes_sent += size
+                self.stats.physical_messages += 1
+                if zero_copy:
+                    packed = packed_once.get(id(payload))
+                    if packed is None:
+                        packed = rt._pack(payload)
+                        packed_once[id(payload)] = packed
+                        keep_alive.append(payload)
+                else:
+                    packed = rt._pack(payload)
+                rt._put(member, ("slab", key, self.id, packed))
+        finally:
+            if zero_copy:
+                rt.arena.end_channel()
         rt._service_until(
             lambda: len(rt._slab_inbox.get(key, ())) == len(others),
             f"bulk slab exchange {key}")
         box = rt._slab_inbox.pop(key, {})
-        return {m: unpack_payload(p) for m, p in box.items()}
+        return {m: unpack_payload(p, rt.seg_cache) for m, p in box.items()}
 
     def bulk_exchange(self, slabs: list, group: LocationGroup | None = None,
                       nelems: int = 0) -> list:
@@ -785,9 +1110,19 @@ class MpLocation(Location):
             return {self.id: payload}
         key = (group.key, seq)
         coord = group.members[0]
+        # collective payloads ride the slab transport too: members pack
+        # before sending, the coordinator scatters the *packed* refs
+        # untouched (the heavy bytes cross the wire once, straight from
+        # the packing member's segment to every consumer), and each
+        # member unpacks on receipt — zero-copy views under the same
+        # consume-before-your-next-fence contract as bulk_gather.  Only
+        # pooled (arena, owner-reclaimed) slabs survive that fan-out;
+        # legacy "copy" slabs are single-consumer (the first unpack
+        # unlinks the segment), so copy-out mode ships payloads raw.
+        pack = rt._pack if mp_zero_copy_enabled() else (lambda p: p)
         if self.id == coord:
             box = rt._coll_gather.setdefault(key, {})
-            box[self.id] = (op, payload)
+            box[self.id] = (op, pack(payload))
             rt._service_until(
                 lambda: len(rt._coll_gather.get(key, ())) == len(group),
                 f"collective '{op}' on {group}")
@@ -800,11 +1135,13 @@ class MpLocation(Location):
             arrived = {lid: p for lid, (o, p) in box.items()}
             for member in group.members[1:]:
                 rt._put(member, ("collres", key, arrived))
-            return arrived
-        rt._put(coord, ("coll", key, op, self.id, payload))
+            return {lid: unpack_payload(p, rt.seg_cache)
+                    for lid, p in arrived.items()}
+        rt._put(coord, ("coll", key, op, self.id, pack(payload)))
         rt._service_until(lambda: key in rt._coll_results,
                           f"collective '{op}' result on {group}")
-        return rt._coll_results.pop(key)
+        return {lid: unpack_payload(p, rt.seg_cache)
+                for lid, p in rt._coll_results.pop(key).items()}
 
     def _collective(self, op: str, payload, group: LocationGroup | None):
         rt = self.runtime
@@ -918,6 +1255,16 @@ def _worker_main(lid, nlocs, machine, placement, queues, result_q, fn, args,
     rt = MpRuntime(lid, nlocs, machine, placement, queues, run_id,
                    op_timeout=op_timeout)
     _CURRENT_RUNTIME = rt
+    if mp_zero_copy_enabled():
+        # numpy bContainer storage allocates inside the arena, so bulk
+        # replies can ship references into live storage
+        from ..core.base_containers import set_storage_allocator
+        set_storage_allocator(rt.arena.storage_alloc)
+    if isinstance(fn, bytes):
+        # non-fork start methods ship (fn, args) as a wire blob (closure-
+        # capable); decode after the runtime is installed so captured
+        # runtime/location references re-anchor to this process
+        fn, args = wire_loads(fn)
     t0 = time.perf_counter()
     result, err = None, None
     try:
@@ -939,8 +1286,14 @@ def _worker_main(lid, nlocs, machine, placement, queues, result_q, fn, args,
     # parent has collected every result: a location must not vanish while
     # stragglers still depend on it
     deadline = time.monotonic() + op_timeout
-    while not rt._stopped and time.monotonic() < deadline:
-        rt._service_one(block=True, timeout=0.05)
+    try:
+        while not rt._stopped and time.monotonic() < deadline:
+            rt._service_one(block=True, timeout=0.05)
+    finally:
+        # receiver mappings first (they may pin peer segments), then the
+        # owned segments: /dev/shm must be clean when this process exits
+        rt.seg_cache.close()
+        rt.arena.dispose()
 
 
 def _cleanup_shm(run_id: str) -> None:
@@ -954,22 +1307,30 @@ def _cleanup_shm(run_id: str) -> None:
 def mp_spmd_run_detailed(fn, nlocs: int = 4, machine="smp", args: tuple = (),
                          placement: str = "packed",
                          timeout: float | None = None,
-                         op_timeout: float | None = None) -> SpmdReport:
-    """Run ``fn(ctx, *args)`` with one forked OS process per location.
+                         op_timeout: float | None = None,
+                         start_method: str = "fork") -> SpmdReport:
+    """Run ``fn(ctx, *args)`` with one OS process per location.
 
     ``timeout`` caps the whole run's wall clock (default
     ``REPRO_MP_RUN_TIMEOUT``/300 s): on expiry every worker is terminated
     and an :class:`SpmdError` is raised — a deadlocked fence fails fast
     instead of hanging the runner.  ``op_timeout`` caps each worker-side
     blocking wait (default ``REPRO_MP_TIMEOUT``/60 s).
+
+    ``start_method`` selects how workers launch.  ``"fork"`` (default)
+    inherits the parent image and supports arbitrary local functions.
+    ``"spawn"`` (the macOS/Windows default) starts fresh interpreters:
+    ``(fn, args)`` travels as a wire blob, so ``fn``'s defining module
+    must be importable in the child.
     """
     if nlocs < 1:
         raise ValueError("need at least one location")
-    if "fork" not in multiprocessing.get_all_start_methods():
+    if start_method not in multiprocessing.get_all_start_methods():
         raise SpmdError(
-            "multiprocessing backend requires the fork start method "
-            "(POSIX); use the simulated backend on this platform")
-    ctx = multiprocessing.get_context("fork")
+            f"start method {start_method!r} unavailable on this platform "
+            f"(have {multiprocessing.get_all_start_methods()}); use the "
+            "simulated backend or another start method")
+    ctx = multiprocessing.get_context(start_method)
     run_timeout = timeout if timeout is not None else _RUN_TIMEOUT
     worker_timeout = op_timeout if op_timeout is not None else \
         min(_OP_TIMEOUT, run_timeout)
@@ -977,12 +1338,19 @@ def mp_spmd_run_detailed(fn, nlocs: int = 4, machine="smp", args: tuple = (),
     queues = [ctx.Queue() for _ in range(nlocs)]
     result_q = ctx.Queue()
     toggles = snapshot_toggles()
+    if start_method == "fork":
+        # fork never pickles fn/args: unpicklable-but-marshalable locals
+        # keep working exactly as before
+        fn_payload, args_payload = fn, args
+    else:
+        fn_payload, args_payload = wire_dumps((fn, args)), ()
     procs = []
     for lid in range(nlocs):
         p = ctx.Process(
             target=_worker_main,
-            args=(lid, nlocs, machine, placement, queues, result_q, fn,
-                  args, toggles, run_id, worker_timeout),
+            args=(lid, nlocs, machine, placement, queues, result_q,
+                  fn_payload, args_payload, toggles, run_id,
+                  worker_timeout),
             name=f"repro-loc-{lid}", daemon=True)
         procs.append(p)
     t0 = time.perf_counter()
@@ -1060,13 +1428,15 @@ def mp_spmd_run_detailed(fn, nlocs: int = 4, machine="smp", args: tuple = (),
 
 def mp_spmd_run(fn, nlocs: int = 4, machine="smp", args: tuple = (),
                 placement: str = "packed", timeout: float | None = None,
-                op_timeout: float | None = None) -> list:
+                op_timeout: float | None = None,
+                start_method: str = "fork") -> list:
     """Process-per-location :func:`~repro.runtime.scheduler.spmd_run`."""
     return mp_spmd_run_detailed(fn, nlocs=nlocs, machine=machine, args=args,
                                 placement=placement, timeout=timeout,
-                                op_timeout=op_timeout).results
+                                op_timeout=op_timeout,
+                                start_method=start_method).results
 
 
-__all__ = ["MpFuture", "MpLocation", "MpRuntime", "MpTransport", "ShmSlab",
-           "mp_spmd_run", "mp_spmd_run_detailed", "pack_payload",
-           "unpack_payload"]
+__all__ = ["MpFuture", "MpLocation", "MpRuntime", "MpTransport",
+           "SegmentCache", "ShmArena", "ShmSlab", "mp_spmd_run",
+           "mp_spmd_run_detailed", "pack_payload", "unpack_payload"]

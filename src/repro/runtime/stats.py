@@ -44,6 +44,16 @@ bContainer or stale cached route) and re-forwarded through the directory;
 ``bcontainers_migrated`` / ``migration_elements_moved`` count whole
 bContainers shipped / elements received by ``migrate``; ``rebalances``
 counts load-driven ``rebalance()`` collectives.
+
+Shared-memory transport counters (multiprocessing backend only):
+``shm_segments_created`` counts fresh ``SharedMemory`` segments the arena
+allocated (pool misses plus container-storage segments);
+``shm_segments_reused`` counts warm segments drawn from the arena's
+free lists — the create/unlink syscalls the pool avoided;
+``zero_copy_slab_views`` counts receiver-side slab materialisations that
+returned a read-only view instead of a copy; ``live_storage_refs`` counts
+bulk replies that shipped a reference into live container storage with no
+sender-side copy at all.
 """
 
 from __future__ import annotations
@@ -85,6 +95,10 @@ class LocationStats:
     bcontainers_migrated: int = 0
     migration_elements_moved: int = 0
     rebalances: int = 0
+    shm_segments_created: int = 0
+    shm_segments_reused: int = 0
+    zero_copy_slab_views: int = 0
+    live_storage_refs: int = 0
 
     def merge(self, other: "LocationStats") -> None:
         for f in fields(self):

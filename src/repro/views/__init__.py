@@ -73,6 +73,7 @@ from .base import (
     as_wf,
     bulk_transport_enabled,
     set_bulk_transport,
+    slab_passthrough,
 )
 from .graph_views import BoundaryView, GraphView, InnerView, RegionView, VertexChunk
 from .list_views import ListChunk, ListView, StaticListView

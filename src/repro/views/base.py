@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.domains import RangeDomain
 from ..core.partitions import balanced_sizes
+from ..runtime.comm import mp_zero_copy_enabled
 
 #: process-wide switch for the bulk element-transport fast path.  On, a
 #: GenericChunk whose view supports contiguous range accessors moves whole
@@ -40,6 +41,20 @@ def set_bulk_transport(on: bool) -> bool:
     prev = _BULK_TRANSPORT
     _BULK_TRANSPORT = bool(on)
     return prev
+
+
+def slab_passthrough(view) -> bool:
+    """May bulk slab values stay NumPy arrays (possibly read-only
+    zero-copy views over shared memory) instead of being lowered to plain
+    lists?  True exactly when the view's container runs on a real
+    (process-per-location) backend with zero-copy transport enabled —
+    there the ``tolist`` lowering would forfeit the zero-copy receive.
+    Under the simulated backend slabs keep their historical plain-list
+    form, so sim-vs-real differential results stay byte-identical."""
+    c = getattr(view, "container", None)
+    rt = getattr(c, "runtime", None)
+    return (rt is not None and not rt.shared_address_space
+            and mp_zero_copy_enabled())
 
 
 def sync_views(views) -> None:

@@ -31,18 +31,33 @@ The concrete views:
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.domains import RangeDomain
-from .base import GenericChunk, PView, bulk_transport_enabled, sync_views
+from .base import (
+    GenericChunk,
+    PView,
+    bulk_transport_enabled,
+    slab_passthrough,
+    sync_views,
+)
 
 
-def slab_read(view, lo: int, hi: int) -> list:
+def slab_read(view, lo: int, hi: int):
     """Read view indices ``[lo, hi)`` through the bulk transport when the
     view supports it (one slab per owning location), element-wise
-    otherwise.  Always returns a plain list."""
+    otherwise.  Returns a plain list — except under a zero-copy
+    multiprocessing backend (:func:`~repro.views.base.slab_passthrough`),
+    where an ndarray slab stays an ndarray (possibly a read-only view over
+    a shared-memory segment): lowering it to a list would copy every
+    element and forfeit the zero-copy receive.  Callers treat the result
+    as a read-only sequence; mutation goes through ``slab_write``."""
     rr = getattr(view, "read_range", None)
     if bulk_transport_enabled() and rr is not None and hi > lo:
         vals = rr(lo, hi)
         if vals is not None:
+            if isinstance(vals, np.ndarray) and slab_passthrough(view):
+                return vals
             return vals.tolist() if hasattr(vals, "tolist") else list(vals)
     return [view.read(i) for i in range(lo, hi)]
 
@@ -191,7 +206,14 @@ class OverlapView(DerivedView):
         primitive the stencil rides: boundary elements arrive in the same
         bulk message as the cores."""
         span = self.base_span(wlo, whi)
-        return span.lo, slab_read(self.base, span.lo, span.hi)
+        vals = slab_read(self.base, span.lo, span.hi)
+        if isinstance(vals, np.ndarray) and not vals.flags.writeable:
+            # a zero-copy received slab is only valid until this
+            # location's next fence, but a materialized halo is held
+            # across dependence-ordered neighbour writes (the data-flow
+            # stencil consumes it over several iterations) — snapshot it
+            vals = vals.copy()
+        return span.lo, vals
 
     def read(self, i) -> list:
         if not 0 <= i < self._n:

@@ -102,12 +102,17 @@ def mp_teardown():
 
 @pytest.fixture
 def run_differential():
-    def _run(prog, nlocs, args=(), machine="smp"):
+    def _run(prog, nlocs, args=(), machine="smp", **backend_opts):
         sim = spmd_run(prog, nlocs=nlocs, args=args, machine=machine,
                        backend="simulated")
         real = spmd_run(prog, nlocs=nlocs, args=args, machine=machine,
-                        backend="multiprocessing", timeout=MP_RUN_TIMEOUT)
+                        backend="multiprocessing", timeout=MP_RUN_TIMEOUT,
+                        **backend_opts)
         assert canonical_bytes(sim) == canonical_bytes(real), (
             f"backend divergence at P={nlocs}:\n sim={sim!r}\n real={real!r}")
+        # zero-copy leak audit: every worker's arena must have unlinked
+        # all of its segments (pooled, storage and legacy) on the way out
+        leaked = glob.glob("/dev/shm/rs*")
+        assert not leaked, f"shared-memory segments leaked: {leaked}"
         return sim
     return _run

@@ -1,0 +1,298 @@
+"""Zero-copy shared-memory storage: arena lifecycle, slab modes, and the
+end-to-end transport-mode differential (ISSUE 9 acceptance).
+
+Covers, in-process (no workers): the :class:`ShmArena` pooled free-list
+(size classes, epoch reclamation, exchange-channel reuse lag), live
+bContainer storage registration, and the pooled/live pack/unpack round
+trips.  End-to-end (real workers): byte-identity of a slab-heavy program
+across simulated / copy-out / zero-copy transports, a ``/dev/shm`` leak
+audit, the spawn start-method smoke test, and the slab-threshold toggle.
+
+Property tests at the bottom assert arena-backed slab views stay
+bit-identical across an epoch boundary (the migration-epoch contract:
+storage segments are never pooled, so a live reference survives fences
+for as long as the owner does).
+"""
+
+import glob
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    set_mp_zero_copy,
+    set_shm_slab_threshold,
+    shm_slab_threshold,
+    spmd_run,
+)
+from repro.runtime.mp import (
+    SegmentCache,
+    ShmArena,
+    ShmSlab,
+    pack_payload,
+    unpack_payload,
+)
+
+_counter = [0]
+
+
+def _namer():
+    _counter[0] += 1
+    return f"rstest_zc_{_counter[0]}"
+
+
+@pytest.fixture
+def arena():
+    a = ShmArena(_namer)
+    yield a
+    a.dispose()
+
+
+# ---------------------------------------------------------------------------
+# Arena unit tests
+# ---------------------------------------------------------------------------
+
+
+def test_size_classes_double_from_min():
+    assert ShmArena._size_class(1) == 1024
+    assert ShmArena._size_class(1024) == 1024
+    assert ShmArena._size_class(1025) == 2048
+    assert ShmArena._size_class(100_000) == 131072
+
+
+def test_retired_segment_reused_only_after_epoch(arena):
+    seg, cls = arena.alloc(4096)
+    name = seg.name
+    arena.retire(seg, cls)
+    # same epoch: the wire may still be delivering the slab — no reuse
+    seg2, cls2 = arena.alloc(4096)
+    assert seg2.name != name
+    arena.retire(seg2, cls2)
+    arena.advance_epoch()
+    # the fence proved every receiver dropped its view: both are warm now
+    warm = {arena.alloc(4096)[0].name, arena.alloc(4096)[0].name}
+    assert warm == {name, seg2.name}
+
+
+def test_channel_reuse_lag(arena):
+    names = {}
+    # park one segment per round; descending seq order so no round ages
+    # past the lag while the others are still being filled
+    for seq in (2, 1, 0):
+        arena.begin_channel("xchg", seq)
+        seg, cls = arena.alloc(2048)
+        names[seq] = seg.name
+        arena.retire(seg, cls)
+        arena.end_channel()
+    # at round 3 only rounds <= 3 - lag(2) = 1 have aged out; round 2's
+    # receivers may still hold views, so its segment stays parked
+    arena.begin_channel("xchg", 3)
+    reused = {arena.alloc(2048)[0].name, arena.alloc(2048)[0].name}
+    fresh = arena.alloc(2048)[0].name
+    arena.end_channel()
+    assert reused == {names[0], names[1]}
+    assert fresh not in names.values()
+
+
+def test_dispose_unlinks_everything():
+    a = ShmArena(_namer)
+    a.alloc(1024)
+    seg, cls = a.alloc(8192)
+    a.retire(seg, cls)
+    a.storage_alloc((16,), "int64")
+    assert glob.glob("/dev/shm/rstest_zc_*")
+    a.dispose()
+    assert glob.glob("/dev/shm/rstest_zc_*") == []
+
+
+def test_storage_alloc_and_find_live(arena):
+    arr = arena.storage_alloc((8, 4), "float64")
+    assert arr.flags.writeable and arr.shape == (8, 4)
+    arr[...] = np.arange(32).reshape(8, 4)
+    name, off = arena.find_live(arr)
+    assert off == 0
+    # interior C-contiguous slice: offset into the same segment
+    name2, off2 = arena.find_live(arr[2:5])
+    assert name2 == name and off2 == 2 * 4 * 8
+    # non-contiguous views and foreign arrays are not live
+    assert arena.find_live(arr[:, 1:3]) is None
+    assert arena.find_live(np.zeros(16)) is None
+    assert arena.storage_alloc((4,), object) is None
+
+
+# ---------------------------------------------------------------------------
+# Pooled / live slab round trips
+# ---------------------------------------------------------------------------
+
+
+def test_pooled_round_trip_and_warm_reuse(arena):
+    cache = SegmentCache()
+    try:
+        src = np.arange(512, dtype=np.int64)
+        ref = pack_payload(src, arena, threshold=1)
+        assert isinstance(ref, ShmSlab) and ref.mode == "pooled"
+        out = unpack_payload(ref, cache)
+        assert not out.flags.writeable
+        np.testing.assert_array_equal(out, src, strict=True)
+        # after a fence the same warm segment carries the next slab, so
+        # the receiver's cached mapping stays valid — zero syscalls
+        arena.advance_epoch()
+        ref2 = pack_payload(src * 2, arena, threshold=1)
+        assert ref2.name == ref.name
+        np.testing.assert_array_equal(unpack_payload(ref2, cache), src * 2)
+        del out  # drop buffer exports so close/unlink are clean
+    finally:
+        cache.close()
+
+
+def test_live_round_trip_is_a_reference(arena):
+    cache = SegmentCache()
+    try:
+        arr = arena.storage_alloc((256,), "int64")
+        arr[...] = np.arange(256)
+        ref = pack_payload(arr, arena, threshold=1, live_ok=True)
+        assert isinstance(ref, ShmSlab) and ref.mode == "live"
+        view = unpack_payload(ref, cache)
+        assert not view.flags.writeable
+        np.testing.assert_array_equal(view, arr, strict=True)
+        # a live slab is a window into owner storage, not a snapshot
+        arr[0] = 999
+        assert view[0] == 999
+        del view, arr  # drop buffer exports so close/unlink are clean
+    finally:
+        cache.close()
+
+
+def test_live_needs_live_ok(arena):
+    arr = arena.storage_alloc((256,), "int64")
+    arr[...] = 7
+    ref = pack_payload(arr, arena, threshold=1)
+    assert ref.mode == "pooled"  # async sends always snapshot
+
+
+def test_unpack_without_cache_copies_but_never_unlinks(arena):
+    src = np.arange(1024, dtype=np.float64)
+    ref = pack_payload(src, arena, threshold=1)
+    out = unpack_payload(ref)
+    assert out.flags.writeable  # a private copy
+    np.testing.assert_array_equal(out, src, strict=True)
+    # the owner still reclaims the segment normally afterwards
+    arena.advance_epoch()
+    assert pack_payload(src, arena, threshold=1).name == ref.name
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: transport-mode differential, leak audit, spawn, threshold
+# ---------------------------------------------------------------------------
+
+
+def _slab_heavy_prog(ctx):
+    """Gather big slabs + a stencil write phase: exercises pooled sends,
+    live bulk-reply references and arena-backed container storage."""
+    from repro.algorithms.nested import p_stencil
+    from repro.containers.parray import PArray
+    from repro.views.array_views import Array1DView
+
+    n = 4096
+    pa = PArray(ctx, n, dtype=int)
+    v = Array1DView(pa)
+    sl = v.balanced_slices()
+    for i in range(sl.lo, sl.hi):
+        pa.set_element(i, (i * 2654435761) % 100003)
+    ctx.rmi_fence()
+    p_stencil(v, iters=2, dataflow=False)
+    gathered = ctx.allgather_rmi(np.asarray(pa.get_range(sl.lo, sl.hi)))
+    ctx.rmi_fence()
+    return pa.to_list(), [int(a.sum()) for a in gathered]
+
+
+def test_three_mode_differential(run_differential):
+    """sim == mp copy-out == mp zero-copy, byte-identical.  Each
+    ``run_differential`` call asserts sim == that transport mode; the two
+    sim baselines must agree too (the oracle is deterministic), closing
+    the three-way identity."""
+    prev = set_mp_zero_copy(False)
+    try:
+        copy_out = run_differential(_slab_heavy_prog, 4)
+    finally:
+        set_mp_zero_copy(prev)
+    zero_copy = run_differential(_slab_heavy_prog, 4)
+    assert copy_out == zero_copy
+
+
+def test_no_segment_leaks_after_run():
+    spmd_run(_slab_heavy_prog, nlocs=4, backend="multiprocessing",
+             timeout=120.0)
+    leaked = glob.glob("/dev/shm/rs*")
+    assert leaked == [], f"shared-memory segments leaked: {leaked}"
+
+
+def test_spawn_start_method_smoke(run_differential):
+    """The spawn start method re-imports everything in the child; the
+    wire codec must carry fn/args (closures included) explicitly."""
+    bonus = 17  # captured by the closure below
+
+    def prog(ctx):
+        data = np.full(1024, ctx.id, dtype=np.int64)
+        got = ctx.allgather_rmi(data)
+        return sorted(int(a[0]) + bonus for a in got)
+
+    out = run_differential(prog, 2, start_method="spawn")
+    assert out == [[17, 18]] * 2
+
+
+def test_threshold_toggle_validates_and_applies():
+    with pytest.raises(ValueError):
+        set_shm_slab_threshold(-1)
+    prev = set_shm_slab_threshold(1 << 20)
+    try:
+        assert shm_slab_threshold() == 1 << 20
+        arena = ShmArena(_namer)
+        try:
+            # below the raised threshold: ships inline, no slab
+            out = pack_payload(np.arange(4096, dtype=np.int64), arena)
+            assert isinstance(out, np.ndarray)
+        finally:
+            arena.dispose()
+    finally:
+        set_shm_slab_threshold(prev)
+    assert shm_slab_threshold() == prev
+
+
+# ---------------------------------------------------------------------------
+# Property: slab views across an epoch boundary
+# ---------------------------------------------------------------------------
+
+DTYPES = st.sampled_from(["int16", "int64", "float32", "float64",
+                          "complex128", "bool"])
+SHAPES = st.lists(st.integers(1, 13), min_size=1, max_size=3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dtype=DTYPES, shape=SHAPES, live=st.booleans(),
+       epochs=st.integers(1, 3))
+def test_storage_slab_survives_epochs(dtype, shape, live, epochs):
+    """An arena-backed slab view stays bit-identical across migration
+    epoch boundaries: storage segments are never pooled, and a pooled
+    message segment is not recycled under the receiver's feet until the
+    owner packs into it again."""
+    rng = np.random.default_rng(abs(hash((dtype, tuple(shape)))) % 2**32)
+    arena, cache = ShmArena(_namer), SegmentCache()
+    try:
+        arr = arena.storage_alloc(tuple(shape), dtype)
+        assert arr is not None
+        arr[...] = (rng.random(shape) * 100).astype(dtype)
+        ref = pack_payload(arr, arena, threshold=1, live_ok=live)
+        assert ref.mode == ("live" if live else "pooled")
+        view = unpack_payload(ref, cache)
+        before = view.copy()
+        for _ in range(epochs):
+            arena.advance_epoch()  # what a migration commit fence does
+        np.testing.assert_array_equal(view, before, strict=True)
+        np.testing.assert_array_equal(view, arr, strict=True)
+        del view, arr  # drop buffer exports so close/unlink are clean
+    finally:
+        cache.close()
+        arena.dispose()
