@@ -167,15 +167,25 @@ def _stencil_dataflow(view, wf, left, right, iters) -> None:
 # ---------------------------------------------------------------------------
 
 def p_bucket_sort_nested(view, oversample: int = 4, fanout: int = 4,
-                         dtype=int) -> None:
+                         dtype=int, inner_group_size: int = 1) -> None:
     """Sort a 1D view in place; the bucket each location receives is
-    stored in a *nested* pArray on the owner's singleton group and sorted
-    by a real inner PARAGRAPH (``fanout`` sort tasks feeding a merge task)
+    stored in a *nested* pArray and sorted by a real inner PARAGRAPH
     spawned from the outer graph's bucket task — two-level parallelism
     observable in the ``nested_paragraphs`` / ``nested_tasks_executed``
-    counters.  Output is identical to :func:`~repro.algorithms.sorting.
-    p_sample_sort` (both produce the globally sorted sequence)."""
-    from ..containers.composition import make_nested, run_nested_paragraph
+    counters.  With the default ``inner_group_size=1`` the nested pArray
+    lives on the owner's singleton group and the inner graph runs
+    ``fanout`` local sort tasks feeding a merge task.  With
+    ``inner_group_size > 1`` each bucket's pArray is *distributed* over a
+    contiguous team of locations and every team member contributes a sort
+    task to a genuinely multi-location inner PARAGRAPH (its registration,
+    data-flow and closing fence all scope to the team — counted by
+    ``nested_multi_paragraphs`` / ``subgroup_fences``); the sorted runs
+    flow to the bucket owner over inner dependence edges and merge in
+    team rank order.  Output is identical to
+    :func:`~repro.algorithms.sorting.p_sample_sort` either way (both
+    produce the globally sorted sequence)."""
+    from ..containers.composition import (make_nested, run_nested_paragraph,
+                                          team_of)
     from ..containers.parray import PArray
 
     ctx = view.ctx
@@ -246,7 +256,60 @@ def p_bucket_sort_nested(view, oversample: int = 4, fanout: int = 4,
 
         run_nested_paragraph(ctx, ref, build)
 
-    sort_t = pg.add_task(t_sort, deps=(split_t,), key="bucket", needs=P)
+    def t_sort_team(_c, inputs):
+        # Multi-location inner sections: this location's bucket team sorts
+        # every team member's bucket, one collective inner section per
+        # non-empty bucket in team rank order.  All members walk the same
+        # canonical sequence of team collectives (allgather, nested
+        # registration, fence, inner PARAGRAPH), which is what makes the
+        # in-task rendezvous deadlock-free.
+        data: list = []
+        for i in range(P):
+            data.extend(inputs[i])
+        team = team_of(group, ctx.id, inner_group_size)
+        g = len(team)
+        lens = ctx.allgather_rmi(len(data), group=team)
+        if not data:
+            st["merged"] = []
+        refs = st.setdefault("team_refs", [])
+        for r in range(g):
+            if not lens[r]:
+                continue
+            owner = team.lid_of(r)
+            ref = make_nested(
+                ctx, lambda c, tg, n=lens[r]: PArray(c, n, value=0,
+                                                     dtype=dtype, group=tg),
+                group=team, owner=owner)
+            refs.append(ref)
+            if ctx.id == owner:
+                ref.resolve(ctx.runtime, ctx.id).set_range(0, data)
+            ctx.rmi_fence(team)  # commit the owner's scatter (team-scoped)
+
+            def build(ipg, iv, _inner, owner=owner, r=r):
+                me_r = team.rank_of(ctx.id)
+                isl = iv.balanced_slices()
+
+                def s(_c2):
+                    run = []
+                    if isl.hi > isl.lo:
+                        run = sorted(slab_read(iv, isl.lo, isl.hi))
+                        slab_write(iv, isl.lo, run)
+                    ipg.send(owner, ("merge", r), run, tag=me_r)
+
+                ipg.add_task(s)
+                if ctx.id == owner:
+                    def t_merge(_c2, runs):
+                        merged = list(heapq.merge(
+                            *(runs[q] for q in range(g))))
+                        ctx.charge(mach.t_access * len(merged))
+                        st["merged"] = merged
+
+                    ipg.add_task(t_merge, key=("merge", r), needs=g)
+
+            run_nested_paragraph(ctx, ref, build)
+
+    sort_t = pg.add_task(t_sort if inner_group_size <= 1 else t_sort_team,
+                         deps=(split_t,), key="bucket", needs=P)
 
     def t_offset(_c, inputs=None):
         st["offset"] = inputs["offset"] if me else 0
@@ -264,6 +327,9 @@ def p_bucket_sort_nested(view, oversample: int = 4, fanout: int = 4,
     ref = st.get("ref")
     if ref is not None:
         ref.resolve(ctx.runtime).destroy()
+    # team-distributed bucket arrays: collective destroys, creation order
+    for tref in st.get("team_refs", ()):
+        tref.resolve(ctx.runtime, ctx.id).destroy()
 
 
 # ---------------------------------------------------------------------------

@@ -323,7 +323,9 @@ class Paragraph(PObject):
         if self._group_progress() != before:
             return 0
         stall += 1
-        if stall > rt.stall_limit():
+        # patience scoped to this graph's (innermost) group: a sub-team
+        # deadlocks when *its* members stop moving, regardless of world size
+        if stall > rt.stall_limit(len(self.group)):
             waiting = [t.key for t in self.tasks
                        if not t.done and t.needs and len(t.inputs) < t.needs]
             raise RuntimeError(
@@ -344,6 +346,8 @@ class Paragraph(PObject):
         outer instance."""
         if loc._paragraph_stack:
             loc.stats.nested_paragraphs += 1
+            if len(self.group) > 1:
+                loc.stats.nested_multi_paragraphs += 1
         loc._paragraph_stack.append(self)
 
     def run(self, fence: bool = True) -> int:

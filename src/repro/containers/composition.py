@@ -1,23 +1,31 @@
 """pContainer composition (Ch. IV.C, Ch. XIII): containers of containers.
 
 pContainers are closed under composition: the elements of an outer
-container can themselves be pContainers.  Nested containers here live on a
-*singleton location group* (the owner of the outer element), which is the
-locality-preserving deployment Ch. IV.C recommends — "each level of the
-nested parallel constructs can work on a corresponding level of the
-pContainer hierarchy ... this can preserve existing locality".
+container can themselves be pContainers.  By default a nested container
+lives on a *singleton location group* (the owner of the outer element),
+which is the locality-preserving deployment Ch. IV.C recommends — "each
+level of the nested parallel constructs can work on a corresponding level
+of the pContainer hierarchy ... this can preserve existing locality".
+``compose_*`` additionally accept ``inner_group_size > 1``: the outer
+group's members are partitioned into contiguous rank-ordered sub-teams
+(:func:`location_teams`), every nested container is constructed
+*collectively* on its owner's team, and its data distributes over the team
+— the genuinely multi-location nested sections of Ch. IV.C.
 
-Elements of the outer container store :class:`NestedRef` handles.  Nested
-pAlgorithm invocations (Fig. 61) run inline on the owner through the
-singleton-group fast path of the scheduler.
+Elements of the outer container store :class:`NestedRef` handles recording
+the handle, the owner, and the inner group's members.  Nested pAlgorithm
+invocations (Fig. 61) run inline on the owner through the singleton-group
+fast path of the scheduler.
 
 Two-level parallelism (Fig. 1) is expressed with re-entrant PARAGRAPHs:
 :func:`nested_map`, :func:`segmented_reduce` and :func:`segmented_scan`
-build an outer task graph with one task per locally-stored segment, and
-each task spawns and drains an *inner* PARAGRAPH over its nested container
-(:func:`run_nested_paragraph`) — inner graphs run on the owner's singleton
-group, so their collectives complete inline while the outer graph is
-mid-flight.
+build an outer task graph with one task per segment this location
+participates in, and each task spawns and drains an *inner* PARAGRAPH over
+its nested container (:func:`run_nested_paragraph`).  On a singleton group
+the inner collectives complete inline while the outer graph is mid-flight;
+on a larger team every member enters the same inner graph (in the same
+canonical gid order), its collectives rendezvous among the team only, and
+its closing fence is a subgroup fence that never blocks outside locations.
 """
 
 from __future__ import annotations
@@ -29,62 +37,139 @@ from .plist import PList
 
 
 class NestedRef:
-    """Reference to a nested pContainer: (handle, owner location)."""
+    """Reference to a nested pContainer: handle, owner location, and the
+    inner group's members (the owner's singleton for flat composition)."""
 
-    __slots__ = ("handle", "owner")
+    __slots__ = ("handle", "owner", "members")
 
-    def __init__(self, handle: int, owner: int):
+    def __init__(self, handle, owner: int, members=None):
         self.handle = handle
         self.owner = owner
+        self.members = tuple(members) if members is not None else (owner,)
 
     def __repr__(self):
-        return f"NestedRef(h{self.handle}@L{self.owner})"
+        return f"NestedRef(h{self.handle}@L{self.owner}x{len(self.members)})"
 
-    def resolve(self, runtime):
-        """The nested container representative (valid on its owner)."""
+    def resolve(self, runtime, lid: int | None = None):
+        """The nested container representative — the owner's by default,
+        or ``lid``'s own when ``lid`` is a member of the inner group (a
+        member participating in a distributed inner section must act on
+        its local representative, not reach across to the owner's)."""
+        if lid is not None and lid in self.members:
+            return runtime.lookup(self.handle, lid)
         return runtime.lookup(self.handle, self.owner)
 
 
-def make_nested(ctx, factory) -> NestedRef:
-    """Construct a nested container on this location's singleton group.
-    ``factory(ctx, group)`` must build and return the container."""
-    group = LocationGroup([ctx.id])
+def location_teams(group, team_size: int) -> list:
+    """Partition ``group`` into contiguous rank-ordered sub-teams of
+    ``team_size`` members (clamped to the group size; the last team takes
+    the remainder).  Pure rank arithmetic — every member computes the same
+    partition with no communication."""
+    team_size = max(1, min(team_size, len(group)))
+    ms = group.members
+    return [group.subgroup(ms[i:i + team_size])
+            for i in range(0, len(ms), team_size)]
+
+
+def team_of(group, lid: int, team_size: int):
+    """The contiguous sub-team of ``group`` that ``lid`` belongs to."""
+    for team in location_teams(group, team_size):
+        if lid in team:
+            return team
+    raise ValueError(f"location {lid} not a member of {group}")
+
+
+def make_nested(ctx, factory, group=None, owner: int | None = None) -> NestedRef:
+    """Construct a nested container — on this location's singleton group
+    by default, or collectively on ``group`` (every member must call with
+    the same factory; all receive the same ref).  ``factory(ctx, group)``
+    must build and return the container; ``owner`` (default: the group's
+    rank-0 member) is where composed-method dispatch routes."""
+    group = group or LocationGroup([ctx.id])
     inner = factory(ctx, group)
-    return NestedRef(inner.handle, ctx.id)
+    if owner is None:
+        owner = group.members[0]
+    return NestedRef(inner.handle, owner, group.members)
 
 
 def compose_parray_of_parrays(ctx, inner_sizes: list, value=0, dtype=float,
-                              group=None) -> PArray:
+                              group=None, inner_group_size: int = 1) -> PArray:
     """``p_array<p_array<T>>`` (Fig. 3): outer balanced pArray whose element
     *i* is a nested pArray of ``inner_sizes[i]`` elements, constructed on
-    element *i*'s owner location."""
+    element *i*'s owner location.  With ``inner_group_size > 1`` each
+    nested pArray is instead constructed collectively on its owner's
+    contiguous sub-team and distributes its data across the team; every
+    team member records the team's (gid, ref) pairs so the two-level
+    helpers can enter the distributed inner sections collectively."""
     outer = PArray(ctx, len(inner_sizes), value=0, dtype=object, group=group)
-    for bc in outer.local_bcontainers():
-        for i in bc.domain:
+    if inner_group_size <= 1:
+        for bc in outer.local_bcontainers():
+            for i in bc.domain:
+                ref = make_nested(
+                    ctx, lambda c, g: PArray(c, inner_sizes[i], value=value,
+                                             dtype=dtype, group=g))
+                bc.set(i, ref)
+        ctx.rmi_fence(outer.group)
+        return outer
+    team = team_of(outer.group, ctx.id, inner_group_size)
+    by_gid = {i: bc for bc in outer.local_bcontainers() for i in bc.domain}
+    # canonical team-wide construction order: rank by rank, each rank's
+    # gids ascending — every member walks the same sequence of collectives
+    team_gids = ctx.allgather_rmi(sorted(by_gid), group=team)
+    recorded = []
+    for rank, gids in enumerate(team_gids):
+        owner = team.lid_of(rank)
+        for i in gids:
             ref = make_nested(
                 ctx, lambda c, g: PArray(c, inner_sizes[i], value=value,
-                                         dtype=dtype, group=g))
-            bc.set(i, ref)
+                                         dtype=dtype, group=g),
+                group=team, owner=owner)
+            recorded.append((i, ref))
+            if owner == ctx.id:
+                by_gid[i].set(i, ref)
+    outer._group_nested_refs = sorted(recorded, key=lambda gr: gr[0])
     ctx.rmi_fence(outer.group)
     return outer
 
 
 def compose_plist_of_parrays(ctx, inner_sizes: list, value=0, dtype=float,
-                             group=None) -> PList:
+                             group=None, inner_group_size: int = 1) -> PList:
     """``p_list<p_array<T>>`` (Fig. 4 flavour): each location's list segment
-    holds its balanced share of nested pArrays, in global order."""
+    holds its balanced share of nested pArrays, in global order.  With
+    ``inner_group_size > 1`` each nested pArray is constructed collectively
+    on its owner's contiguous sub-team (see
+    :func:`compose_parray_of_parrays`)."""
     from ..core.partitions import balanced_sizes
 
     outer = PList(ctx, 0, group=group)
     members = outer.group.members
-    me = outer.group.index_of(ctx.id)
     sizes = balanced_sizes(len(inner_sizes), len(members))
-    lo = sum(sizes[:me])
-    for i in range(lo, lo + sizes[me]):
-        ref = make_nested(
-            ctx, lambda c, g: PArray(c, inner_sizes[i], value=value,
-                                     dtype=dtype, group=g))
-        outer.push_anywhere(ref)
+    if inner_group_size <= 1:
+        me = outer.group.index_of(ctx.id)
+        lo = sum(sizes[:me])
+        for i in range(lo, lo + sizes[me]):
+            ref = make_nested(
+                ctx, lambda c, g: PArray(c, inner_sizes[i], value=value,
+                                         dtype=dtype, group=g))
+            outer.push_anywhere(ref)
+        ctx.rmi_fence(outer.group)
+        outer.update_size()
+        return outer
+    team = team_of(outer.group, ctx.id, inner_group_size)
+    recorded = []
+    for rank in range(len(team)):
+        owner = team.lid_of(rank)
+        r = outer.group.index_of(owner)
+        lo = sum(sizes[:r])
+        for i in range(lo, lo + sizes[r]):
+            ref = make_nested(
+                ctx, lambda c, g: PArray(c, inner_sizes[i], value=value,
+                                         dtype=dtype, group=g),
+                group=team, owner=owner)
+            recorded.append((i, ref))
+            if owner == ctx.id:
+                outer.push_anywhere(ref)
+    outer._group_nested_refs = sorted(recorded, key=lambda gr: gr[0])
     ctx.rmi_fence(outer.group)
     outer.update_size()
     return outer
@@ -188,17 +273,32 @@ def _local_nested_refs(outer) -> list:
     return out
 
 
+def _participating_refs(outer) -> list:
+    """(gid, NestedRef) pairs whose inner sections this location takes
+    part in, in gid order: the team-recorded list when the container was
+    composed with ``inner_group_size > 1`` (identical on every team
+    member, so all members enter each inner graph), else the
+    locally-stored refs (flat singleton composition)."""
+    recorded = getattr(outer, "_group_nested_refs", None)
+    if recorded is not None:
+        return recorded
+    return _local_nested_refs(outer)
+
+
 def run_nested_paragraph(ctx, ref: NestedRef, build):
     """Spawn and drain an inner PARAGRAPH over the nested container
-    ``ref`` (must run on its owner — typically from inside an outer
-    Paragraph task).  ``build(ipg, inner_view, inner)`` adds the inner
-    tasks; the inner graph then runs to completion (its closing fence is
-    the singleton-group fast path, so this is legal while the outer graph
-    is mid-flight) and is destroyed.  Returns ``build``'s return value."""
+    ``ref`` — typically from inside an outer Paragraph task.  On a
+    singleton group this runs on the owner and the inner collectives
+    complete inline; on a larger inner group *every member* must call it
+    (for the same refs in the same order), each acting on its local
+    representative, and the inner graph's registration, baton and closing
+    fence all scope to the inner group only.  ``build(ipg, inner_view,
+    inner)`` adds this member's inner tasks; the graph then runs to
+    completion and is destroyed.  Returns ``build``'s return value."""
     from ..algorithms.prange import Paragraph
     from ..views.array_views import Array1DView
 
-    inner = ref.resolve(ctx.runtime)
+    inner = ref.resolve(ctx.runtime, ctx.id)
     iv = Array1DView(inner)
     ipg = Paragraph(ctx, views=(iv,), group=inner.group)
     out = build(ipg, iv, inner)
@@ -224,11 +324,13 @@ def _ordered_chunk_domains(iv) -> list:
 
 def nested_map(outer, fn, vector=None) -> None:
     """Two-level parallel map: ``x <- fn(x)`` for every element of every
-    nested container.  Outer level: one PARAGRAPH task per locally-stored
-    :class:`NestedRef`; inner level: that task spawns and drains an inner
-    PARAGRAPH over the nested container, one task per inner chunk — the
-    deployment Ch. IV.C describes, each nesting level working on the
-    matching level of the container hierarchy."""
+    nested container.  Outer level: one PARAGRAPH task per participating
+    :class:`NestedRef` (locally stored, or team-recorded when the inner
+    sections span a multi-location group); inner level: that task spawns
+    and drains an inner PARAGRAPH over the nested container, one task per
+    locally-stored inner chunk — the deployment Ch. IV.C describes, each
+    nesting level working on the matching level of the container
+    hierarchy."""
     from ..algorithms.prange import Paragraph
     from ..views.base import Workfunction
 
@@ -244,7 +346,7 @@ def nested_map(outer, fn, vector=None) -> None:
             run_nested_paragraph(ctx, ref, build)
         return act
 
-    for _gid, ref in _local_nested_refs(outer):
+    for _gid, ref in _participating_refs(outer):
         pg.add_task(make_task(ref))
     pg.run()
     pg.destroy()
@@ -257,7 +359,11 @@ def segmented_reduce(outer, op, init) -> list:
     one partial task per inner chunk plus a combine task wired by
     intra-graph dependences — then one allgather merges the per-location
     ``{gid: value}`` maps.  ``init`` must be an identity of ``op`` (it
-    seeds every partial)."""
+    seeds every partial).  When a segment lives on a multi-member group
+    each member reduces its local chunks, then ships the partials to the
+    segment owner over a data-flow edge; the owner folds them in group
+    rank order — the same left-to-right chunk order the flat reduction
+    uses, so the value is identical for associative ``op``."""
     from ..algorithms.prange import Paragraph
 
     ctx = outer.ctx
@@ -275,18 +381,35 @@ def segmented_reduce(outer, op, init) -> list:
 
                 ptasks = [ipg.add_task(make_part(ch))
                           for ch in iv.local_chunks()]
+                g = len(ipg.group)
+                if g == 1:
+                    def combine(_c2):
+                        acc = init
+                        for p in parts:
+                            acc = op(acc, p)
+                        local[gid] = acc
 
-                def combine(_c2):
-                    acc = init
-                    for p in parts:
-                        acc = op(acc, p)
-                    local[gid] = acc
+                    ipg.add_task(combine, deps=tuple(ptasks))
+                    return
+                me = ipg.group.rank_of(ctx.id)
 
-                ipg.add_task(combine, deps=tuple(ptasks))
+                def emit(_c2):
+                    ipg.send(ref.owner, ("seg", gid), list(parts), tag=me)
+
+                ipg.add_task(emit, deps=tuple(ptasks))
+                if ctx.id == ref.owner:
+                    def combine(_c2, inputs):
+                        acc = init
+                        for r in range(g):
+                            for p in inputs[r]:
+                                acc = op(acc, p)
+                        local[gid] = acc
+
+                    ipg.add_task(combine, key=("seg", gid), needs=g)
             run_nested_paragraph(ctx, ref, build)
         return act
 
-    for gid, ref in _local_nested_refs(outer):
+    for gid, ref in _participating_refs(outer):
         pg.add_task(make_task(gid, ref))
     pg.run(fence=False)
     pg.destroy()
@@ -302,18 +425,29 @@ def segmented_scan(outer, op, init, exclusive: bool = False) -> None:
     scan of the composed structure).  Segments are independent, so the
     outer PARAGRAPH runs them in parallel; inside a segment the per-chunk
     prefix tasks chain through intra-graph dependences carrying the
-    running carry.  ``init`` must be an identity of ``op``."""
+    running carry.  On a multi-member segment the carry additionally hops
+    member-to-member in group rank order over data-flow edges — the exact
+    sequential recurrence, so results are byte-identical to the flat
+    scan.  ``init`` must be an identity of ``op``."""
     from ..algorithms.prange import Paragraph
     from ..views.derived_views import slab_read, slab_write
 
     ctx = outer.ctx
     pg = Paragraph(ctx, group=outer.group)
 
-    def make_task(ref):
+    def make_task(gid, ref):
         def act(_c):
             def build(ipg, iv, _inner):
                 st = {"carry": init}
                 prev = None
+                g = len(ipg.group)
+                me = ipg.group.rank_of(ctx.id)
+                if me > 0:
+                    def recv(_c2, inputs):
+                        st["carry"] = inputs[me - 1]
+
+                    prev = ipg.add_task(recv, key=("carry", gid, me),
+                                        needs=1)
 
                 def make_step(dom):
                     def step(_c2):
@@ -334,11 +468,19 @@ def segmented_scan(outer, op, init, exclusive: bool = False) -> None:
                 for dom in _ordered_chunk_domains(iv):
                     prev = ipg.add_task(make_step(dom),
                                         deps=(prev,) if prev else ())
+                if me < g - 1:
+                    nxt = ipg.group.lid_of(me + 1)
+
+                    def fwd(_c2):
+                        ipg.send(nxt, ("carry", gid, me + 1),
+                                 st["carry"], tag=me)
+
+                    ipg.add_task(fwd, deps=(prev,) if prev else ())
             run_nested_paragraph(ctx, ref, build)
         return act
 
-    for _gid, ref in _local_nested_refs(outer):
-        pg.add_task(make_task(ref))
+    for gid, ref in _participating_refs(outer):
+        pg.add_task(make_task(gid, ref))
     pg.run()
     pg.destroy()
 

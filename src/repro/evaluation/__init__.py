@@ -23,8 +23,8 @@ from .bench import (
 )
 from .bulk_figs import bulk_transport_study
 from .combining_figs import combining_containers_study, combining_study
-from .composition_figs import fig62_row_min
-from .consistency_figs import mcm_demonstrations
+from .composition_figs import composition_backend_study, fig62_row_min
+from .consistency_figs import consistency_backend_study, mcm_demonstrations
 from .harness import ExperimentResult, method_kernel, run_spmd_timed
 from .memory_figs import fig34_memory_study
 from .migration_figs import (
@@ -34,7 +34,8 @@ from .migration_figs import (
     migration_skew_study,
 )
 from .mixed_mode_figs import mixed_mode_study, mixed_mode_topology_study
-from .nested_figs import nested_backend_study, nested_study
+from .nested_figs import (nested_backend_study, nested_groups_study,
+                          nested_study)
 from .paragraph_figs import (
     paragraph_backend_study,
     paragraph_study,

@@ -29,6 +29,8 @@ from . import (
     bulk_transport_study,
     combining_containers_study,
     combining_study,
+    composition_backend_study,
+    consistency_backend_study,
     fig27_constructor,
     fig28_local_methods,
     fig29_methods_weak,
@@ -59,6 +61,7 @@ from . import (
     mixed_mode_study,
     mixed_mode_topology_study,
     nested_backend_study,
+    nested_groups_study,
     nested_study,
     paragraph_backend_study,
     paragraph_study,
@@ -89,7 +92,9 @@ DRIVERS = {
     "fig59": fig59_mapreduce_wordcount,
     "fig60": fig60_assoc_algorithms,
     "fig62": fig62_row_min,
+    "fig62_mp": composition_backend_study,
     "mcm": mcm_demonstrations,
+    "mcm_mp": consistency_backend_study,
     "backend": backend_scaling_study,
     "backend_zero_copy": backend_zero_copy_study,
     "shm_threshold": shm_threshold_sweep_study,
@@ -106,6 +111,7 @@ DRIVERS = {
     "paragraph_mp": paragraph_backend_study,
     "nested": nested_study,
     "nested_mp": nested_backend_study,
+    "nested_groups": nested_groups_study,
     "bench": bench_suite,
     "bench_sweep": bench_sweep_suite,
     "bench_ablations": bench_ablation_suite,

@@ -113,6 +113,11 @@ def _k_sort_nested(ctx, v):
     p_bucket_sort_nested(v)
 
 
+def _k_sort_nested_group(ctx, v):
+    # two-location inner teams (clamped so the P=1 sweep point still runs)
+    p_bucket_sort_nested(v, inner_group_size=min(2, len(v.group)))
+
+
 def _k_stencil(ctx, v):
     p_stencil(v, iters=4, dataflow=True)
 
@@ -130,6 +135,7 @@ KERNELS = [
     ("scan", _k_scan),
     ("sample_sort", _k_sort),
     ("bucket_sort_nested", _k_sort_nested),
+    ("nested_group", _k_sort_nested_group),
     ("stencil_dataflow", _k_stencil),
     ("stencil_fenced", _k_stencil_fenced),
     ("rebalance", _k_rebalance),

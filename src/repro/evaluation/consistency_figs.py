@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..containers.parray import PArray
 from ..core.traits import ConsistencyMode, Traits
-from .harness import ExperimentResult, run_spmd_timed
+from .harness import ExperimentResult, run_spmd_report, run_spmd_timed
 
 
 def _dekker(ctx, traits):
@@ -80,4 +80,55 @@ def mcm_demonstrations() -> ExperimentResult:
     obs = results[1]
     res.add("L1 sees (x=7 before y=7) inverted", obs == (7, 0),
             "possible -> not processor consistent")
+    return res
+
+
+def _dekker_seq(ctx):
+    return _dekker(ctx, Traits(consistency=ConsistencyMode.SEQUENTIAL))
+
+
+def consistency_backend_study(machine: str = "cray4") -> ExperimentResult:
+    """Ch. VII behaviours on real processes: each demonstration runs under
+    the simulator and the multiprocessing backend with measured wall
+    seconds.  The *deterministic* contracts are asserted on both backends
+    (same-element program order always holds; under SEQUENTIAL traits
+    Dekker's mutual exclusion means both flags can never read 0); the
+    *racy* behaviours (default-MCM Dekker, write-order inversion) are
+    merely recorded — on real processes their outcome legitimately varies
+    run to run, which is exactly the paper's point."""
+    res = ExperimentResult(
+        "Ch.VII MCM behaviours on real processes",
+        ["behaviour", "backend", "observed", "wall_s", "contract"],
+        notes=f"{machine}, P=2; deterministic rows asserted on both "
+              "backends, racy rows recorded only")
+    cases = (
+        ("same-element program order", _program_order,
+         lambda results: all(results), "asserted: holds"),
+        ("Dekker both-zero (SEQUENTIAL traits)", _dekker_seq,
+         lambda results: results[0] == 0 and results[1] == 0,
+         "asserted: impossible"),
+        ("Dekker both-zero (default MCM)",
+         lambda ctx: _dekker(ctx, None),
+         lambda results: results[0] == 0 and results[1] == 0,
+         "recorded (racy)"),
+        ("write-order inversion (x,y)", _processor_consistency,
+         lambda results: results[1], "recorded (racy)"),
+    )
+    for label, prog, observe, contract in cases:
+        for backend, opts in (("sim", {}),
+                              ("multiprocessing",
+                               {"backend": "multiprocessing",
+                                "timeout": 120.0})):
+            rep = run_spmd_report(prog, 2, machine, **opts)
+            obs = observe(rep.results)
+            if contract == "asserted: holds" and not obs:
+                raise AssertionError(
+                    f"{label} ({backend}): program order violated")
+            if contract == "asserted: impossible" and obs:
+                raise AssertionError(
+                    f"{label} ({backend}): sequential-traits Dekker "
+                    "observed both flags zero (Claim 3 violated)")
+            res.add(label, backend, obs,
+                    round(rep.wall_seconds, 4) if backend != "sim" else "",
+                    contract)
     return res

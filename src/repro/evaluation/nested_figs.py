@@ -33,6 +33,7 @@ from ..algorithms.nested import (
 from ..algorithms.sorting import p_sample_sort
 from ..containers.composition import (
     _local_nested_refs,
+    _participating_refs,
     compose_parray_of_parrays,
     segmented_reduce,
     segmented_scan,
@@ -41,6 +42,8 @@ from ..containers.parray import PArray
 from ..views.array_views import Array1DView
 from ..views.derived_views import segmented_view
 from .harness import ExperimentResult, run_spmd_report, run_spmd_timed
+
+__all__ = ["nested_backend_study", "nested_groups_study", "nested_study"]
 
 
 def _scrambled(i):
@@ -211,6 +214,143 @@ def nested_study(P: int = 8, n_per_loc: int = 2048, machine: str = "cray4",
     res.notes += (f"; stencil fences {f_base} -> {f_df}, nested graphs "
                   f"{nstats.nested_paragraphs}, nested tasks "
                   f"{nstats.nested_tasks_executed}")
+    return res
+
+
+def _sort_prog_groups(n: int, inner_group_size: int):
+    def prog(ctx):
+        pa = PArray(ctx, n, dtype=int)
+        v = Array1DView(pa)
+        p_generate(v, _scrambled, vector=None)
+        ctx.rmi_fence()
+        t0 = ctx.start_timer()
+        p_bucket_sort_nested(v, inner_group_size=inner_group_size)
+        t = ctx.stop_timer(t0)
+        return t, pa.to_list()
+    return prog
+
+
+def _segmented_groups_prog(lens: list, inner_group_size: int):
+    def prog(ctx):
+        outer = compose_parray_of_parrays(
+            ctx, lens, value=0, dtype=int,
+            inner_group_size=inner_group_size)
+        starts, off = [], 0
+        for ln in lens:
+            starts.append(off)
+            off += ln
+        # the inner containers are team-distributed: the owner scatters the
+        # segment, and every read-back below is collective on the team, so
+        # all members walk the recorded refs in the same order
+        for gid, ref in _participating_refs(outer):
+            if ctx.id == ref.owner:
+                ref.resolve(ctx.runtime, ctx.id).set_range(
+                    0, [_scrambled(starts[gid] + j)
+                        for j in range(lens[gid])])
+        ctx.rmi_fence(outer.group)
+        sums = segmented_reduce(outer, operator.add, 0)
+        segmented_scan(outer, operator.add, 0)
+        local = {}
+        for gid, ref in _participating_refs(outer):
+            vals = ref.resolve(ctx.runtime, ctx.id).to_list()
+            if ctx.id == ref.owner:
+                local[gid] = vals
+        scanned: list = [None] * len(lens)
+        for d in ctx.allgather_rmi(local, group=outer.group):
+            for gid, vals in d.items():
+                scanned[gid] = vals
+        return sums, [x for seg in scanned for x in seg]
+    return prog
+
+
+def nested_groups_study(P: int = 8, n_per_loc: int = 256,
+                        machine: str = "cray4",
+                        inner_group_sizes=(1, 2, 4)) -> ExperimentResult:
+    """Multi-location nested parallel sections: the bucket sort's inner
+    PARAGRAPHs run on location *teams* of each size in
+    ``inner_group_sizes`` (1 = the classic singleton deployment).  Every
+    variant must stay byte-identical to ``p_sample_sort``; for team sizes
+    > 1 the study additionally asserts that genuinely distributed inner
+    graphs were observed (``nested_multi_paragraphs``) and that their
+    synchronisation stayed team-scoped (``subgroup_fences``).  A composed
+    pArray-of-pArrays with two-location segments re-checks segmented
+    reduce/scan against the flat sequential recurrence, and one
+    multiprocessing row re-runs the team bucket sort on real OS processes
+    (sim result as the byte-identity oracle, measured wall seconds)."""
+    n = P * n_per_loc
+    res = ExperimentResult(
+        "Nested sections on location teams: inner groups > 1",
+        ["workload", "backend", "inner_group_size", "N", "time_us",
+         "wall_s", "nested_pgs", "nested_multi_pgs", "subgroup_fences",
+         "dep_msgs"],
+        notes=f"{machine}, P={P}; all rows byte-identical to p_sample_sort"
+              " / the flat recurrence")
+
+    oracle_res, _, _ = run_spmd_timed(_sort_prog(n, nested=False), P, machine)
+    oracle = oracle_res[0][1]
+
+    for igs in inner_group_sizes:
+        results, _, stats = run_spmd_timed(
+            _sort_prog_groups(n, igs), P, machine)
+        if results[0][1] != oracle:
+            raise AssertionError(
+                f"bucket sort with inner_group_size={igs} differs from "
+                "p_sample_sort (expected byte-identical)")
+        if igs > 1 and stats.nested_multi_paragraphs <= 0:
+            raise AssertionError(
+                f"inner_group_size={igs}: no multi-location inner "
+                "PARAGRAPHs observed")
+        if igs > 1 and stats.subgroup_fences <= 0:
+            raise AssertionError(
+                f"inner_group_size={igs}: no team-scoped fences observed")
+        res.add("bucket_sort", "sim", igs, n,
+                max(r[0] for r in results), "", stats.nested_paragraphs,
+                stats.nested_multi_paragraphs, stats.subgroup_fences,
+                stats.dependence_messages)
+
+    # -- composed container with two-location segments ---------------------
+    lens = _segment_lengths(n // 4, 2 * P)
+    seg_prog = _segmented_groups_prog(lens, 2)
+    results, _, stats = run_spmd_timed(seg_prog, P, machine)
+    exp_sums, exp_scan, off = [], [], 0
+    for ln in lens:
+        seg = [_scrambled(off + j) for j in range(ln)]
+        exp_sums.append(sum(seg))
+        c = 0
+        for x in seg:
+            c += x
+            exp_scan.append(c)
+        off += ln
+    if results[0][0] != exp_sums or results[0][1] != exp_scan:
+        raise AssertionError(
+            "segmented reduce/scan over two-location segments differ "
+            "from the flat sequential recurrence")
+    if stats.nested_multi_paragraphs <= 0:
+        raise AssertionError(
+            "composed segments: no multi-location inner PARAGRAPHs")
+    res.add("segmented", "sim", 2, sum(lens), 0, "",
+            stats.nested_paragraphs, stats.nested_multi_paragraphs,
+            stats.subgroup_fences, stats.dependence_messages)
+
+    # -- real processes: team bucket sort under the mp backend -------------
+    mp_P = min(P, 4)
+    mp_n = mp_P * max(64, n_per_loc // 4)
+    sim = run_spmd_report(_sort_prog_groups(mp_n, 2), mp_P, machine)
+    mp = run_spmd_report(_sort_prog_groups(mp_n, 2), mp_P, machine,
+                         backend="multiprocessing", timeout=300.0)
+    if [r[1] for r in mp.results] != [r[1] for r in sim.results]:
+        raise AssertionError(
+            "team bucket sort: multiprocessing backend diverged from "
+            "the simulated oracle")
+    mp_stats = mp.stats.total
+    if mp_stats.nested_multi_paragraphs <= 0 or mp_stats.subgroup_fences <= 0:
+        raise AssertionError(
+            "team bucket sort (mp): expected multi-location inner "
+            "PARAGRAPHs and team-scoped fences on real processes")
+    res.add("bucket_sort", "multiprocessing", 2, mp_n, "",
+            round(mp.wall_seconds, 4), mp_stats.nested_paragraphs,
+            mp_stats.nested_multi_paragraphs, mp_stats.subgroup_fences,
+            mp_stats.dependence_messages)
     return res
 
 

@@ -634,6 +634,7 @@ class MpTransport(TransportBackend):
         if msg.future is not None:  # pragma: no cover - defensive
             raise SpmdError("mp transport: futures ride the token protocol")
         rt.req_sent += 1
+        rt.sent_to[msg.dst] += 1
         if rt._spawn_frames:
             # handler-spawned (forwarded) request: accounted by the ack
             # credit this handler sends to the message's origin
@@ -673,13 +674,22 @@ class MpRuntime:
         self.loc = MpLocation(self, lid)
         self.arena = ShmArena(self._new_shm_name, stats=self.loc.stats)
         self.seg_cache = SegmentCache(stats=self.loc.stats)
-        self.registry: dict[int, object] = {}
-        self._next_handle = 0
+        # handles are group-scoped tuples (group.key, seq): disjoint
+        # subgroups registering concurrently draw from independent
+        # sequence spaces, so their counters cannot desynchronise the way
+        # a single global integer counter would
+        self.registry: dict[tuple, object] = {}
+        self._handle_seq: dict[tuple, int] = {}
         self._exec_stack: list = []
         self._exec_depth = 0
-        # transport state
+        # transport state: totals plus per-peer splits — a fence over a
+        # subgroup must count only traffic among its members, or a
+        # member's sends to outside locations (whose executions the group
+        # gather never sees) keep it from quiescing forever
         self.req_sent = 0
         self.req_executed = 0
+        self.sent_to = [0] * nlocs
+        self.exec_from = [0] * nlocs
         self.outstanding = 0
         self._spawn_frames: list[int] = []
         self._futures: dict[int, MpFuture] = {}
@@ -765,9 +775,10 @@ class MpRuntime:
         return result
 
     def _execute_req(self, item) -> None:
-        _, _src, origin, handle, method, packed = item
+        _, src, origin, handle, method, packed = item
         args = unpack_payload(packed, self.seg_cache)
         self.req_executed += 1
+        self.exec_from[src] += 1
         self._spawn_frames.append(0)
         try:
             self._run_handler(self.loc, handle, method, args, origin)
@@ -779,6 +790,7 @@ class MpRuntime:
         _, src, token, handle, method, packed = item
         args = unpack_payload(packed, self.seg_cache)
         self.req_executed += 1
+        self.exec_from[src] += 1
         self._spawn_frames.append(0)
         try:
             result = self._run_handler(self.loc, handle, method, args, src)
@@ -885,20 +897,30 @@ class MpRuntime:
         return self.drain_available()
 
     def group_progress(self, members) -> int:
-        # local view: requests executed here plus local tasks run.  A
-        # blocked location observes progress exactly when something
-        # arrives — group-wide silence is what the stall limit measures.
-        return self.req_executed + self.loc.stats.tasks_executed
+        # local view: requests executed here *from the group's members*
+        # plus local tasks run.  A blocked subgroup executor observes
+        # progress exactly when member traffic arrives — chatter from
+        # outside locations cannot mask a stuck sub-team.
+        return (sum(self.exec_from[m] for m in members)
+                + self.loc.stats.tasks_executed)
 
-    def stall_limit(self) -> int:
+    def stall_limit(self, group_size: int | None = None) -> int:
+        # wall-clock patience: the same window regardless of group size
         return max(16, int(_STALL_PATIENCE / self.yield_timeout))
 
     # -- fence protocols ---------------------------------------------------
     def fence(self, loc: "MpLocation", group: LocationGroup) -> None:
         """Counting fence: drain, exchange (sent, executed) snapshots, and
-        finish once the global totals are equal and stable for two
+        finish once the group totals are equal and stable for two
         consecutive rounds (the second round certifies no message was in
-        flight past anyone's snapshot)."""
+        flight past anyone's snapshot).
+
+        Counting is per-peer and restricted to the group: each member
+        contributes its sends *to members* and executions *from members*.
+        A subgroup fence therefore quiesces exactly the traffic among the
+        sub-team — a member's sends to outside locations (whose execution
+        counters the group gather never sees) cannot stall it, and
+        non-member locations are never blocked or drained by it."""
         if len(group) == 1 or self.nlocs == 1:
             while self.drain_available():
                 pass
@@ -912,7 +934,8 @@ class MpRuntime:
         prev = None
         while True:
             self.drain_available()
-            snap = (self.req_sent, self.req_executed)
+            snap = (sum(self.sent_to[m] for m in group.members),
+                    sum(self.exec_from[m] for m in group.members))
             arrived = loc._gather_exchange("fence", snap, group)
             sent = sum(v[0] for v in arrived.values())
             done = sum(v[1] for v in arrived.values())
@@ -973,6 +996,7 @@ class MpLocation(Location):
         self.stats.bytes_sent += size
         self.stats.physical_messages += 2  # request + reply
         rt.req_sent += 1
+        rt.sent_to[dest] += 1
         token = rt.new_token()
         fut = MpFuture(rt, token)
         rt._futures[token] = fut
@@ -994,6 +1018,7 @@ class MpLocation(Location):
         self.stats.bytes_sent += size
         self.stats.physical_messages += 1
         rt.req_sent += 1
+        rt.sent_to[dest] += 1
         token = rt.new_token()
         fut = MpFuture(rt, token)
         rt._futures[token] = fut
@@ -1024,6 +1049,7 @@ class MpLocation(Location):
         self.stats.bytes_sent += size
         self.stats.physical_messages += 2  # request + slab reply
         rt.req_sent += 1
+        rt.sent_to[dest] += 1
         token = rt.new_token()
         fut = MpFuture(rt, token)
         rt._futures[token] = fut
@@ -1160,16 +1186,21 @@ class MpLocation(Location):
             self._gather_exchange("barrier", None, group)
             return None
         if op == "register":
-            proposed = rt._next_handle
+            # group-scoped handle: (group.key, seq) from a per-group
+            # sequence counter, so disjoint subgroups registering
+            # concurrently (e.g. sibling nested sections) cannot
+            # desynchronise each other's handle spaces
+            seq = rt._handle_seq.get(group.key, 0)
+            proposed = (group.key, seq)
             arrived = self._gather_exchange("register", proposed, group)
             if len(set(arrived.values())) != 1:
                 raise SpmdError(
                     "p_object registration diverged across processes "
                     f"(proposed handles {sorted(set(arrived.values()))}); "
                     "the multiprocessing backend requires registrations "
-                    "in one collective program order")
+                    "in one collective program order per group")
             rt.registry[proposed] = payload
-            rt._next_handle = proposed + 1
+            rt._handle_seq[group.key] = seq + 1
             return proposed
         if op == "unregister":
             arrived = self._gather_exchange("unregister", payload, group)
@@ -1210,6 +1241,8 @@ class MpLocation(Location):
                 f"location {self.id}: collective 'fence' invoked inside an "
                 "RMI handler; handlers must not block")
         self.stats.fences += 1
+        if len(group) < rt.nlocs:
+            self.stats.subgroup_fences += 1
         self.flush_combining()
         rt.fence(self, group)
 

@@ -73,15 +73,30 @@ class LocationGroup:
     All RMI collectives are defined within a group, which is what enables
     nested parallelism: a nested pContainer can live on a sub-group and run
     its own fences/reductions without involving outside locations.
+
+    Groups form a hierarchy.  :meth:`subgroup` carves an ordered sub-team
+    out of an existing group without communication; :meth:`split` is the
+    collective colour/key partition (the ``MPI_Comm_split`` idiom).  Member
+    order is significant — it defines the group-relative ranks used by the
+    rank-ordered collectives (allgather / alltoall / scan) — and the member
+    tuple doubles as the rendezvous ``key``, so differently-ordered teams
+    over the same locations never share a collective sequence space.
     """
 
-    __slots__ = ("members", "key")
+    __slots__ = ("members", "key", "parent")
 
-    def __init__(self, members):
-        self.members = tuple(sorted(set(members)))
-        if not self.members:
+    def __init__(self, members, *, parent: "LocationGroup | None" = None,
+                 ordered: bool = False):
+        members = tuple(members)
+        if not ordered:
+            members = tuple(sorted(set(members)))
+        elif len(set(members)) != len(members):
+            raise ValueError(f"duplicate members in ordered group {members}")
+        if not members:
             raise ValueError("a location group needs at least one member")
+        self.members = members
         self.key = self.members
+        self.parent = parent
 
     def __len__(self):
         return len(self.members)
@@ -91,6 +106,50 @@ class LocationGroup:
 
     def index_of(self, lid: int) -> int:
         return self.members.index(lid)
+
+    # -- group-relative rank arithmetic ---------------------------------
+    def rank_of(self, lid: int) -> int:
+        """Group-relative rank of world location ``lid``."""
+        try:
+            return self.members.index(lid)
+        except ValueError:
+            raise ValueError(f"location {lid} not a member of {self}") from None
+
+    def lid_of(self, rank: int) -> int:
+        """World location id of group-relative ``rank``."""
+        if not 0 <= rank < len(self.members):
+            raise ValueError(f"rank {rank} outside {self}")
+        return self.members[rank]
+
+    # -- hierarchy -------------------------------------------------------
+    def subgroup(self, members) -> "LocationGroup":
+        """Carve an ordered sub-team out of this group (no communication).
+
+        ``members`` are world location ids, each of which must belong to
+        this group; their order becomes the subgroup's rank order.  Every
+        member of the new group must construct it with the same member
+        sequence (it is the collective rendezvous key)."""
+        members = tuple(members)
+        mine = set(self.members)
+        for lid in members:
+            if lid not in mine:
+                raise ValueError(f"location {lid} not a member of {self}")
+        return LocationGroup(members, parent=self, ordered=True)
+
+    def split(self, ctx, color, key: int = 0) -> "LocationGroup | None":
+        """Collective colour/key partition over this group.
+
+        Every member must call (it allgathers over the group): members that
+        passed the same ``color`` form one subgroup, rank-ordered by
+        ``(key, lid)``; passing ``color=None`` opts out of every subgroup
+        and returns ``None`` (the ``MPI_UNDEFINED`` idiom)."""
+        arrived = ctx.allgather_rmi((color, key), group=self)
+        if color is None:
+            return None
+        mine = sorted((k, lid) for (c, k), lid in zip(arrived, self.members)
+                      if c == color)
+        return LocationGroup([lid for _, lid in mine], parent=self,
+                             ordered=True)
 
     def __repr__(self):
         return f"LocationGroup{self.members}"
@@ -726,8 +785,12 @@ class Location:
     # -- collectives -----------------------------------------------------
     def rmi_fence(self, group: LocationGroup | None = None) -> None:
         """Collective fence: on return, no RMI issued by any group member
-        before the fence is still pending (Ch. III.B / VII.B)."""
+        before the fence is still pending (Ch. III.B / VII.B).  A fence on
+        a proper subgroup quiesces only traffic among its members — it
+        never blocks on (or drains) locations outside the group."""
         self.stats.fences += 1
+        if group is not None and len(group) < self.runtime.nlocs:
+            self.stats.subgroup_fences += 1
         self.flush_combining(coalesce=True)
         self._collective("fence", None, group)
 
@@ -1161,11 +1224,14 @@ class Runtime:
                    + self.locations[lid].stats.tasks_executed
                    for lid in members)
 
-    def stall_limit(self) -> int:
+    def stall_limit(self, group_size: int | None = None) -> int:
         """How many progress-free blocked-executor rounds mean deadlock.
         One full conductor round suffices in the deterministic simulator;
-        a real backend scales this to a wall-clock patience window."""
-        return self.nlocs + 1
+        a real backend scales this to a wall-clock patience window.
+        ``group_size`` scopes the patience to the executor's own group —
+        the innermost active group is what deadlock detection watches, so
+        a small sub-team need not wait out a world-sized round."""
+        return (group_size or self.nlocs) + 1
 
     # -- reporting -----------------------------------------------------------
     def stats(self) -> RunStats:

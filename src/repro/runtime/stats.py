@@ -31,8 +31,12 @@ Nested-parallelism counters (Ch. IV.C two-level composition):
 ``nested_paragraphs`` counts PARAGRAPHs entered while another PARAGRAPH
 was already executing on the same location (an inner graph spawned by an
 outer task, usually over a nested container on a singleton group);
+``nested_multi_paragraphs`` counts the subset of those whose group has
+more than one member — genuinely distributed inner sections;
 ``nested_tasks_executed`` counts the tasks those inner graphs ran — a
-subset of ``tasks_executed``.
+subset of ``tasks_executed``.  ``subgroup_fences`` counts the subset of
+``fences`` executed on a proper subgroup of the world (quiescing only the
+sub-team, never blocking outside locations).
 
 Migration-subsystem counters: ``lookups_charged`` counts metadata lookups
 actually charged to the virtual clock (``charge_lookup``);
@@ -83,10 +87,12 @@ class LocationStats:
     bytes_avoided: int = 0
     lock_acquires: int = 0
     fences: int = 0
+    subgroup_fences: int = 0
     collectives: int = 0
     tasks_executed: int = 0
     dependence_messages: int = 0
     nested_paragraphs: int = 0
+    nested_multi_paragraphs: int = 0
     nested_tasks_executed: int = 0
     lookups_charged: int = 0
     lookup_cache_hits: int = 0

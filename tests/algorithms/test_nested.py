@@ -14,6 +14,7 @@ from repro.algorithms.nested import (
 from repro.algorithms.prange import Paragraph
 from repro.algorithms.sorting import p_sample_sort
 from repro.containers.composition import (
+    _participating_refs,
     compose_parray_of_parrays,
     make_nested,
     nested_map,
@@ -261,3 +262,106 @@ class TestReentrantParagraph:
             return (ctx.stats.nested_paragraphs,
                     ctx.stats.nested_tasks_executed)
         assert run(prog, nlocs=2) == [(0, 0)] * 2
+
+
+class TestInnerGroups:
+    """Multi-location inner sections: inner PARAGRAPHs whose group has
+    more than one member, with team-scoped registration and fences."""
+
+    def test_bucket_sort_team_matches_sample_sort(self):
+        def prog(ctx, igs):
+            pa, v = _filled(ctx, 64)
+            if igs:
+                p_bucket_sort_nested(v, inner_group_size=igs)
+            else:
+                p_sample_sort(v)
+            return pa.to_list()
+
+        oracle = run(prog, nlocs=4, args=(0,))
+        for igs in (2, 3, 4):
+            out = run(prog, nlocs=4, args=(igs,))
+            assert out == oracle, f"inner_group_size={igs} diverged"
+        assert oracle[0] == sorted(_scrambled(i) for i in range(64))
+
+    def test_team_inner_graphs_observed(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 64)
+            p_bucket_sort_nested(v, inner_group_size=2)
+            return None
+
+        rep = run_detailed(prog, nlocs=4)
+        st = rep.stats.total
+        # each 2-member team enters one inner graph per member bucket:
+        # 2 teams x 2 buckets x 2 members
+        assert st.nested_multi_paragraphs == 8
+        assert st.subgroup_fences > 0
+
+    def test_default_path_has_no_multi_groups(self):
+        def prog(ctx):
+            _pa, v = _filled(ctx, 64)
+            p_bucket_sort_nested(v)
+            return None
+
+        rep = run_detailed(prog, nlocs=4)
+        assert rep.stats.total.nested_multi_paragraphs == 0
+
+    def test_team_duplicates_and_empty_buckets(self):
+        def prog(ctx):
+            pa, v = _filled(ctx, 32, lambda i: i % 3)
+            p_bucket_sort_nested(v, inner_group_size=2)
+            return pa.to_list()
+
+        out = run(prog, nlocs=4)
+        assert out[0] == sorted(i % 3 for i in range(32))
+
+    def test_composed_helpers_on_teams(self):
+        """nested_map / segmented_reduce / segmented_scan over a composed
+        container whose segments span two-location teams."""
+        def prog(ctx):
+            outer = compose_parray_of_parrays(ctx, [2, 3, 4], value=5,
+                                              dtype=int, inner_group_size=2)
+            nested_map(outer, lambda x: x + 1)
+            sums = segmented_reduce(outer, operator.add, 0)
+            segmented_scan(outer, operator.add, 0)
+            sums2 = segmented_reduce(outer, operator.add, 0)
+            return sums, sums2
+
+        out = run(prog, nlocs=4)
+        # elements become 6; scan makes each segment [6, 12, ...]
+        assert out == [([12, 18, 24], [18, 36, 60])] * 4
+
+    def test_team_scan_matches_flat_recurrence(self):
+        def prog(ctx):
+            lens = [3, 5, 2, 6]
+            outer = compose_parray_of_parrays(ctx, lens, value=0, dtype=int,
+                                              inner_group_size=2)
+            starts, off = [], 0
+            for ln in lens:
+                starts.append(off)
+                off += ln
+            for gid, ref in _participating_refs(outer):
+                if ctx.id == ref.owner:
+                    ref.resolve(ctx.runtime, ctx.id).set_range(
+                        0, [_scrambled(starts[gid] + j)
+                            for j in range(lens[gid])])
+            ctx.rmi_fence(outer.group)
+            segmented_scan(outer, operator.add, 0)
+            got = {}
+            for gid, ref in _participating_refs(outer):
+                vals = ref.resolve(ctx.runtime, ctx.id).to_list()
+                if ctx.id == ref.owner:
+                    got[gid] = vals
+            merged = {}
+            for d in ctx.allgather_rmi(got):
+                merged.update(d)
+            return [x for g in sorted(merged) for x in merged[g]]
+
+        out = run(prog, nlocs=4)
+        exp, off = [], 0
+        for ln in [3, 5, 2, 6]:
+            c = 0
+            for j in range(ln):
+                c += _scrambled(off + j)
+                exp.append(c)
+            off += ln
+        assert out == [exp] * 4

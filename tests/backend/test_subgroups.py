@@ -1,0 +1,164 @@
+"""Multiprocessing-backend tests for the location-group hierarchy:
+differential sim-vs-real runs of every subgroup collective flavour,
+group-scoped handle registration on disjoint teams, team-distributed
+nested sections, and the counting-fence regression — a subgroup fence
+must complete while a non-member is unresponsive."""
+
+import time
+
+from repro.runtime import LocationGroup, PObject, spmd_run
+
+
+class Cell(PObject):
+    def __init__(self, ctx, group=None):
+        super().__init__(ctx, group)
+        self.value = 0
+        ctx.barrier(self.group)
+
+    def put(self, v):
+        self.value = v
+
+
+def _subgroup_collectives(ctx):
+    """One collective of each flavour on a non-contiguous subgroup."""
+    g = ctx.runtime.world.subgroup([0, 2])
+    if ctx.id not in g:
+        return None
+    out = {
+        "allreduce": ctx.allreduce_rmi(ctx.id + 1, group=g),
+        "broadcast": ctx.broadcast_rmi(
+            2, "payload" if ctx.id == 2 else None, group=g),
+        "allgather": ctx.allgather_rmi(ctx.id * 10, group=g),
+        "alltoall": ctx.alltoall_rmi(
+            [f"{ctx.id}->{m}" for m in g.members], group=g),
+        "scan": ctx.scan_rmi(ctx.id + 1, group=g),
+    }
+    ctx.barrier(g)
+    c = Cell(ctx, group=g)          # collective register on the subgroup
+    c._async(g.lid_of(1 - g.rank_of(ctx.id)), "put", ctx.id + 100)
+    ctx.rmi_fence(g)                # subgroup fence commits member traffic
+    out["cell"] = c.value
+    return out
+
+
+def _split_register_skew(ctx):
+    """Disjoint split teams register *different numbers* of p_objects —
+    the handle-desync scenario group-scoped handle sequences fix."""
+    g = ctx.runtime.world.split(ctx, ctx.id // 2)
+    cells = [Cell(ctx, group=g) for _ in range(1 if ctx.id < 2 else 3)]
+    for k, c in enumerate(cells):
+        peer = g.lid_of(1 - g.rank_of(ctx.id))
+        c._async(peer, "put", 1000 * ctx.id + k)
+        ctx.rmi_fence(g)
+    return [c.value for c in cells]
+
+
+def _team_bucket_sort(ctx):
+    from repro.algorithms.nested import p_bucket_sort_nested
+    from repro.containers.parray import PArray
+    from repro.views.array_views import Array1DView
+    from repro.views.derived_views import slab_write
+
+    n = 64
+    pa = PArray(ctx, n, value=0, dtype=int)
+    v = Array1DView(pa)
+    sl = v.balanced_slices()
+    slab_write(v, sl.lo, [(i * 2654435761) % 509
+                          for i in range(sl.lo, sl.hi)])
+    ctx.rmi_fence()
+    p_bucket_sort_nested(v, inner_group_size=2)
+    out = pa.to_list()
+    pa.destroy()
+    return out
+
+
+def _team_segmented(ctx):
+    import operator
+
+    from repro.containers.composition import (
+        _participating_refs,
+        compose_parray_of_parrays,
+        nested_map,
+        segmented_reduce,
+        segmented_scan,
+    )
+
+    outer = compose_parray_of_parrays(ctx, [3, 5, 2, 6], value=1, dtype=int,
+                                      inner_group_size=2)
+    nested_map(outer, lambda x: x * 2)
+    sums = segmented_reduce(outer, operator.add, 0)
+    segmented_scan(outer, operator.add, 0)
+    scanned = {}
+    for gid, ref in _participating_refs(outer):
+        vals = ref.resolve(ctx.runtime, ctx.id).to_list()
+        if ctx.id == ref.owner:
+            scanned[gid] = vals
+    return sums, scanned
+
+
+class TestDifferentialSubgroups:
+    def test_collective_flavours_on_subgroup(self, run_differential):
+        run_differential(_subgroup_collectives, 4)
+
+    def test_register_skew_across_disjoint_teams(self, run_differential):
+        run_differential(_split_register_skew, 4)
+
+    def test_team_bucket_sort(self, run_differential):
+        run_differential(_team_bucket_sort, 4)
+
+    def test_team_composed_segmented(self, run_differential):
+        run_differential(_team_segmented, 4)
+
+
+class TestSubgroupFenceIsolation:
+    def test_fence_completes_while_nonmember_sleeps(self):
+        """A {0, 1} fence must count only member<->member traffic: with a
+        message to sleeping location 3 still un-serviced, a fence that
+        (wrongly) watched whole-runtime counters would stall until 3 woke
+        up.  The group-restricted fence finishes orders of magnitude
+        sooner than 3's nap."""
+        nap = 3.0
+
+        def prog(ctx):
+            c = Cell(ctx)
+            sub = ctx.runtime.world.subgroup([0, 1])
+            ctx.barrier()
+            if ctx.id == 3:
+                time.sleep(nap)     # unresponsive: services no requests
+                ctx.rmi_fence()
+                return c.value
+            if ctx.id == 0:
+                c._async(3, "put", 55)   # in flight while 3 sleeps
+            elapsed = None
+            if ctx.id in sub:
+                t0 = time.monotonic()
+                ctx.rmi_fence(sub)
+                elapsed = time.monotonic() - t0
+            ctx.rmi_fence()
+            return elapsed
+
+        out = spmd_run(prog, nlocs=4, machine="smp",
+                       backend="multiprocessing", timeout=60.0)
+        assert out[3] == 55                      # delivered by world fence
+        assert out[0] < nap / 2 and out[1] < nap / 2, (
+            f"subgroup fence waited on a non-member: {out[:2]}")
+
+    def test_sim_oracle_agrees(self):
+        """Same scoping on the simulator (minus the wall clock): the
+        subgroup fence leaves the 0->3 message pending."""
+        def prog(ctx):
+            c = Cell(ctx)
+            sub = ctx.runtime.world.subgroup([0, 1])
+            if ctx.id == 0:
+                c._async(3, "put", 55)
+            ctx.barrier()
+            pending = None
+            if ctx.id in sub:
+                ctx.rmi_fence(sub)
+                pending = ctx.runtime.network.has_pending(0, 3)
+            ctx.rmi_fence()
+            return pending, c.value if ctx.id == 3 else None
+
+        out = spmd_run(prog, nlocs=4, machine="smp", backend="simulated")
+        assert out[0][0] is True and out[1][0] is True
+        assert out[3][1] == 55

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the location-group hierarchy:
+subgroup/split algebra, group-relative rank arithmetic, and the
+world <-> group identifier round-trips the nested-section machinery
+relies on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import LocationGroup
+from tests.conftest import run
+
+
+def _members(draw_world, draw_subset):
+    world = LocationGroup(range(draw_world))
+    subset = sorted(set(lid % draw_world for lid in draw_subset)) or [0]
+    return world, subset
+
+
+# ---------------------------------------------------------------------------
+# pure algebra: subgroup / rank arithmetic
+# ---------------------------------------------------------------------------
+
+
+@given(nlocs=st.integers(1, 32),
+       picks=st.lists(st.integers(0, 63), min_size=1, max_size=16))
+def test_subgroup_rank_lid_roundtrip(nlocs, picks):
+    world, subset = _members(nlocs, picks)
+    sub = world.subgroup(subset)
+    assert sub.parent is world
+    assert len(sub) == len(subset)
+    for rank, lid in enumerate(subset):
+        assert sub.rank_of(lid) == rank
+        assert sub.lid_of(rank) == lid
+        assert lid in sub and lid in world
+
+
+@given(nlocs=st.integers(2, 32),
+       picks=st.lists(st.integers(0, 63), min_size=2, max_size=16))
+def test_subgroup_noncontiguous_order_preserved(nlocs, picks):
+    """An ordered subgroup keeps exactly the member order it was given —
+    ranks are positional, not sorted world ids."""
+    world, subset = _members(nlocs, picks)
+    scrambled = list(reversed(subset))
+    sub = world.subgroup(scrambled)
+    assert sub.members == tuple(scrambled)
+    for rank, lid in enumerate(scrambled):
+        assert sub.rank_of(lid) == rank
+
+
+@given(nlocs=st.integers(2, 24),
+       picks=st.lists(st.integers(0, 63), min_size=2, max_size=16),
+       inner_picks=st.lists(st.integers(0, 63), min_size=1, max_size=8))
+def test_nested_subgroups_compose(nlocs, picks, inner_picks):
+    """subgroup of a subgroup: world lids survive both hops and the parent
+    chain records the derivation."""
+    world, subset = _members(nlocs, picks)
+    sub = world.subgroup(subset)
+    inner_members = sorted(set(subset[i % len(subset)] for i in inner_picks))
+    inner = sub.subgroup(inner_members)
+    assert inner.parent is sub and sub.parent is world
+    for rank, lid in enumerate(inner_members):
+        assert inner.lid_of(rank) == lid
+        assert inner.rank_of(lid) == rank
+        # the lid is the *world* id at every level of the chain
+        assert sub.lid_of(sub.rank_of(lid)) == lid
+
+
+@given(nlocs=st.integers(1, 32),
+       picks=st.lists(st.integers(0, 63), min_size=1, max_size=16))
+def test_subgroup_rejects_non_members(nlocs, picks):
+    world, subset = _members(nlocs, picks)
+    with pytest.raises(ValueError):
+        world.subgroup(subset + [nlocs])
+    sub = world.subgroup(subset)
+    with pytest.raises(ValueError):
+        sub.rank_of(nlocs + 1)
+    with pytest.raises(ValueError):
+        sub.lid_of(len(subset))
+
+
+def test_ordered_group_rejects_duplicates():
+    with pytest.raises(ValueError):
+        LocationGroup([1, 2, 1], ordered=True)
+
+
+# ---------------------------------------------------------------------------
+# collective split (needs a runtime: colors are exchanged via allgather)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(nlocs=st.integers(2, 8), data=st.data())
+def test_split_partitions_by_color(nlocs, data):
+    colors = data.draw(st.lists(
+        st.one_of(st.none(), st.integers(0, 2)),
+        min_size=nlocs, max_size=nlocs))
+    keys = data.draw(st.lists(st.integers(-3, 3),
+                              min_size=nlocs, max_size=nlocs))
+
+    def prog(ctx):
+        g = ctx.runtime.world.split(ctx, colors[ctx.id], key=keys[ctx.id])
+        return None if g is None else (g.members, g.rank_of(ctx.id))
+
+    out = run(prog, nlocs=nlocs)
+    for lid, res in enumerate(out):
+        if colors[lid] is None:
+            assert res is None
+            continue
+        members, rank = res
+        expected = tuple(lid2 for _, lid2 in sorted(
+            (keys[l2], l2) for l2 in range(nlocs)
+            if colors[l2] == colors[lid]))
+        assert members == expected
+        assert members[rank] == lid
+
+
+@settings(max_examples=8, deadline=None)
+@given(nlocs=st.integers(4, 8), data=st.data())
+def test_nested_splits_compose(nlocs, data):
+    """Splitting a split subgroup yields groups whose members are still
+    world lids and subsets of the first-level group."""
+    c1 = data.draw(st.lists(st.integers(0, 1),
+                            min_size=nlocs, max_size=nlocs))
+    c2 = data.draw(st.lists(st.integers(0, 1),
+                            min_size=nlocs, max_size=nlocs))
+
+    def prog(ctx):
+        g1 = ctx.runtime.world.split(ctx, c1[ctx.id])
+        g2 = g1.split(ctx, c2[ctx.id])
+        return g1.members, g2.members, g2.rank_of(ctx.id)
+
+    out = run(prog, nlocs=nlocs)
+    for lid, (m1, m2, rank) in enumerate(out):
+        assert set(m2) <= set(m1)
+        assert m1 == tuple(l2 for l2 in range(nlocs) if c1[l2] == c1[lid])
+        assert m2 == tuple(l2 for l2 in range(nlocs)
+                           if c1[l2] == c1[lid] and c2[l2] == c2[lid])
+        assert m2[rank] == lid
+
+
+@settings(max_examples=10, deadline=None)
+@given(nlocs=st.integers(2, 8), data=st.data())
+def test_split_groups_carry_collectives(nlocs, data):
+    """A split subgroup is immediately usable for collectives: a per-group
+    allreduce must sum exactly the group's members, never the world."""
+    colors = data.draw(st.lists(st.integers(0, 2),
+                                min_size=nlocs, max_size=nlocs))
+
+    def prog(ctx):
+        g = ctx.runtime.world.split(ctx, colors[ctx.id])
+        return ctx.allreduce_rmi(ctx.id, group=g)
+
+    out = run(prog, nlocs=nlocs)
+    for lid, total in enumerate(out):
+        assert total == sum(l2 for l2 in range(nlocs)
+                            if colors[l2] == colors[lid])

@@ -1,0 +1,180 @@
+"""Location-group hierarchy tests: group-scoped fences that leave
+non-members alone, collectives and container construction on arbitrary
+subgroups, split-derived groups, group-scoped stats and the derived-view
+epoch machinery over subgroup bases."""
+
+from repro.runtime import LocationGroup, PObject
+from tests.conftest import run, run_detailed
+
+
+class Cell(PObject):
+    def __init__(self, ctx, group=None):
+        super().__init__(ctx, group)
+        self.value = 0
+        ctx.barrier(self.group)
+
+    def put(self, v):
+        self.value = v
+
+
+class TestSubgroupFenceScope:
+    def test_nonmember_channels_stay_pending(self):
+        """The regression the refactor guards: a fence on subgroup {0, 1}
+        must not drain (or wait on) traffic between non-members.  Only a
+        fence whose group covers the 2->3 channel may deliver it."""
+        def prog(ctx):
+            c = Cell(ctx)
+            sub = ctx.runtime.world.subgroup([0, 1])
+            if ctx.id == 2:
+                c._async(3, "put", 7)
+            ctx.barrier()           # everyone's sends enqueued; no drain
+            pending_after_subfence = None
+            if ctx.id in (0, 1):
+                ctx.rmi_fence(sub)
+                pending_after_subfence = (
+                    ctx.runtime.network.has_pending(2, 3))
+            ctx.rmi_fence()
+            return pending_after_subfence, c.value if ctx.id == 3 else None
+
+        out = run(prog, nlocs=4)
+        # the subgroup fence completed while 2->3 was still in flight
+        assert out[0][0] is True and out[1][0] is True
+        # the world fence then delivered it
+        assert out[3][1] == 7
+
+    def test_member_traffic_delivered(self):
+        """The same subgroup fence *does* commit traffic between members."""
+        def prog(ctx):
+            c = Cell(ctx)
+            sub = ctx.runtime.world.subgroup([0, 1])
+            if ctx.id == 0:
+                c._async(1, "put", 42)
+            seen = None
+            if ctx.id in sub:
+                ctx.rmi_fence(sub)
+                seen = c.value if ctx.id == 1 else None
+            ctx.rmi_fence()
+            return seen
+
+        assert run(prog, nlocs=4)[1] == 42
+
+    def test_subgroup_fence_stats(self):
+        def prog(ctx):
+            sub = ctx.runtime.world.subgroup([0, 1])
+            if ctx.id in sub:
+                ctx.rmi_fence(sub)
+                ctx.rmi_fence(sub)
+            ctx.rmi_fence()     # world: not a subgroup fence
+            return None
+
+        rep = run_detailed(prog, nlocs=4)
+        total = rep.stats.total
+        assert total.subgroup_fences == 4      # 2 fences x 2 members
+        assert total.fences == 4 + 4           # plus the world fence
+
+    def test_fence_on_split_group(self):
+        """Fences scope to split-derived groups exactly as to subgroups."""
+        def prog(ctx):
+            c = Cell(ctx)
+            g = ctx.runtime.world.split(ctx, ctx.id % 2)
+            peer = [m for m in g.members if m != ctx.id][0]
+            c._async(peer, "put", ctx.id + 10)
+            ctx.rmi_fence(g)
+            seen = c.value
+            ctx.rmi_fence()
+            return seen
+
+        out = run(prog, nlocs=4)
+        assert out == [12, 13, 10, 11]
+
+
+class TestContainersOnSubgroups:
+    def test_parray_on_noncontiguous_subgroup(self):
+        """Construction and directory registration on an arbitrary
+        (non-contiguous) subgroup; non-members never participate."""
+        from repro.containers.parray import PArray
+
+        def prog(ctx):
+            g = ctx.runtime.world.subgroup([1, 3])
+            if ctx.id in g:
+                pa = PArray(ctx, 10, value=0, dtype=int, group=g)
+                pa.set_element(g.rank_of(ctx.id), ctx.id)
+                ctx.rmi_fence(g)
+                out = pa.to_list()
+                pa.destroy()
+                return out[:2]
+            return None
+
+        out = run(prog, nlocs=4)
+        assert out[1] == out[3] == [1, 3]
+        assert out[0] is None and out[2] is None
+
+    def test_disjoint_teams_independent_containers(self):
+        """Two disjoint split groups register containers concurrently;
+        handles must never cross between the teams."""
+        from repro.containers.parray import PArray
+
+        def prog(ctx):
+            g = ctx.runtime.world.split(ctx, ctx.id // 2)
+            pa = PArray(ctx, 4, value=0, dtype=int, group=g)
+            pa.set_element(g.rank_of(ctx.id), 100 * ctx.id)
+            ctx.rmi_fence(g)
+            out = pa.to_list()
+            pa.destroy()
+            return out
+
+        out = run(prog, nlocs=4)
+        assert out[0] == out[1] == [0, 100, 0, 0]
+        assert out[2] == out[3] == [200, 300, 0, 0]
+
+
+class TestDerivedViewsOnSubgroups:
+    def test_segmented_view_over_subgroup_base(self):
+        """Derived-view epoch composition must survive a base container
+        living on a proper subgroup: chunk caches key on the composed
+        epoch, and every sync stays group-scoped."""
+        from repro.algorithms.nested import p_segmented_reduce
+        from repro.containers.parray import PArray
+        from repro.views.array_views import Array1DView
+        from repro.views.derived_views import segmented_view, slab_write
+
+        def prog(ctx):
+            g = ctx.runtime.world.subgroup([0, 2])
+            if ctx.id not in g:
+                return None
+            pa = PArray(ctx, 12, value=0, dtype=int, group=g)
+            v = Array1DView(pa)
+            sl = v.balanced_slices()
+            slab_write(v, sl.lo, list(range(sl.lo, sl.hi)))
+            ctx.rmi_fence(g)
+            sv = segmented_view(v, [3, 4, 5])
+            sums = p_segmented_reduce(sv, lambda a, b: a + b, 0)
+            assert sv._distribution_epoch() == sv._distribution_epoch()
+            pa.destroy()
+            return sums
+
+        out = run(prog, nlocs=4)
+        assert out[0] == out[2] == [3, 18, 45]
+        assert out[1] is None and out[3] is None
+
+    def test_composed_container_on_split_teams(self):
+        """compose_* + nested algorithms run wholly inside a split-derived
+        half of the machine while the other half computes independently."""
+        import operator
+
+        from repro.containers.composition import (
+            compose_parray_of_parrays,
+            segmented_reduce,
+        )
+
+        def prog(ctx):
+            g = ctx.runtime.world.split(ctx, ctx.id // 2)
+            outer = compose_parray_of_parrays(
+                ctx, [2, 3], value=ctx.id // 2 + 1, dtype=int, group=g,
+                inner_group_size=2)
+            sums = segmented_reduce(outer, operator.add, 0)
+            return sums
+
+        out = run(prog, nlocs=4)
+        assert out[0] == out[1] == [2, 3]
+        assert out[2] == out[3] == [4, 6]
